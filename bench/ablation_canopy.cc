@@ -1,0 +1,39 @@
+// Ablation: the mention-canopy machinery (Sec. 5.1).  With long-text
+// variants disabled, TENET degrades to a short-only spotter like
+// Falcon/EARL and loses the composite mentions ("Fellow of the AAAS"),
+// while keeping the tree-cover disambiguation.
+#include <cstdio>
+
+#include "baselines/tenet_linker.h"
+#include "bench_common.h"
+
+int main() {
+  using namespace tenet;
+  const bench::Environment& env = bench::GetEnvironment();
+
+  std::printf("Ablation: mention canopies on/off\n");
+  bench::PrintRule(86);
+  std::printf("%-22s %-9s %10s %10s %10s\n", "Variant", "Dataset", "MD F1",
+              "EL F1", "ISO P");
+  bench::PrintRule(86);
+  for (bool canopies : {true, false}) {
+    core::TenetOptions options;
+    options.canopy.enable_long_variants = canopies;
+    baselines::TenetLinker tenet(bench::MakeSubstrate(env), options);
+    for (const char* name : {"News", "MSNBC19"}) {
+      eval::SystemScores scores =
+          eval::EvaluateEndToEnd(tenet, env.dataset(name));
+      std::printf("%-22s %-9s %10.3f %10.3f %10.3f\n",
+                  canopies ? "canopies enabled" : "short-only (ablated)",
+                  name, scores.mention_detection.F1(),
+                  scores.entity_linking.F1(),
+                  scores.isolated_detection.Precision());
+    }
+  }
+  bench::PrintRule(86);
+  std::printf(
+      "Expected: disabling canopies costs mention detection (composites "
+      "fragment) and\ndrags entity linking down with it — the joint "
+      "MD+disambiguation claim of Sec. 1.\n");
+  return 0;
+}

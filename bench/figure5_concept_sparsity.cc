@@ -1,0 +1,48 @@
+// Regenerates Figure 5: sparsity of the gold concepts (entities AND
+// predicates) per document — density and average degree vs the semantic
+// distance threshold.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/sparsity.h"
+
+int main() {
+  using namespace tenet;
+  const bench::Environment& env = bench::GetEnvironment();
+
+  std::printf("Figure 5(a): density of concepts per document\n");
+  bench::PrintRule();
+  std::printf("%-10s", "distance");
+  for (int t = 0; t < 10; ++t) std::printf("  %5.1f", 0.1 * t);
+  std::printf("\n");
+  bench::PrintRule();
+  std::vector<std::vector<eval::SparsityPoint>> curves;
+  for (const datasets::Dataset& dataset : env.datasets) {
+    curves.push_back(
+        eval::ConceptSparsity(dataset, env.world.kb(), env.world.embeddings));
+    std::printf("%-10s", dataset.name.c_str());
+    for (const eval::SparsityPoint& p : curves.back()) {
+      std::printf("  %5.2f", p.density);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nFigure 5(b): average degree of concepts per document\n");
+  bench::PrintRule();
+  std::printf("%-10s", "distance");
+  for (int t = 0; t < 10; ++t) std::printf("  %5.1f", 0.1 * t);
+  std::printf("\n");
+  bench::PrintRule();
+  for (size_t i = 0; i < env.datasets.size(); ++i) {
+    std::printf("%-10s", env.datasets[i].name.c_str());
+    for (const eval::SparsityPoint& p : curves[i]) {
+      std::printf("  %5.2f", p.avg_degree);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nPaper shape: with predicates included the graphs stay sparse; "
+      "dense global\ncoherence (density near 1) is never reached below "
+      "distance 0.9.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Regenerates Figure 7(d): TENET runtime vs number of mention groups
+// (driven by the density of feature-linked runs in the documents).
+#include <cstdio>
+
+#include "baselines/tenet_linker.h"
+#include "scaling_common.h"
+
+int main() {
+  using namespace tenet;
+  const bench::Environment& env = bench::GetEnvironment();
+  baselines::TenetLinker tenet_linker(bench::MakeSubstrate(env));
+
+  std::printf("Figure 7(d): TENET runtime (ms/doc) vs mention groups\n");
+  bench::PrintRule(56);
+  std::printf("%8s %14s %10s\n", "pairs", "avg groups", "TENET");
+  bench::PrintRule(56);
+  for (double pairs : {0.0, 2.0, 4.0, 8.0, 12.0}) {
+    std::vector<datasets::Document> docs = bench::ScaledDocuments(
+        env, /*count=*/6, /*mentions=*/20, /*words=*/440,
+        /*relations=*/8, /*seed=*/4000 + static_cast<uint64_t>(pairs),
+        /*conjunction_pairs=*/pairs, /*composites=*/pairs / 4.0);
+    double groups = 0.0;
+    for (const datasets::Document& d : docs) {
+      Result<core::LinkingResult> r = tenet_linker.LinkDocument(d.text);
+      TENET_CHECK(r.ok());
+      groups += r->mentions.num_groups();
+    }
+    groups /= docs.size();
+    std::printf("%8.0f %14.1f %10.2f\n", pairs, groups,
+                bench::AverageMsPerDocument(tenet_linker, docs));
+  }
+  bench::PrintRule(56);
+  std::printf(
+      "Paper shape (Fig. 7d): runtime roughly linear in the number of "
+      "mention groups.\n");
+  return 0;
+}

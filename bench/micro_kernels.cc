@@ -1,0 +1,154 @@
+// google-benchmark micro-suite over the algorithmic kernels of TENET:
+// Kruskal MST, Hopcroft-Karp matching, tree splitting, Dijkstra, coherence
+// graph construction, tree-cover solving and greedy disambiguation.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "common/rng.h"
+#include "core/canopy.h"
+#include "core/disambiguator.h"
+#include "core/tree_cover.h"
+#include "core/tree_split.h"
+#include "graph/dijkstra.h"
+#include "graph/hopcroft_karp.h"
+#include "graph/mst.h"
+#include "text/extraction.h"
+
+namespace {
+
+using namespace tenet;
+
+graph::WeightedGraph RandomGraph(int n, double edge_prob, uint64_t seed) {
+  Rng rng(seed);
+  graph::WeightedGraph g(n);
+  for (int i = 1; i < n; ++i) {
+    g.AddEdge(i - 1, i, rng.NextDouble(0.01, 1.0));
+  }
+  for (int u = 0; u < n; ++u) {
+    for (int v = u + 2; v < n; ++v) {
+      if (rng.NextBool(edge_prob)) g.AddEdge(u, v, rng.NextDouble(0.01, 1.0));
+    }
+  }
+  return g;
+}
+
+void BM_KruskalMst(benchmark::State& state) {
+  graph::WeightedGraph g =
+      RandomGraph(static_cast<int>(state.range(0)), 0.1, 42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::KruskalMst(g));
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_KruskalMst)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Dijkstra(benchmark::State& state) {
+  graph::WeightedGraph g =
+      RandomGraph(static_cast<int>(state.range(0)), 0.1, 43);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::Dijkstra(g, 0));
+  }
+}
+BENCHMARK(BM_Dijkstra)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_HopcroftKarp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(44);
+  std::vector<std::pair<int, int>> edges;
+  for (int l = 0; l < n; ++l) {
+    for (int r = 0; r < n; ++r) {
+      if (rng.NextBool(4.0 / n)) edges.emplace_back(l, r);
+    }
+  }
+  for (auto _ : state) {
+    graph::HopcroftKarp hk(n, n);
+    for (auto [l, r] : edges) hk.AddEdge(l, r);
+    benchmark::DoNotOptimize(hk.MaxMatching());
+  }
+}
+BENCHMARK(BM_HopcroftKarp)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_TreeSplit(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(45);
+  std::vector<graph::TreeEdge> edges;
+  for (int i = 1; i < n; ++i) {
+    edges.push_back(graph::TreeEdge{
+        static_cast<int>(rng.NextUint64(i)), i, rng.NextDouble(0.05, 1.0)});
+  }
+  graph::RootedTree tree =
+      graph::RootedTree::FromOrientedEdges(0, edges).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::SplitTree(tree, 1.0));
+  }
+}
+BENCHMARK(BM_TreeSplit)->Arg(64)->Arg(256)->Arg(1024);
+
+// Document-scale kernels over the shared synthetic world.
+const datasets::Document& BenchDocument() {
+  static const datasets::Document* doc = [] {
+    const bench::Environment& env = bench::GetEnvironment();
+    return new datasets::Document(env.dataset("MSNBC19").documents[0]);
+  }();
+  return *doc;
+}
+
+core::CoherenceGraph BuildBenchGraph() {
+  const bench::Environment& env = bench::GetEnvironment();
+  text::Extractor extractor(&env.world.gazetteer());
+  core::MentionSet mentions = core::BuildMentionSet(
+      extractor.ExtractFromText(BenchDocument().text),
+      &env.world.gazetteer());
+  core::CoherenceGraphBuilder builder(&env.world.kb(),
+                                      &env.world.embeddings);
+  return builder.Build(std::move(mentions));
+}
+
+void BM_CoherenceGraphBuild(benchmark::State& state) {
+  const bench::Environment& env = bench::GetEnvironment();
+  text::Extractor extractor(&env.world.gazetteer());
+  text::ExtractionResult extraction =
+      extractor.ExtractFromText(BenchDocument().text);
+  core::CoherenceGraphBuilder builder(&env.world.kb(),
+                                      &env.world.embeddings);
+  for (auto _ : state) {
+    core::MentionSet mentions = core::BuildMentionSet(
+        extraction, &env.world.gazetteer());
+    benchmark::DoNotOptimize(builder.Build(std::move(mentions)));
+  }
+}
+BENCHMARK(BM_CoherenceGraphBuild);
+
+void BM_TreeCoverSolve(benchmark::State& state) {
+  core::CoherenceGraph cg = BuildBenchGraph();
+  core::TreeCoverSolver solver;
+  const double bound = cg.num_mentions();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve(cg, bound));
+  }
+}
+BENCHMARK(BM_TreeCoverSolve);
+
+void BM_Disambiguate(benchmark::State& state) {
+  core::CoherenceGraph cg = BuildBenchGraph();
+  core::TreeCoverSolver solver;
+  core::TreeCover cover = solver.Solve(cg, cg.num_mentions()).value();
+  core::Disambiguator disambiguator;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(disambiguator.Run(cg, cover));
+  }
+}
+BENCHMARK(BM_Disambiguate);
+
+void BM_EndToEndTenet(benchmark::State& state) {
+  const bench::Environment& env = bench::GetEnvironment();
+  baselines::TenetLinker tenet_linker(bench::MakeSubstrate(env));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tenet_linker.LinkDocument(BenchDocument().text));
+  }
+}
+BENCHMARK(BM_EndToEndTenet);
+
+}  // namespace
+
+BENCHMARK_MAIN();

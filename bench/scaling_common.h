@@ -1,0 +1,56 @@
+// Shared helpers of the Figure 7 efficiency benchmarks: scaled document
+// generation and per-system timing.
+#ifndef TENET_BENCH_SCALING_COMMON_H_
+#define TENET_BENCH_SCALING_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+
+namespace tenet {
+namespace bench {
+
+// Generates `count` documents with roughly `mentions` gold mentions and
+// `words` words each (News-like profile otherwise).
+inline std::vector<datasets::Document> ScaledDocuments(
+    const Environment& env, int count, double mentions, int words,
+    double relations, uint64_t seed,
+    double conjunction_pairs = 1.0, double composites = 0.8) {
+  datasets::DatasetSpec spec = datasets::NewsSpec();
+  spec.num_docs = count;
+  spec.mentions_per_doc = mentions;
+  spec.words_per_doc = words;
+  spec.relations_per_doc = relations;
+  spec.advertisement_fraction = 0.0;
+  spec.conjunction_pairs_per_doc = conjunction_pairs;
+  spec.composites_per_doc = composites;
+  datasets::CorpusGenerator generator(&env.world.kb_world);
+  Rng rng(seed);
+  return generator.Generate(spec, rng).documents;
+}
+
+// Average end-to-end milliseconds per document (with one warm-up pass).
+inline double AverageMsPerDocument(
+    const baselines::Linker& linker,
+    const std::vector<datasets::Document>& documents, int repetitions = 3) {
+  for (const datasets::Document& d : documents) {
+    (void)linker.LinkDocument(d.text);  // warm-up
+  }
+  WallTimer timer;
+  int runs = 0;
+  for (int r = 0; r < repetitions; ++r) {
+    for (const datasets::Document& d : documents) {
+      Result<core::LinkingResult> result = linker.LinkDocument(d.text);
+      TENET_CHECK(result.ok()) << result.status();
+      ++runs;
+    }
+  }
+  return timer.ElapsedMillis() / runs;
+}
+
+}  // namespace bench
+}  // namespace tenet
+
+#endif  // TENET_BENCH_SCALING_COMMON_H_

@@ -1,0 +1,47 @@
+// Regenerates Table 2: statistical analysis of the non-linkable noun
+// phrases (n.) and relational phrases (re.) in all the datasets.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace tenet;
+  const bench::Environment& env = bench::GetEnvironment();
+
+  std::printf("Table 2: non-linkable noun phrases (n.) and relational "
+              "phrases (re.)\n");
+  bench::PrintRule(96);
+  std::printf("%-9s %12s %7s %9s %9s %13s %7s %10s %10s\n", "Dataset",
+              "n./doc", "# n.", "# n-l n.", "%% n-l n.", "re./doc", "# re.",
+              "# n-l re.", "%% n-l re.");
+  bench::PrintRule(96);
+  for (const datasets::Dataset& dataset : env.datasets) {
+    int nouns = 0;
+    int nonlinkable_nouns = 0;
+    int rels = 0;
+    int nonlinkable_rels = 0;
+    for (const datasets::Document& d : dataset.documents) {
+      nouns += static_cast<int>(d.gold_entities.size());
+      nonlinkable_nouns += d.NumNonLinkableEntities();
+      rels += static_cast<int>(d.gold_predicates.size());
+      nonlinkable_rels += d.NumNonLinkablePredicates();
+    }
+    const int docs = static_cast<int>(dataset.documents.size());
+    std::printf("%-9s %12.2f %7d %9d %8.2f%%", dataset.name.c_str(),
+                static_cast<double>(nouns) / docs, nouns, nonlinkable_nouns,
+                100.0 * nonlinkable_nouns / nouns);
+    if (dataset.has_relation_gold) {
+      std::printf(" %13.2f %7d %10d %9.2f%%\n",
+                  static_cast<double>(rels) / docs, rels, nonlinkable_rels,
+                  rels > 0 ? 100.0 * nonlinkable_rels / rels : 0.0);
+    } else {
+      std::printf(" %13s %7s %10s %10s\n", "N.A.", "N.A.", "N.A.", "N.A.");
+    }
+  }
+  bench::PrintRule(96);
+  std::printf(
+      "Paper reference (Table 2): News 7.69 n./doc 21.01%% n-l, 4.75 re./doc "
+      "63.16%% n-l;\n  KORE50 2.96 / 0.68%%; MSNBC19 22.32 / 15.09%%; "
+      "T-REx42 7.79 / 7.34%%, 5.17 re./doc 45.16%% n-l.\n");
+  return 0;
+}

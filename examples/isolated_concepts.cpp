@@ -1,0 +1,78 @@
+// Emerging-entity discovery: the advertisement scenario of Sec. 6.2.
+// Fresh product/organization names that cannot be linked anywhere in the
+// KB must be *recognized* as isolated concepts rather than forced onto the
+// nearest popular entity.  This example contrasts TENET with a
+// global-coherence baseline on advertisement-style articles.
+//
+//   $ ./build/examples/isolated_concepts
+#include <cstdio>
+#include <map>
+
+#include "baselines/qkbfly_like.h"
+#include "baselines/tenet_linker.h"
+#include "datasets/corpus_generator.h"
+#include "datasets/world.h"
+#include "common/string_util.h"
+#include "eval/metrics.h"
+
+using namespace tenet;
+
+int main() {
+  datasets::SyntheticWorld world = datasets::BuildWorld();
+  datasets::CorpusGenerator generator(&world.kb_world);
+
+  // Advertisement-style documents: many fresh phrases.
+  datasets::DatasetSpec spec = datasets::NewsSpec();
+  spec.num_docs = 8;
+  spec.advertisement_fraction = 1.0;
+  Rng rng(13);
+  datasets::Dataset ads = generator.Generate(spec, rng);
+
+  baselines::BaselineSubstrate substrate{
+      &world.kb(), &world.embeddings, &world.gazetteer(), {}};
+  baselines::TenetLinker tenet(substrate);
+  baselines::QkbflyLike qkbfly(substrate);
+
+  eval::PRF tenet_prf;
+  eval::PRF qkbfly_prf;
+  std::map<std::string, bool> tenet_claims;  // surface -> actually fresh?
+
+  for (const datasets::Document& doc : ads.documents) {
+    Result<core::LinkingResult> t = tenet.LinkDocument(doc.text);
+    Result<core::LinkingResult> q = qkbfly.LinkDocument(doc.text);
+    if (!t.ok() || !q.ok()) continue;
+    eval::SystemPrediction tp = eval::FromLinkingResult(*t);
+    eval::SystemPrediction qp = eval::FromLinkingResult(*q);
+    tenet_prf.Add(eval::ScoreIsolatedDetection(doc, tp));
+    qkbfly_prf.Add(eval::ScoreIsolatedDetection(doc, qp));
+
+    // Record TENET's claims against the gold annotation for the report.
+    std::map<std::string, bool> gold_fresh;
+    for (const datasets::GoldEntityLink& g : doc.gold_entities) {
+      gold_fresh[AsciiToLower(g.surface)] = !g.linkable();
+    }
+    for (const std::string& surface : tp.isolated_noun_surfaces) {
+      auto it = gold_fresh.find(surface);
+      tenet_claims[surface] = it != gold_fresh.end() && it->second;
+    }
+  }
+
+  std::printf("Isolated-concept detection on %zu advertisement articles\n\n",
+              ads.documents.size());
+  std::printf("  %-8s  precision %.3f  recall %.3f\n", "TENET",
+              tenet_prf.Precision(), tenet_prf.Recall());
+  std::printf("  %-8s  precision %.3f  recall %.3f\n\n", "QKBfly",
+              qkbfly_prf.Precision(), qkbfly_prf.Recall());
+
+  std::printf("Phrases TENET reported as emerging concepts:\n");
+  for (const auto& [surface, correct] : tenet_claims) {
+    std::printf("  %-32s %s\n", surface.c_str(),
+                correct ? "(correct: not in KB)"
+                        : "(incorrect: linkable in gold)");
+  }
+  std::printf(
+      "\nGlobal-coherence systems either force fresh phrases onto popular "
+      "KB entities\nor drop sparse-but-linkable ones; the tree cover keeps "
+      "both apart.\n");
+  return 0;
+}

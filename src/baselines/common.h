@@ -1,0 +1,76 @@
+#ifndef TENET_BASELINES_COMMON_H_
+#define TENET_BASELINES_COMMON_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/coherence_graph.h"
+#include "core/pipeline.h"
+#include "embedding/embedding_store.h"
+#include "kb/knowledge_base.h"
+#include "text/extraction.h"
+#include "text/gazetteer.h"
+
+namespace tenet {
+namespace baselines {
+
+// Shared substrate handles of all baseline linkers.
+struct BaselineSubstrate {
+  const kb::KnowledgeBase* kb = nullptr;
+  const embedding::EmbeddingStore* embeddings = nullptr;
+  const text::Gazetteer* gazetteer = nullptr;
+  core::CoherenceGraphOptions graph_options;
+};
+
+// Mention-universe policies of the baselines (none performs canopy-based
+// joint selection — that is TENET's contribution):
+//
+/// Every short-text mention is its own singleton group; long-text variants
+/// are never formed (Falcon, EARL, MINTREE).
+core::MentionSet BuildShortOnlyMentionSet(
+    const text::ExtractionResult& extraction,
+    const text::Gazetteer* gazetteer);
+
+/// Open-IE-style coarse chunking (QKBfly, KBPearl): both systems take
+/// their noun phrases from Open IE tools, which emit maximal phrases — a
+/// feature-linked run is always merged into one long mention, whether or
+/// not the KB knows the merged surface.  This reproduces the "less
+/// informative noun phrases" behaviour the paper blames for their
+/// precision loss around isolated concepts (Sec. 6.2, Fig. 6(c)).
+core::MentionSet BuildCoarseMentionSet(
+    const text::ExtractionResult& extraction,
+    const text::Gazetteer* gazetteer);
+
+/// Runs the extractor and builds the coherence graph over `mentions`.
+core::CoherenceGraph BuildGraph(const BaselineSubstrate& substrate,
+                                core::MentionSet mentions);
+
+/// Assembles a LinkingResult from per-mention decisions.  `chosen` maps
+/// mention id -> concept node id of `cg`; `isolated` lists mentions the
+/// system reports as new concepts.
+core::LinkingResult AssembleResult(const core::CoherenceGraph& cg,
+                                   const std::unordered_map<int, int>& chosen,
+                                   const std::vector<int>& isolated);
+
+/// The concept node with the highest prior for `mention`, or -1.
+int TopPriorNode(const core::CoherenceGraph& cg, int mention);
+
+// Semantic relatedness probed from the KB graph on demand (no precomputed
+// index): overlap coefficient of the two concepts' entity neighborhoods,
+// 1.0 for direct fact partners.  EARL's connection-density objective and
+// KBPearl's document graph both consume this; each probe pays O(degree),
+// unlike the O(1) lookups into the embedding index TENET and QKBfly use.
+class KbGraphRelatedness {
+ public:
+  explicit KbGraphRelatedness(const kb::KnowledgeBase* kb) : kb_(kb) {}
+
+  double Relatedness(kb::ConceptRef a, kb::ConceptRef b) const;
+
+ private:
+  const kb::KnowledgeBase* kb_;
+};
+
+}  // namespace baselines
+}  // namespace tenet
+
+#endif  // TENET_BASELINES_COMMON_H_

@@ -1,0 +1,36 @@
+#ifndef TENET_BASELINES_EARL_LIKE_H_
+#define TENET_BASELINES_EARL_LIKE_H_
+
+#include "baselines/common.h"
+#include "baselines/linker.h"
+
+namespace tenet {
+namespace baselines {
+
+// EARL [19] stand-in: joint entity and relation linking for question
+// answering, formulated as connection density over the candidate graph
+// (a GTSP relaxation).  Reproduced as the greedy chain heuristic: mentions
+// are visited in document order and each picks the candidate minimizing a
+// blend of hop distance to the previously chosen concept and local prior.
+// Coherence is relaxed (only consecutive concepts interact) but isolated
+// concepts cannot be recognized — every mention with candidates is linked.
+class EarlLike : public Linker {
+ public:
+  explicit EarlLike(BaselineSubstrate substrate) : substrate_(substrate) {}
+
+  std::string_view name() const override { return "EARL"; }
+  bool has_disambiguation_stage() const override { return false; }
+
+  Result<core::LinkingResult> LinkDocument(
+      std::string_view document_text) const override;
+  Result<core::LinkingResult> LinkMentionSet(
+      core::MentionSet mentions) const override;
+
+ private:
+  BaselineSubstrate substrate_;
+};
+
+}  // namespace baselines
+}  // namespace tenet
+
+#endif  // TENET_BASELINES_EARL_LIKE_H_

@@ -1,0 +1,36 @@
+#ifndef TENET_BASELINES_FALCON_LIKE_H_
+#define TENET_BASELINES_FALCON_LIKE_H_
+
+#include "baselines/common.h"
+#include "baselines/linker.h"
+
+namespace tenet {
+namespace baselines {
+
+// Falcon [56] stand-in: linguistic-morphology driven joint entity and
+// relation linking WITHOUT any coherence assumption.  Every extracted
+// phrase is linked independently to its most popular candidate (the local
+// prior of Eqs. 1-2); there is no long-text mention recovery, no
+// abstention, no context.  Consequently precision suffers on ambiguous
+// mentions and recall on composite ones — the behaviour Table 3 shows.
+class FalconLike : public Linker {
+ public:
+  explicit FalconLike(BaselineSubstrate substrate)
+      : substrate_(substrate) {}
+
+  std::string_view name() const override { return "Falcon"; }
+  bool has_disambiguation_stage() const override { return false; }
+
+  Result<core::LinkingResult> LinkDocument(
+      std::string_view document_text) const override;
+  Result<core::LinkingResult> LinkMentionSet(
+      core::MentionSet mentions) const override;
+
+ private:
+  BaselineSubstrate substrate_;
+};
+
+}  // namespace baselines
+}  // namespace tenet
+
+#endif  // TENET_BASELINES_FALCON_LIKE_H_

@@ -1,0 +1,46 @@
+#ifndef TENET_BASELINES_KBPEARL_LIKE_H_
+#define TENET_BASELINES_KBPEARL_LIKE_H_
+
+#include "baselines/common.h"
+#include "baselines/linker.h"
+
+namespace tenet {
+namespace baselines {
+
+// KBPearl [38] stand-in (near-neighbour mode, MinIE-based): joint entity
+// and relation linking that relaxes global coherence by scoring each
+// mention against a FIXED NUMBER of neighbouring mentions.  Iterative
+// refinement: start from the local priors, then re-pick each candidate by
+// prior + mean relatedness to the current concepts of the w nearest
+// mentions.  Mentions whose best score stays below the confidence
+// threshold are reported as new (non-linkable) concepts — KBPearl
+// populates them into the KB.
+struct KbPearlOptions {
+  int window = 3;           // near-neighbour count
+  int iterations = 2;       // refinement rounds
+  double relatedness_weight = 1.0;
+  double confidence_threshold = 0.55;
+};
+
+class KbPearlLike : public Linker {
+ public:
+  explicit KbPearlLike(BaselineSubstrate substrate,
+                       KbPearlOptions options = {})
+      : substrate_(substrate), options_(options) {}
+
+  std::string_view name() const override { return "KBPearl"; }
+
+  Result<core::LinkingResult> LinkDocument(
+      std::string_view document_text) const override;
+  Result<core::LinkingResult> LinkMentionSet(
+      core::MentionSet mentions) const override;
+
+ private:
+  BaselineSubstrate substrate_;
+  KbPearlOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace tenet
+
+#endif  // TENET_BASELINES_KBPEARL_LIKE_H_

@@ -1,0 +1,38 @@
+#ifndef TENET_BASELINES_MINTREE_LIKE_H_
+#define TENET_BASELINES_MINTREE_LIKE_H_
+
+#include "baselines/common.h"
+#include "baselines/linker.h"
+
+namespace tenet {
+namespace baselines {
+
+// MINTREE [51] stand-in: pair-linking collective entity disambiguation
+// with a minimum-spanning-tree objective ("two could be better than all").
+// Candidate pairs are processed in ascending combined distance; linking a
+// pair commits both mentions, and committed concepts can vouch for further
+// neighbours — a Kruskal-style sweep over the full candidate graph, but
+// without TENET's tree-cost bound, canopies, or isolated-concept handling:
+// every mention with candidates ends up force-linked (top prior fallback).
+// Entity disambiguation only; no relation linking (Table 4 omits it).
+class MintreeLike : public Linker {
+ public:
+  explicit MintreeLike(BaselineSubstrate substrate)
+      : substrate_(substrate) {}
+
+  std::string_view name() const override { return "MINTREE"; }
+  bool links_relations() const override { return false; }
+
+  Result<core::LinkingResult> LinkDocument(
+      std::string_view document_text) const override;
+  Result<core::LinkingResult> LinkMentionSet(
+      core::MentionSet mentions) const override;
+
+ private:
+  BaselineSubstrate substrate_;
+};
+
+}  // namespace baselines
+}  // namespace tenet
+
+#endif  // TENET_BASELINES_MINTREE_LIKE_H_

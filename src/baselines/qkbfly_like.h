@@ -1,0 +1,49 @@
+#ifndef TENET_BASELINES_QKBFLY_LIKE_H_
+#define TENET_BASELINES_QKBFLY_LIKE_H_
+
+#include "baselines/common.h"
+#include "baselines/linker.h"
+
+namespace tenet {
+namespace baselines {
+
+// QKBfly [46] stand-in: on-the-fly knowledge base construction relying on
+// the GLOBAL coherence assumption — every linked entity should be densely
+// related to all others.  Reproduced as iterative global-coherence
+// maximization with a strict admission threshold: a mention whose best
+// candidate is not dense enough against the whole context is dropped
+// (reported as a new concept).  This yields the high-precision /
+// low-recall profile of Table 3.  Relation phrases are canonicalized but
+// not linked to predicates (Sec. 6.1), so links_relations() is false.
+struct QkbflyOptions {
+  int iterations = 3;
+  /// Absolute floor of the admission density.
+  double density_floor = 0.30;
+  /// Require the chosen concept to share a direct KB fact with another
+  /// linked concept — QKBfly operates on KB subgraphs, and only the
+  /// densely fact-connected core survives its on-the-fly construction.
+  bool require_fact_support = true;
+};
+
+class QkbflyLike : public Linker {
+ public:
+  explicit QkbflyLike(BaselineSubstrate substrate, QkbflyOptions options = {})
+      : substrate_(substrate), options_(options) {}
+
+  std::string_view name() const override { return "QKBfly"; }
+  bool links_relations() const override { return false; }
+
+  Result<core::LinkingResult> LinkDocument(
+      std::string_view document_text) const override;
+  Result<core::LinkingResult> LinkMentionSet(
+      core::MentionSet mentions) const override;
+
+ private:
+  BaselineSubstrate substrate_;
+  QkbflyOptions options_;
+};
+
+}  // namespace baselines
+}  // namespace tenet
+
+#endif  // TENET_BASELINES_QKBFLY_LIKE_H_

@@ -1,0 +1,50 @@
+#include "common/logging.h"
+
+namespace tenet {
+namespace internal_logging {
+namespace {
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+LogSeverity g_min_severity = LogSeverity::kWarning;
+
+}  // namespace
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    if (severity_ < g_min_severity) std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+}
+
+LogSeverity SetMinLogSeverity(LogSeverity severity) {
+  LogSeverity previous = g_min_severity;
+  g_min_severity = severity;
+  return previous;
+}
+
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+}  // namespace internal_logging
+}  // namespace tenet

@@ -1,0 +1,81 @@
+#ifndef TENET_COMMON_LOGGING_H_
+#define TENET_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tenet {
+namespace internal_logging {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Accumulates one log line and emits it (to stderr) on destruction.  FATAL
+// messages abort the process, which is how invariant violations surface in a
+// no-exceptions codebase.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed operands of a disabled TENET_DCHECK.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Minimum severity that is actually printed; defaults to kWarning so tests
+/// and benchmarks stay quiet.  Returns the previous threshold.
+LogSeverity SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+}  // namespace internal_logging
+}  // namespace tenet
+
+#define TENET_LOG(severity)                                          \
+  ::tenet::internal_logging::LogMessage(                             \
+      ::tenet::internal_logging::LogSeverity::k##severity, __FILE__, \
+      __LINE__)
+
+// Fatal if `condition` is false.  Usable as a stream:
+//   TENET_CHECK(x > 0) << "x was " << x;
+#define TENET_CHECK(condition) \
+  if (condition) {             \
+  } else                       \
+    TENET_LOG(Fatal) << "Check failed: " #condition " "
+
+#define TENET_CHECK_EQ(a, b) TENET_CHECK((a) == (b))
+#define TENET_CHECK_NE(a, b) TENET_CHECK((a) != (b))
+#define TENET_CHECK_LT(a, b) TENET_CHECK((a) < (b))
+#define TENET_CHECK_LE(a, b) TENET_CHECK((a) <= (b))
+#define TENET_CHECK_GT(a, b) TENET_CHECK((a) > (b))
+#define TENET_CHECK_GE(a, b) TENET_CHECK((a) >= (b))
+
+#ifndef NDEBUG
+#define TENET_DCHECK(condition) TENET_CHECK(condition)
+#else
+#define TENET_DCHECK(condition) \
+  if (true) {                   \
+  } else                        \
+    ::tenet::internal_logging::NullStream()
+#endif
+
+#endif  // TENET_COMMON_LOGGING_H_

@@ -1,0 +1,80 @@
+#ifndef TENET_COMMON_RESULT_H_
+#define TENET_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace tenet {
+
+// Result<T> holds either a value of type T or a non-OK Status, in the style
+// of absl::StatusOr / arrow::Result.  Accessing the value of an errored
+// Result aborts the process (we do not use exceptions).
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from both directions keeps call sites readable:
+  //   Result<int> F() { if (bad) return Status::InvalidArgument("..."); ... }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {
+    TENET_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    TENET_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    TENET_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    TENET_CHECK(ok()) << "Result::value on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the held value, or `fallback` if this Result is an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tenet
+
+// Assigns the value of a Result-returning expression to `lhs`, or propagates
+// the error.  `lhs` may declare a new variable:
+//   TENET_ASSIGN_OR_RETURN(auto cover, solver.Solve(graph, bound));
+#define TENET_ASSIGN_OR_RETURN(lhs, expr)                     \
+  TENET_ASSIGN_OR_RETURN_IMPL_(                               \
+      TENET_RESULT_CONCAT_(_tenet_result, __LINE__), lhs, expr)
+
+#define TENET_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define TENET_RESULT_CONCAT_(a, b) TENET_RESULT_CONCAT_IMPL_(a, b)
+#define TENET_RESULT_CONCAT_IMPL_(a, b) a##b
+
+#endif  // TENET_COMMON_RESULT_H_

@@ -1,0 +1,107 @@
+#ifndef TENET_COMMON_STATUS_H_
+#define TENET_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace tenet {
+
+// Canonical error space, modelled after the error-code conventions used by
+// large C++ database libraries (RocksDB, Arrow): a small closed set of codes
+// plus a free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+  kUnimplemented,
+  // Algorithm 1 returns a dedicated "failure warning" when the tree-cost
+  // bound B is too small (the graph disconnects or matching fails).  We give
+  // that condition its own code so callers can retry with a larger bound.
+  kBoundTooSmall,
+};
+
+/// Returns the canonical lower_snake_case name of `code` (e.g. "not_found").
+std::string_view StatusCodeToString(StatusCode code);
+
+// A Status describes the outcome of an operation that can fail.  This
+// codebase does not use exceptions (see DESIGN.md); fallible functions return
+// Status or Result<T>.  Status is cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status BoundTooSmall(std::string msg) {
+    return Status(StatusCode::kBoundTooSmall, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// True when this status carries Algorithm 1's failure warning.
+  bool IsBoundTooSmall() const { return code_ == StatusCode::kBoundTooSmall; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+
+  /// Renders "ok" or "<code>: <message>" for logs and test output.
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace tenet
+
+// Propagates a non-OK Status to the caller; evaluates `expr` exactly once.
+#define TENET_RETURN_IF_ERROR(expr)                \
+  do {                                             \
+    ::tenet::Status _tenet_status = (expr);        \
+    if (!_tenet_status.ok()) return _tenet_status; \
+  } while (false)
+
+#endif  // TENET_COMMON_STATUS_H_

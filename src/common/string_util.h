@@ -1,0 +1,39 @@
+#ifndef TENET_COMMON_STRING_UTIL_H_
+#define TENET_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tenet {
+
+/// Returns `s` with ASCII letters lower-cased (the alias index is
+/// case-insensitive, following the paper's Solr setup).
+std::string AsciiToLower(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Splits on `sep`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix or suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True if every character of `s` is an ASCII digit (and `s` is non-empty).
+bool IsAsciiNumber(std::string_view s);
+
+/// True if the first character is an ASCII uppercase letter.
+bool IsCapitalized(std::string_view s);
+
+}  // namespace tenet
+
+#endif  // TENET_COMMON_STRING_UTIL_H_

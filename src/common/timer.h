@@ -1,0 +1,35 @@
+#ifndef TENET_COMMON_TIMER_H_
+#define TENET_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace tenet {
+
+// Wall-clock stopwatch used by the efficiency experiments (Figure 7).
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Restart, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const {
+    return std::chrono::duration<double, std::micro>(Clock::now() - start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tenet
+
+#endif  // TENET_COMMON_TIMER_H_

@@ -1,0 +1,202 @@
+#include "core/canopy.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tenet {
+namespace core {
+namespace {
+
+// Joins two surfaces with the connector text between them.  Punctuation
+// connectors bind to the left surface ("Winter Crown: Harvest Elegy");
+// word connectors are space-separated.
+std::string JoinSurfaces(const std::string& left,
+                         const text::Connector& connector,
+                         const std::string& right) {
+  if (connector.kind == text::ConnectorKind::kPunctuation) {
+    return left + connector.joining_text + " " + right;
+  }
+  return left + " " + connector.joining_text + " " + right;
+}
+
+void SortUnique(std::vector<int>& v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+}
+
+}  // namespace
+
+int64_t NumContiguousSegmentations(int n) {
+  if (n <= 1) return 1;
+  return int64_t{1} << (n - 1);
+}
+
+MentionSet BuildMentionSet(const text::ExtractionResult& extraction,
+                           const text::Gazetteer* gazetteer,
+                           const CanopyOptions& options) {
+  TENET_CHECK(gazetteer != nullptr);
+  MentionSet set;
+
+  // ---- Step 1: runs of feature-linked short mentions ----------------------
+  const int num_short = static_cast<int>(extraction.mentions.size());
+  std::vector<std::pair<int, int>> runs;  // [begin, end) into extraction
+  int begin = 0;
+  while (begin < num_short) {
+    int end = begin;
+    while (end + 1 < num_short && extraction.link_after[end].has_value()) {
+      ++end;
+    }
+    runs.emplace_back(begin, end + 1);
+    begin = end + 1;
+  }
+
+  // Coreference canonicalization for singleton groups: one mention per
+  // lower-cased surface across the document.
+  std::unordered_map<std::string, int> singleton_by_surface;
+
+  for (const auto& [run_begin, run_end] : runs) {
+    const int n = run_end - run_begin;
+    if (n == 1) {
+      const text::ShortMention& sm = extraction.mentions[run_begin];
+      std::string key = AsciiToLower(sm.surface);
+      auto it = singleton_by_surface.find(key);
+      if (it != singleton_by_surface.end()) {
+        Mention& existing = set.mentions[it->second];
+        existing.sentences.push_back(sm.sentence);
+        SortUnique(existing.sentences);
+        continue;
+      }
+      Mention mention;
+      mention.kind = Mention::Kind::kNoun;
+      mention.surface = sm.surface;
+      mention.type = sm.type;
+      mention.sentences = {sm.sentence};
+      mention.group = set.num_groups();
+      int id = set.num_mentions();
+      set.mentions.push_back(std::move(mention));
+      singleton_by_surface.emplace(std::move(key), id);
+
+      MentionGroup group;
+      group.members = {id};
+      group.short_mentions = {id};
+      group.canopies = {Canopy{{id}}};
+      set.groups.push_back(std::move(group));
+      continue;
+    }
+
+    // ---- Multi-mention group: enumerate canopies -------------------------
+    const int group_id = set.num_groups();
+    set.groups.emplace_back();
+    // Mentions of a linked run share one sentence (links never cross
+    // sentence boundaries).
+    const int sentence = extraction.mentions[run_begin].sentence;
+
+    std::unordered_map<std::string, int> variant_by_surface;
+    auto intern_mention = [&](std::string surface,
+                              std::optional<kb::EntityType> type) -> int {
+      std::string key = AsciiToLower(surface);
+      auto it = variant_by_surface.find(key);
+      if (it != variant_by_surface.end()) return it->second;
+      Mention mention;
+      mention.kind = Mention::Kind::kNoun;
+      mention.surface = std::move(surface);
+      mention.type = type;
+      mention.sentences = {sentence};
+      mention.group = group_id;
+      int id = set.num_mentions();
+      set.mentions.push_back(std::move(mention));
+      variant_by_surface.emplace(std::move(key), id);
+      set.groups[group_id].members.push_back(id);
+      return id;
+    };
+
+    // Short mentions first (every canopy is built from them).
+    std::vector<int> short_ids;
+    short_ids.reserve(n);
+    for (int i = run_begin; i < run_end; ++i) {
+      const text::ShortMention& sm = extraction.mentions[i];
+      short_ids.push_back(intern_mention(sm.surface, sm.type));
+    }
+    set.groups[group_id].short_mentions = short_ids;
+
+    // A segmentation is a bitmask over the n-1 boundaries: bit b set means
+    // "merge across boundary b" (mentions b and b+1 joined by their
+    // connector).  Mask 0 is the all-short canopy; the all-ones mask the
+    // fully merged long-text mention.
+    std::vector<uint64_t> masks;
+    if (!options.enable_long_variants) {
+      masks = {0};
+    } else if (n <= options.max_group_size_for_full_enumeration) {
+      const uint64_t limit = uint64_t{1} << (n - 1);
+      for (uint64_t mask = 0; mask < limit; ++mask) masks.push_back(mask);
+    } else {
+      masks = {0, (uint64_t{1} << (n - 1)) - 1};
+    }
+
+    auto block_surface = [&](int first, int last) -> std::string {
+      std::string surface = extraction.mentions[run_begin + first].surface;
+      for (int i = first; i < last; ++i) {
+        const std::optional<text::Connector>& conn =
+            extraction.link_after[run_begin + i];
+        TENET_CHECK(conn.has_value());
+        surface = JoinSurfaces(
+            surface, *conn, extraction.mentions[run_begin + i + 1].surface);
+      }
+      return surface;
+    };
+
+    for (uint64_t mask : masks) {
+      Canopy canopy;
+      int block_first = 0;
+      for (int b = 0; b < n; ++b) {
+        bool merge_right = b + 1 < n && (mask & (uint64_t{1} << b)) != 0;
+        if (!merge_right) {
+          if (block_first == b) {
+            canopy.mentions.push_back(short_ids[b]);
+          } else {
+            std::string surface = block_surface(block_first, b);
+            std::optional<kb::EntityType> type =
+                gazetteer->LookupType(surface);
+            canopy.mentions.push_back(intern_mention(std::move(surface),
+                                                     type));
+          }
+          block_first = b + 1;
+        }
+      }
+      set.groups[group_id].canopies.push_back(std::move(canopy));
+    }
+  }
+
+  // ---- Relational mentions: one per distinct lemma ------------------------
+  std::unordered_map<std::string, int> relation_by_lemma;
+  for (const text::ExtractedRelation& rel : extraction.relations) {
+    auto it = relation_by_lemma.find(rel.lemma);
+    if (it != relation_by_lemma.end()) {
+      Mention& existing = set.mentions[it->second];
+      existing.sentences.push_back(rel.sentence);
+      SortUnique(existing.sentences);
+      continue;
+    }
+    Mention mention;
+    mention.kind = Mention::Kind::kRelational;
+    mention.surface = rel.lemma;
+    mention.sentences = {rel.sentence};
+    mention.group = set.num_groups();
+    int id = set.num_mentions();
+    set.mentions.push_back(std::move(mention));
+    relation_by_lemma.emplace(rel.lemma, id);
+
+    MentionGroup group;
+    group.members = {id};
+    group.short_mentions = {id};
+    group.canopies = {Canopy{{id}}};
+    set.groups.push_back(std::move(group));
+  }
+  return set;
+}
+
+}  // namespace core
+}  // namespace tenet

@@ -1,0 +1,144 @@
+#include "core/coherence_graph.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace core {
+
+int CoherenceGraph::MentionOfNode(int node) const {
+  TENET_CHECK(node >= 0 && node < num_nodes());
+  if (node < num_mentions()) return node;
+  return concept_nodes_[node - num_mentions()].mention;
+}
+
+const CoherenceGraph::ConceptNode& CoherenceGraph::concept_node(
+    int node) const {
+  TENET_CHECK(node >= num_mentions() && node < num_nodes());
+  return concept_nodes_[node - num_mentions()];
+}
+
+const std::vector<int>& CoherenceGraph::ConceptNodesOfMention(
+    int mention) const {
+  TENET_CHECK(mention >= 0 && mention < num_mentions());
+  return concepts_of_mention_[mention];
+}
+
+CoherenceGraphBuilder::CoherenceGraphBuilder(
+    const kb::KnowledgeBase* kb, const embedding::EmbeddingStore* embeddings,
+    CoherenceGraphOptions options)
+    : kb_(kb), embeddings_(embeddings), options_(options) {
+  TENET_CHECK(kb != nullptr);
+  TENET_CHECK(embeddings != nullptr);
+  TENET_CHECK(kb->finalized());
+  TENET_CHECK(embeddings->finalized());
+  TENET_CHECK_GT(options_.max_candidates_per_mention, 0);
+}
+
+CoherenceGraph CoherenceGraphBuilder::Build(MentionSet mentions) const {
+  // Pass 1: candidate generation, to size the node space.
+  const int num_mentions = mentions.num_mentions();
+  std::vector<CoherenceGraph::ConceptNode> concept_nodes;
+  std::vector<std::vector<int>> of_mention(num_mentions);
+  for (int m = 0; m < num_mentions; ++m) {
+    const Mention& mention = mentions.mention(m);
+    if (mention.is_noun()) {
+      for (const kb::EntityCandidate& c : kb_->CandidateEntities(
+               mention.surface, mention.type,
+               options_.max_candidates_per_mention)) {
+        of_mention[m].push_back(static_cast<int>(concept_nodes.size()));
+        concept_nodes.push_back(CoherenceGraph::ConceptNode{
+            m, kb::ConceptRef::Entity(c.entity), c.prior});
+      }
+    } else {
+      for (const kb::PredicateCandidate& c : kb_->CandidatePredicates(
+               mention.surface, options_.max_candidates_per_mention)) {
+        of_mention[m].push_back(static_cast<int>(concept_nodes.size()));
+        concept_nodes.push_back(CoherenceGraph::ConceptNode{
+            m, kb::ConceptRef::Predicate(c.predicate), c.prior});
+      }
+    }
+  }
+
+  CoherenceGraph cg(std::move(mentions),
+                    static_cast<int>(concept_nodes.size()));
+  cg.concept_nodes_ = std::move(concept_nodes);
+  for (int m = 0; m < num_mentions; ++m) {
+    for (int local : of_mention[m]) {
+      cg.concepts_of_mention_[m].push_back(num_mentions + local);
+    }
+  }
+
+  // Mention -> candidate edges (local semantic distance, Eqs. 1-2).
+  for (int m = 0; m < num_mentions; ++m) {
+    for (int node : cg.concepts_of_mention_[m]) {
+      double prior = cg.concept_node(node).prior;
+      cg.graph_.AddEdge(m, node, 1.0 - prior);
+    }
+  }
+
+  // Concept x concept edges (global semantic distance, Eqs. 3-5).  The
+  // weights are independent of each other, so they can be computed by a
+  // small thread pool (Sec. 6.2); edges are then inserted serially.
+  const int num_concepts = cg.num_concept_nodes();
+  struct PendingEdge {
+    int u;
+    int v;
+    double weight;
+  };
+  auto compute_range = [&](int begin, int end, std::vector<PendingEdge>& out) {
+    for (int i = begin; i < end; ++i) {
+      const CoherenceGraph::ConceptNode& a = cg.concept_nodes_[i];
+      const Mention& mention_a = cg.mentions_.mention(a.mention);
+      for (int j = i + 1; j < num_concepts; ++j) {
+        const CoherenceGraph::ConceptNode& b = cg.concept_nodes_[j];
+        if (a.mention == b.mention) continue;
+        const Mention& mention_b = cg.mentions_.mention(b.mention);
+        bool connect = false;
+        if (a.ref.is_entity() && b.ref.is_entity()) {
+          connect = true;  // entity pairs always compared (Eq. 3)
+        } else {
+          // Predicate-predicate and entity-predicate edges require the
+          // phrases to share a sentence (Eqs. 4-5).
+          connect = mention_a.SharesSentence(mention_b);
+        }
+        if (!connect) continue;
+        double distance = 1.0 - embeddings_->Cosine(a.ref, b.ref);
+        out.push_back(PendingEdge{num_mentions + i, num_mentions + j,
+                                  distance});
+      }
+    }
+  };
+
+  std::vector<PendingEdge> edges;
+  const int num_threads = options_.num_threads;
+  if (num_threads <= 1 || num_concepts < 64) {
+    compute_range(0, num_concepts, edges);
+  } else {
+    std::vector<std::vector<PendingEdge>> partial(num_threads);
+    std::vector<std::thread> workers;
+    workers.reserve(num_threads);
+    // Interleaved striping would balance better, but contiguous chunks keep
+    // the output deterministic and the loads are tiny either way.
+    int chunk = (num_concepts + num_threads - 1) / num_threads;
+    for (int t = 0; t < num_threads; ++t) {
+      int begin = t * chunk;
+      int end = std::min(num_concepts, begin + chunk);
+      if (begin >= end) break;
+      workers.emplace_back(compute_range, begin, end, std::ref(partial[t]));
+    }
+    for (std::thread& w : workers) w.join();
+    for (std::vector<PendingEdge>& p : partial) {
+      edges.insert(edges.end(), p.begin(), p.end());
+    }
+  }
+  for (const PendingEdge& e : edges) {
+    cg.graph_.AddEdge(e.u, e.v, e.weight);
+  }
+  return cg;
+}
+
+}  // namespace core
+}  // namespace tenet

@@ -1,0 +1,103 @@
+#ifndef TENET_CORE_COHERENCE_GRAPH_H_
+#define TENET_CORE_COHERENCE_GRAPH_H_
+
+#include <vector>
+
+#include "core/mention.h"
+#include "embedding/embedding_store.h"
+#include "graph/graph.h"
+#include "kb/knowledge_base.h"
+
+namespace tenet {
+namespace core {
+
+// Knobs of coherence-graph construction.
+struct CoherenceGraphOptions {
+  /// Candidates per mention (the parameter k of Figures 6(d) and 7(c)).
+  /// The paper finds 3-4 optimal: fewer starves coherence, more adds noise.
+  int max_candidates_per_mention = 4;
+  /// Compute concept-concept edge weights with a thread pool of this many
+  /// workers (Sec. 6.2 notes the parallel edge retrieval); 1 = serial.
+  int num_threads = 1;
+};
+
+// The knowledge coherence graph G = (V, E) of Definition 4.
+//
+// Node layout: ids [0, M) are mention nodes (id == mention id in the owned
+// MentionSet); ids [M, M + C) are concept nodes, one per (mention,
+// candidate) pair.  A candidate concept shared by two mentions yields two
+// concept nodes whose connecting edge has distance 1 - cos(v, v) = 0.
+//
+// Edges (Sec. 3):
+//   * mention -> own candidate, weight 1 - P(c|m)            (Eqs. 1-2)
+//   * entity  -> entity of a different mention, 1 - cos      (Eq. 3)
+//   * predicate -> predicate of a different relational phrase in the same
+//     sentence, 1 - cos                                      (Eq. 4)
+//   * entity -> predicate whose phrases share a sentence, 1 - cos (Eq. 5)
+class CoherenceGraph {
+ public:
+  // One candidate concept node.
+  struct ConceptNode {
+    int mention = -1;  // owning mention id
+    kb::ConceptRef ref;
+    double prior = 0.0;  // P(c | mention)
+  };
+
+  const graph::WeightedGraph& graph() const { return graph_; }
+  const MentionSet& mentions() const { return mentions_; }
+
+  int num_mentions() const { return mentions_.num_mentions(); }
+  int num_concept_nodes() const {
+    return static_cast<int>(concept_nodes_.size());
+  }
+  int num_nodes() const { return graph_.num_nodes(); }
+
+  bool IsMentionNode(int node) const { return node < num_mentions(); }
+
+  /// The mention id a node belongs to: itself for mention nodes, the owning
+  /// mention for concept nodes.
+  int MentionOfNode(int node) const;
+
+  /// Details of concept node `node` (which must be >= num_mentions()).
+  const ConceptNode& concept_node(int node) const;
+
+  /// Node ids of the candidates of `mention`.
+  const std::vector<int>& ConceptNodesOfMention(int mention) const;
+
+ private:
+  friend class CoherenceGraphBuilder;
+  CoherenceGraph(MentionSet mentions, int num_concepts)
+      : mentions_(std::move(mentions)),
+        graph_(mentions_.num_mentions() + num_concepts),
+        concepts_of_mention_(mentions_.num_mentions()) {}
+
+  MentionSet mentions_;
+  graph::WeightedGraph graph_;
+  std::vector<ConceptNode> concept_nodes_;
+  std::vector<std::vector<int>> concepts_of_mention_;
+};
+
+// Builds CoherenceGraphs for documents against one KB + embedding store.
+class CoherenceGraphBuilder {
+ public:
+  /// `kb` and `embeddings` must outlive the builder and be finalized.
+  CoherenceGraphBuilder(const kb::KnowledgeBase* kb,
+                        const embedding::EmbeddingStore* embeddings,
+                        CoherenceGraphOptions options = {});
+
+  /// Builds the coherence graph over `mentions` (moved in; retrievable via
+  /// CoherenceGraph::mentions()).
+  CoherenceGraph Build(MentionSet mentions) const;
+
+  const CoherenceGraphOptions& options() const { return options_; }
+
+ private:
+  const kb::KnowledgeBase* kb_;
+  const embedding::EmbeddingStore* embeddings_;
+  CoherenceGraphOptions options_;
+};
+
+}  // namespace core
+}  // namespace tenet
+
+#endif  // TENET_CORE_COHERENCE_GRAPH_H_

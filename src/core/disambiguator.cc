@@ -1,0 +1,200 @@
+#include "core/disambiguator.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace core {
+
+DisambiguationResult Disambiguator::Run(const CoherenceGraph& cg,
+                                        const TreeCover& cover) const {
+  const MentionSet& mentions = cg.mentions();
+  DisambiguationResult result;
+  result.group_resolved.assign(mentions.num_groups(), false);
+  result.winning_canopy.assign(mentions.num_groups(), -1);
+
+  // A canopy normally completes when every member has a recorded concept.
+  // A member with no KB candidates never receives one, which would
+  // deadlock its canopies; so when a group has NO fully-linkable canopy,
+  // canopies are allowed to complete over their linkable subset (e.g.
+  // "Brooklyn in April": "April" is non-linkable but "Brooklyn" must still
+  // be linked).  When some canopy IS fully linkable (e.g. the merged
+  // "Fellow of the AAAS"), the strict rule stands, so partially-linkable
+  // readings cannot pre-empt it.  Unlinked members of the winning canopy
+  // are reported as isolated concepts by the pipeline.
+  auto linkable = [&cg](int mention) {
+    return !cg.ConceptNodesOfMention(mention).empty();
+  };
+  std::vector<bool> group_has_fully_linkable(mentions.num_groups(), false);
+  for (int g = 0; g < mentions.num_groups(); ++g) {
+    for (const Canopy& canopy : mentions.groups[g].canopies) {
+      bool all = true;
+      for (int member : canopy.mentions) {
+        if (!linkable(member)) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        group_has_fully_linkable[g] = true;
+        break;
+      }
+    }
+  }
+
+  // ---- Collect the distinct edges of the tree cover, sorted ascending ----
+  struct CoverEdge {
+    int u;
+    int v;
+    double weight;
+    int informativeness;  // tie-break: token length of the touched mentions
+  };
+  auto mention_tokens = [&mentions, &cg](int node) {
+    const std::string& surface =
+        mentions.mention(cg.MentionOfNode(node)).surface;
+    return 1 + static_cast<int>(
+                   std::count(surface.begin(), surface.end(), ' '));
+  };
+  std::vector<CoverEdge> edges;
+  {
+    std::unordered_set<uint64_t> seen;
+    for (const CoverTree& tree : cover.trees) {
+      for (const graph::Edge& e : tree.edges) {
+        uint64_t lo = static_cast<uint64_t>(std::min(e.u, e.v));
+        uint64_t hi = static_cast<uint64_t>(std::max(e.u, e.v));
+        if (seen.insert((hi << 32) | lo).second) {
+          edges.push_back(CoverEdge{e.u, e.v, e.weight,
+                                    mention_tokens(e.u) +
+                                        mention_tokens(e.v)});
+        }
+      }
+    }
+  }
+  // Ascending semantic distance; among equally confident edges the more
+  // informative (longer) mentions win, so an unambiguous long-text variant
+  // ("Fellow of the AAAS") pre-empts its equally unambiguous fragments —
+  // the preference Sec. 1 motivates.
+  auto edge_order = [this](const CoverEdge& a, const CoverEdge& b) {
+    if (a.weight != b.weight) return a.weight < b.weight;
+    if (options_.informative_tie_break &&
+        a.informativeness != b.informativeness) {
+      return a.informativeness > b.informativeness;
+    }
+    if (a.u != b.u) return a.u < b.u;
+    return a.v < b.v;
+  };
+  if (options_.global_kruskal_order) {
+    std::sort(edges.begin(), edges.end(), edge_order);
+  } else {
+    // Ablation: sweep each tree separately (sorted within), in mention
+    // order.  Sec. 5.2 argues this biases results by processing order.
+    std::vector<CoverEdge> sequential;
+    sequential.reserve(edges.size());
+    std::unordered_set<uint64_t> appended;
+    for (const CoverTree& tree : cover.trees) {
+      std::vector<CoverEdge> tree_edges;
+      for (const graph::Edge& e : tree.edges) {
+        tree_edges.push_back(CoverEdge{e.u, e.v, e.weight,
+                                       mention_tokens(e.u) +
+                                           mention_tokens(e.v)});
+      }
+      std::sort(tree_edges.begin(), tree_edges.end(), edge_order);
+      for (const CoverEdge& e : tree_edges) {
+        uint64_t lo = static_cast<uint64_t>(std::min(e.u, e.v));
+        uint64_t hi = static_cast<uint64_t>(std::max(e.u, e.v));
+        if (appended.insert((hi << 32) | lo).second) {
+          sequential.push_back(e);
+        }
+      }
+    }
+    edges = std::move(sequential);
+  }
+
+  // ---- Canopy bookkeeping (the mapping M of Algorithm 5) -----------------
+  // recorded[g][k]: mention -> concept node recorded for canopy k of group
+  // g; the first (lightest-edge) recording per mention wins.
+  std::vector<std::vector<std::unordered_map<int, int>>> recorded(
+      mentions.num_groups());
+  for (int g = 0; g < mentions.num_groups(); ++g) {
+    recorded[g].resize(mentions.groups[g].canopies.size());
+  }
+
+  std::unordered_set<int> selected_nodes;  // Gamma.values()
+  int unresolved_groups = mentions.num_groups();
+
+  auto process_pair = [&](int mention, int concept_node) {
+    const int g = mentions.mention(mention).group;
+    if (result.group_resolved[g]) return;  // pruning strategy 3
+    const MentionGroup& group = mentions.groups[g];
+    for (size_t k = 0; k < group.canopies.size(); ++k) {
+      const Canopy& canopy = group.canopies[k];
+      bool contains = std::find(canopy.mentions.begin(),
+                                canopy.mentions.end(),
+                                mention) != canopy.mentions.end();
+      if (!contains) continue;
+      std::unordered_map<int, int>& slot = recorded[g][k];
+      slot.emplace(mention, concept_node);  // first recording wins
+      size_t required;
+      if (group_has_fully_linkable[g]) {
+        required = canopy.mentions.size();  // strict completion
+      } else {
+        required = 0;
+        for (int member : canopy.mentions) {
+          if (linkable(member)) ++required;
+        }
+      }
+      if (required > 0 && slot.size() == required) {
+        // Canopy complete: commit to Gamma and resolve the group.
+        for (const auto& [m, node] : slot) {
+          result.selected_node.emplace(m, node);
+          selected_nodes.insert(node);
+        }
+        result.group_resolved[g] = true;
+        result.winning_canopy[g] = static_cast<int>(k);
+        --unresolved_groups;
+        return;
+      }
+    }
+  };
+
+  // ---- Kruskal-style sweep ------------------------------------------------
+  for (const CoverEdge& edge : edges) {
+    if (options_.early_termination && unresolved_groups == 0) {
+      break;  // pruning strategy 4
+    }
+
+    const bool u_is_mention = cg.IsMentionNode(edge.u);
+    const bool v_is_mention = cg.IsMentionNode(edge.v);
+    if (u_is_mention || v_is_mention) {
+      // Mention-candidate edge.
+      int mention = u_is_mention ? edge.u : edge.v;
+      int concept_node = u_is_mention ? edge.v : edge.u;
+      if (result.IsLinked(mention)) continue;  // pruning strategy 1
+      process_pair(mention, concept_node);
+      continue;
+    }
+
+    // Concept-concept edge.
+    const int mention_u = cg.MentionOfNode(edge.u);
+    const int mention_v = cg.MentionOfNode(edge.v);
+    const bool u_linked = result.IsLinked(mention_u);
+    const bool v_linked = result.IsLinked(mention_v);
+    if (!u_linked && !v_linked) {
+      process_pair(mention_u, edge.u);
+      process_pair(mention_v, edge.v);
+    } else if (selected_nodes.count(edge.u) > 0 && !v_linked) {
+      // The chosen concept u vouches for its neighbor v.
+      process_pair(mention_v, edge.v);
+    } else if (selected_nodes.count(edge.v) > 0 && !u_linked) {
+      process_pair(mention_u, edge.u);
+    }
+    // Otherwise: a linked mention's non-selected candidate, or both linked
+    // already — discard (pruning strategy 2).
+  }
+  return result;
+}
+
+}  // namespace core
+}  // namespace tenet

@@ -1,0 +1,117 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace tenet {
+namespace core {
+
+TenetPipeline::TenetPipeline(const kb::KnowledgeBase* kb,
+                             const embedding::EmbeddingStore* embeddings,
+                             const text::Gazetteer* gazetteer,
+                             TenetOptions options)
+    : kb_(kb),
+      embeddings_(embeddings),
+      gazetteer_(gazetteer),
+      options_(options),
+      graph_builder_(kb, embeddings, options.graph),
+      disambiguator_(options.disambiguator) {
+  TENET_CHECK(gazetteer != nullptr);
+  TENET_CHECK_GT(options_.bound_factor, 0.0);
+}
+
+Result<LinkingResult> TenetPipeline::LinkDocument(
+    std::string_view document_text) const {
+  WallTimer timer;
+  text::Extractor extractor(gazetteer_);
+  text::ExtractionResult extraction =
+      extractor.ExtractFromText(document_text);
+  double extract_ms = timer.ElapsedMillis();
+
+  TENET_ASSIGN_OR_RETURN(LinkingResult result, LinkExtraction(extraction));
+  result.timings.extract_ms = extract_ms;
+  return result;
+}
+
+Result<LinkingResult> TenetPipeline::LinkExtraction(
+    const text::ExtractionResult& extraction) const {
+  MentionSet mentions =
+      BuildMentionSet(extraction, gazetteer_, options_.canopy);
+  return LinkMentionSet(std::move(mentions));
+}
+
+Result<LinkingResult> TenetPipeline::LinkMentionSet(
+    MentionSet mentions) const {
+  LinkingResult result;
+  if (mentions.num_mentions() == 0) {
+    result.mentions = std::move(mentions);
+    return result;
+  }
+
+  WallTimer timer;
+  CoherenceGraph cg = graph_builder_.Build(std::move(mentions));
+  result.timings.graph_ms = timer.ElapsedMillis();
+
+  // B = bound_factor * |M| (Sec. 6.1), doubling on the failure warning.
+  timer.Restart();
+  double bound = options_.bound_factor * cg.num_mentions();
+  Result<TreeCover> cover = Status::Internal("unsolved");
+  for (int attempt = 0; attempt <= options_.max_bound_retries; ++attempt) {
+    cover = solver_.Solve(cg, bound, &result.cover_stats);
+    if (cover.ok() || !cover.status().IsBoundTooSmall()) break;
+    bound *= 2.0;
+  }
+  if (!cover.ok()) return cover.status();
+  result.used_bound = bound;
+  result.timings.cover_ms = timer.ElapsedMillis();
+
+  timer.Restart();
+  DisambiguationResult gamma = disambiguator_.Run(cg, cover.value());
+  result.timings.disambiguate_ms = timer.ElapsedMillis();
+
+  // ---- Assemble the output -------------------------------------------------
+  const MentionSet& universe = cg.mentions();
+  for (const auto& [mention_id, node] : gamma.selected_node) {
+    const CoherenceGraph::ConceptNode& cn = cg.concept_node(node);
+    LinkedConcept link;
+    link.mention_id = mention_id;
+    link.surface = universe.mention(mention_id).surface;
+    link.kind = universe.mention(mention_id).kind;
+    link.concept_ref = cn.ref;
+    link.prior = cn.prior;
+    result.links.push_back(std::move(link));
+    result.selected_mentions.push_back(mention_id);
+  }
+  std::sort(result.links.begin(), result.links.end(),
+            [](const LinkedConcept& a, const LinkedConcept& b) {
+              return a.mention_id < b.mention_id;
+            });
+
+  // Isolated / emerging concepts: unlinked members of a resolved group's
+  // winning canopy (e.g. the non-linkable "April" next to "Brooklyn"), and
+  // the default all-short segmentation of groups that never resolved.
+  for (int g = 0; g < universe.num_groups(); ++g) {
+    const std::vector<int>& selected_reading =
+        gamma.group_resolved[g]
+            ? universe.groups[g].canopies[gamma.winning_canopy[g]].mentions
+            : universe.groups[g].short_mentions;
+    for (int mention_id : selected_reading) {
+      if (!gamma.IsLinked(mention_id)) {
+        result.isolated_mentions.push_back(mention_id);
+        result.selected_mentions.push_back(mention_id);
+      }
+    }
+  }
+  std::sort(result.selected_mentions.begin(),
+            result.selected_mentions.end());
+  std::sort(result.isolated_mentions.begin(),
+            result.isolated_mentions.end());
+
+  result.mentions = cg.mentions();  // copy out the universe
+  return result;
+}
+
+}  // namespace core
+}  // namespace tenet

@@ -1,0 +1,114 @@
+#ifndef TENET_CORE_PIPELINE_H_
+#define TENET_CORE_PIPELINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "core/canopy.h"
+#include "core/coherence_graph.h"
+#include "core/disambiguator.h"
+#include "core/mention.h"
+#include "core/tree_cover.h"
+#include "embedding/embedding_store.h"
+#include "kb/knowledge_base.h"
+#include "text/extraction.h"
+#include "text/gazetteer.h"
+
+namespace tenet {
+namespace core {
+
+// End-to-end configuration of TENET.
+struct TenetOptions {
+  CoherenceGraphOptions graph;
+  CanopyOptions canopy;
+  DisambiguatorOptions disambiguator;
+  /// Tree-cost bound B = bound_factor * |M| (the paper sets B to |M|).
+  double bound_factor = 1.0;
+  /// On a failure warning (B < B*), B doubles up to this many times.
+  int max_bound_retries = 6;
+};
+
+// One linked mention of the final output.
+struct LinkedConcept {
+  int mention_id = -1;
+  std::string surface;
+  Mention::Kind kind = Mention::Kind::kNoun;
+  kb::ConceptRef concept_ref;
+  /// Prior P(c|m) of the chosen candidate (diagnostic).
+  double prior = 0.0;
+};
+
+// Stage timings in milliseconds (Figure 7).
+struct PipelineTimings {
+  double extract_ms = 0.0;
+  double graph_ms = 0.0;
+  double cover_ms = 0.0;
+  double disambiguate_ms = 0.0;
+
+  double TotalMs() const {
+    return extract_ms + graph_ms + cover_ms + disambiguate_ms;
+  }
+};
+
+// Full output of linking one document.
+struct LinkingResult {
+  /// The mention universe considered (short mentions, long-text variants,
+  /// relational phrases).
+  MentionSet mentions;
+  /// Mentions linked to a KB concept.
+  std::vector<LinkedConcept> links;
+  /// Selected mentions reported as isolated / emerging concepts (no
+  /// linkable counterpart in the KB).
+  std::vector<int> isolated_mentions;
+  /// Mention-detection output: ids of linked + isolated mentions.
+  std::vector<int> selected_mentions;
+  /// The bound B that produced the cover.
+  double used_bound = 0.0;
+  TreeCoverStats cover_stats;
+  PipelineTimings timings;
+};
+
+// TENET: tree-cover based joint entity and relation linking.
+//
+// Example:
+//   TenetPipeline tenet(&world.kb, &embeddings, &world.gazetteer);
+//   auto result = tenet.LinkDocument("Michael Jordan studies ...");
+//   for (const LinkedConcept& link : result->links) ...
+class TenetPipeline {
+ public:
+  /// All pointers must be non-null, finalized, and outlive the pipeline.
+  TenetPipeline(const kb::KnowledgeBase* kb,
+                const embedding::EmbeddingStore* embeddings,
+                const text::Gazetteer* gazetteer, TenetOptions options = {});
+
+  /// Runs the whole stack: extraction -> mention set -> coherence graph ->
+  /// tree cover -> disambiguation.
+  Result<LinkingResult> LinkDocument(std::string_view document_text) const;
+
+  /// Starts from a ready extraction (used by evaluations that fix the
+  /// mention detection stage).
+  Result<LinkingResult> LinkExtraction(
+      const text::ExtractionResult& extraction) const;
+
+  /// Starts from a ready mention universe (used by the disambiguation-only
+  /// evaluation, where gold mentions are given as input).
+  Result<LinkingResult> LinkMentionSet(MentionSet mentions) const;
+
+  const TenetOptions& options() const { return options_; }
+
+ private:
+  const kb::KnowledgeBase* kb_;
+  const embedding::EmbeddingStore* embeddings_;
+  const text::Gazetteer* gazetteer_;
+  TenetOptions options_;
+  CoherenceGraphBuilder graph_builder_;
+  TreeCoverSolver solver_;
+  Disambiguator disambiguator_;
+};
+
+}  // namespace core
+}  // namespace tenet
+
+#endif  // TENET_CORE_PIPELINE_H_

@@ -1,0 +1,122 @@
+#include "core/population.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tenet {
+namespace core {
+
+KbPopulator::KbPopulator(const kb::KnowledgeBase* kb) : kb_(kb) {
+  TENET_CHECK(kb != nullptr);
+  TENET_CHECK(kb->finalized());
+}
+
+bool KbPopulator::FactKnown(kb::EntityId subject, kb::PredicateId predicate,
+                            kb::EntityId object) const {
+  for (int32_t fact_index : kb_->FactsOfEntity(subject)) {
+    const kb::Triple& t = kb_->facts()[fact_index];
+    if (t.predicate != predicate || !t.object_is_entity) continue;
+    if ((t.subject == subject && t.object_entity == object) ||
+        (t.subject == object && t.object_entity == subject)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<FactCandidate> KbPopulator::HarvestFacts(
+    const LinkingResult& result) const {
+  // sentence -> linked entities (document order) / predicates.
+  std::map<int, std::vector<kb::EntityId>> entities_by_sentence;
+  std::map<int, std::vector<kb::PredicateId>> predicates_by_sentence;
+  for (const LinkedConcept& link : result.links) {
+    const Mention& mention = result.mentions.mention(link.mention_id);
+    for (int s : mention.sentences) {
+      if (link.kind == Mention::Kind::kNoun) {
+        entities_by_sentence[s].push_back(link.concept_ref.id);
+      } else {
+        predicates_by_sentence[s].push_back(link.concept_ref.id);
+      }
+    }
+  }
+  std::vector<FactCandidate> facts;
+  for (const auto& [sentence, predicates] : predicates_by_sentence) {
+    auto it = entities_by_sentence.find(sentence);
+    if (it == entities_by_sentence.end() || it->second.size() < 2) continue;
+    for (kb::PredicateId p : predicates) {
+      FactCandidate fact;
+      fact.subject = it->second[0];
+      fact.predicate = p;
+      fact.object = it->second[1];
+      if (fact.subject == fact.object) continue;
+      fact.already_known = FactKnown(fact.subject, p, fact.object);
+      if (std::find(facts.begin(), facts.end(), fact) == facts.end()) {
+        facts.push_back(fact);
+      }
+    }
+  }
+  return facts;
+}
+
+std::vector<EmergingEntity> KbPopulator::HarvestEmergingEntities(
+    const LinkingResult& result) const {
+  std::vector<EmergingEntity> out;
+  for (int m : result.isolated_mentions) {
+    const Mention& mention = result.mentions.mention(m);
+    if (!mention.is_noun()) continue;
+    EmergingEntity entity;
+    entity.surface = mention.surface;
+    out.push_back(std::move(entity));
+  }
+  return out;
+}
+
+void KbPopulator::Accumulate(const LinkingResult& result,
+                             PopulationReport* report) const {
+  TENET_CHECK(report != nullptr);
+  for (const FactCandidate& fact : HarvestFacts(result)) {
+    auto it = std::find(report->facts.begin(), report->facts.end(), fact);
+    if (it != report->facts.end()) {
+      ++it->support;
+    } else {
+      report->facts.push_back(fact);
+    }
+  }
+  for (const EmergingEntity& entity : HarvestEmergingEntities(result)) {
+    bool merged = false;
+    for (EmergingEntity& existing : report->entities) {
+      if (EqualsIgnoreCase(existing.surface, entity.surface)) {
+        ++existing.support;
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) report->entities.push_back(entity);
+  }
+}
+
+int KbPopulator::ApplyToKb(const PopulationReport& report, int min_support,
+                           kb::EntityType emerging_type,
+                           kb::KnowledgeBase* target) const {
+  TENET_CHECK(target != nullptr);
+  TENET_CHECK(!target->finalized())
+      << "population must be applied before Finalize";
+  for (const EmergingEntity& entity : report.entities) {
+    if (entity.support < min_support) continue;
+    target->AddEntity(entity.surface, emerging_type);
+  }
+  int added = 0;
+  for (const FactCandidate& fact : report.facts) {
+    if (fact.already_known || fact.support < min_support) continue;
+    if (target->AddFact(fact.subject, fact.predicate, fact.object).ok()) {
+      ++added;
+    }
+  }
+  return added;
+}
+
+}  // namespace core
+}  // namespace tenet

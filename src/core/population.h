@@ -1,0 +1,95 @@
+#ifndef TENET_CORE_POPULATION_H_
+#define TENET_CORE_POPULATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "kb/knowledge_base.h"
+
+namespace tenet {
+namespace core {
+
+// Knowledge-base population on top of joint linking — the downstream task
+// the paper's introduction motivates (and the home turf of the QKBfly /
+// KBPearl baselines): turn linking results into
+//   * candidate facts: (subject, predicate, object) triples whose three
+//     phrases were linked within one sentence, and
+//   * emerging entities: isolated noun phrases proposed for KB insertion.
+
+// One candidate fact harvested from a document.
+struct FactCandidate {
+  kb::EntityId subject = kb::kInvalidEntity;
+  kb::PredicateId predicate = kb::kInvalidPredicate;
+  kb::EntityId object = kb::kInvalidEntity;
+  /// True when an equivalent fact (either orientation) already exists.
+  bool already_known = false;
+  /// Number of sentences across the corpus supporting this triple.
+  int support = 1;
+
+  friend bool operator==(const FactCandidate& a, const FactCandidate& b) {
+    return a.subject == b.subject && a.predicate == b.predicate &&
+           a.object == b.object;
+  }
+};
+
+// One emerging (isolated) entity candidate.
+struct EmergingEntity {
+  std::string surface;
+  /// Documents the surface appeared in as an isolated concept.
+  int support = 1;
+};
+
+// Accumulated population output over a corpus.
+struct PopulationReport {
+  std::vector<FactCandidate> facts;       // deduplicated, support-counted
+  std::vector<EmergingEntity> entities;   // deduplicated, support-counted
+
+  int NumNewFacts() const {
+    int n = 0;
+    for (const FactCandidate& f : facts) n += f.already_known ? 0 : 1;
+    return n;
+  }
+};
+
+// Harvests population candidates from linking results.  Stateless per
+// document; Accumulate() merges documents into a corpus-level report.
+class KbPopulator {
+ public:
+  /// `kb` must outlive the populator (used for the already-known check).
+  explicit KbPopulator(const kb::KnowledgeBase* kb);
+
+  /// Facts extractable from one linking result: for every sentence with a
+  /// linked relational phrase and at least two linked noun phrases, the
+  /// first two entities (document order) form the triple's arguments.
+  std::vector<FactCandidate> HarvestFacts(
+      const LinkingResult& result) const;
+
+  /// Isolated noun phrases of one result.
+  std::vector<EmergingEntity> HarvestEmergingEntities(
+      const LinkingResult& result) const;
+
+  /// Merges one document's harvest into `report`, deduplicating triples
+  /// and surfaces and accumulating support counts.
+  void Accumulate(const LinkingResult& result, PopulationReport* report) const;
+
+  /// Applies a report to a *new* KB under construction: inserts each
+  /// emerging entity (with the given default type) and each new fact whose
+  /// support reaches `min_support`.  Returns the number of facts added.
+  /// The target ids must match the source KB's (i.e. `target` should be a
+  /// clone built from the same data); entity ids for emerging entities are
+  /// freshly assigned.
+  int ApplyToKb(const PopulationReport& report, int min_support,
+                kb::EntityType emerging_type, kb::KnowledgeBase* target) const;
+
+ private:
+  bool FactKnown(kb::EntityId subject, kb::PredicateId predicate,
+                 kb::EntityId object) const;
+
+  const kb::KnowledgeBase* kb_;
+};
+
+}  // namespace core
+}  // namespace tenet
+
+#endif  // TENET_CORE_POPULATION_H_

@@ -1,0 +1,313 @@
+#include "core/tree_cover.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "core/tree_split.h"
+#include "graph/dijkstra.h"
+#include "graph/hopcroft_karp.h"
+#include "graph/mst.h"
+#include "graph/tree.h"
+
+namespace tenet {
+namespace core {
+namespace {
+
+// Accumulates distinct edges/nodes of one cover tree.
+class CoverTreeAccumulator {
+ public:
+  explicit CoverTreeAccumulator(int root) {
+    tree_.root = root;
+    AddNode(root);
+  }
+
+  void AddNode(int node) {
+    if (seen_nodes_.insert(node).second) tree_.nodes.push_back(node);
+  }
+
+  void AddEdge(int u, int v, double weight) {
+    uint64_t lo = static_cast<uint64_t>(std::min(u, v));
+    uint64_t hi = static_cast<uint64_t>(std::max(u, v));
+    if (!seen_edges_.insert((hi << 32) | lo).second) return;
+    tree_.edges.push_back(graph::Edge{u, v, weight});
+    tree_.weight += weight;
+    AddNode(u);
+    AddNode(v);
+  }
+
+  void AddTree(const graph::RootedTree& t) {
+    AddNode(t.root());
+    for (const graph::TreeEdge& e : t.edges()) {
+      AddEdge(e.parent, e.child, e.weight);
+    }
+  }
+
+  CoverTree Take() { return std::move(tree_); }
+
+ private:
+  CoverTree tree_;
+  std::unordered_set<int> seen_nodes_;
+  std::unordered_set<uint64_t> seen_edges_;
+};
+
+}  // namespace
+
+double TreeCover::Cost() const {
+  double cost = 0.0;
+  for (const CoverTree& t : trees) cost = std::max(cost, t.weight);
+  return cost;
+}
+
+int TreeCover::TotalEdges() const {
+  int total = 0;
+  for (const CoverTree& t : trees) total += static_cast<int>(t.edges.size());
+  return total;
+}
+
+Result<TreeCover> TreeCoverSolver::Solve(const CoherenceGraph& cg,
+                                         double bound,
+                                         TreeCoverStats* stats) const {
+  if (bound <= 0.0) {
+    return Status::InvalidArgument("tree cover bound must be positive");
+  }
+  const int num_mentions = cg.num_mentions();
+  const int num_concepts = cg.num_concept_nodes();
+
+  TreeCover cover;
+  cover.trees.resize(num_mentions);
+  for (int m = 0; m < num_mentions; ++m) {
+    cover.trees[m].root = m;
+    cover.trees[m].nodes = {m};
+  }
+  if (num_concepts == 0) return cover;  // every mention isolated
+
+  // ---- Step (a): edge pruning --------------------------------------------
+  graph::WeightedGraph pruned = cg.graph().PrunedCopy(bound);
+  if (stats != nullptr) {
+    stats->pruned_edges = cg.graph().num_edges() - pruned.num_edges();
+  }
+
+  // ---- Step (b): major root node contraction -----------------------------
+  // Contracted node 0 is r; contracted node j+1 is concept node
+  // (num_mentions + j) of the coherence graph.
+  graph::WeightedGraph contracted(num_concepts + 1);
+  std::vector<int> star_mention(num_concepts, -1);
+  std::vector<double> star_weight(num_concepts,
+                                  std::numeric_limits<double>::infinity());
+  for (const graph::Edge& e : pruned.edges()) {
+    const bool u_is_mention = e.u < num_mentions;
+    const bool v_is_mention = e.v < num_mentions;
+    TENET_DCHECK(!(u_is_mention && v_is_mention));
+    if (u_is_mention || v_is_mention) {
+      int mention = u_is_mention ? e.u : e.v;
+      int concept_local = (u_is_mention ? e.v : e.u) - num_mentions;
+      contracted.AddEdge(0, concept_local + 1, e.weight);
+      if (e.weight < star_weight[concept_local]) {
+        star_weight[concept_local] = e.weight;
+        star_mention[concept_local] = mention;
+      }
+    } else {
+      contracted.AddEdge(e.u - num_mentions + 1, e.v - num_mentions + 1,
+                         e.weight);
+    }
+  }
+
+  // ---- Step (c): MST (Kruskal order; see Sec. 4.2 discussion) ------------
+  graph::SpanningForest mst = graph::KruskalMst(contracted);
+  if (!mst.spans_all) {
+    return Status::BoundTooSmall(
+        "pruned contracted graph is disconnected; B below B*");
+  }
+  if (stats != nullptr) {
+    stats->mst_edges = static_cast<int>(mst.edge_indices.size());
+  }
+
+  // ---- Step (d): decompose r back into the mentions ----------------------
+  // Components of MST \ {r}; each hangs off exactly one star edge.
+  std::vector<std::vector<std::pair<int, double>>> mst_adj(num_concepts + 1);
+  std::vector<std::pair<int, double>> root_edges;  // (concept_local+1, w)
+  for (int edge_index : mst.edge_indices) {
+    const graph::Edge& e = contracted.edges()[edge_index];
+    if (e.u == 0 || e.v == 0) {
+      root_edges.emplace_back(e.u == 0 ? e.v : e.u, e.weight);
+    } else {
+      mst_adj[e.u].emplace_back(e.v, e.weight);
+      mst_adj[e.v].emplace_back(e.u, e.weight);
+    }
+  }
+
+  std::vector<graph::RootedTree> mention_trees;
+  std::vector<int> tree_owner;  // mention id per decomposed tree
+  {
+    std::vector<bool> visited(num_concepts + 1, false);
+    for (const auto& [entry, entry_weight] : root_edges) {
+      TENET_CHECK(!visited[entry])
+          << "component attached to r by two star edges (cycle in MST)";
+      int concept_local = entry - 1;
+      int mention = star_mention[concept_local];
+      TENET_DCHECK(mention >= 0);
+      // Collect the component as oriented edges in coherence-graph ids.
+      std::vector<graph::TreeEdge> edges;
+      edges.push_back(graph::TreeEdge{
+          mention, num_mentions + concept_local, entry_weight});
+      std::vector<int> stack{entry};
+      visited[entry] = true;
+      while (!stack.empty()) {
+        int node = stack.back();
+        stack.pop_back();
+        for (const auto& [next, w] : mst_adj[node]) {
+          if (visited[next]) continue;
+          visited[next] = true;
+          edges.push_back(graph::TreeEdge{num_mentions + node - 1,
+                                          num_mentions + next - 1, w});
+          stack.push_back(next);
+        }
+      }
+      Result<graph::RootedTree> tree =
+          graph::RootedTree::FromOrientedEdges(mention, edges);
+      TENET_CHECK(tree.ok()) << tree.status();
+      mention_trees.push_back(std::move(tree).value());
+      tree_owner.push_back(mention);
+    }
+  }
+
+  // A mention may own several components (it was the cheapest root edge of
+  // several) — merge them into one tree rooted at the mention.
+  // std::map keeps mention iteration order deterministic across platforms.
+  std::map<int, std::vector<graph::TreeEdge>> edges_by_mention;
+  for (size_t t = 0; t < mention_trees.size(); ++t) {
+    std::vector<graph::TreeEdge>& bucket = edges_by_mention[tree_owner[t]];
+    const std::vector<graph::TreeEdge>& edges = mention_trees[t].edges();
+    bucket.insert(bucket.end(), edges.begin(), edges.end());
+  }
+
+  // ---- Step (e): tree splitting ------------------------------------------
+  struct OwnedSubtree {
+    int owner;  // mention whose decomposed tree it was carved from
+    graph::RootedTree tree;
+  };
+  std::vector<OwnedSubtree> subtrees;
+  std::vector<graph::RootedTree> leftovers;
+  std::vector<int> leftover_owner;
+  for (auto& [mention, edges] : edges_by_mention) {
+    Result<graph::RootedTree> tree =
+        graph::RootedTree::FromOrientedEdges(mention, edges);
+    TENET_CHECK(tree.ok()) << tree.status();
+    Result<SplitResult> split = SplitTree(tree.value(), bound);
+    TENET_CHECK(split.ok()) << split.status();
+    leftovers.push_back(std::move(split.value().leftover));
+    leftover_owner.push_back(mention);
+    for (graph::RootedTree& s : split.value().subtrees) {
+      subtrees.push_back(OwnedSubtree{mention, std::move(s)});
+    }
+  }
+  if (stats != nullptr) {
+    stats->subtrees = static_cast<int>(subtrees.size());
+  }
+
+  std::vector<CoverTreeAccumulator> accumulators;
+  accumulators.reserve(num_mentions);
+  for (int m = 0; m < num_mentions; ++m) accumulators.emplace_back(m);
+  for (size_t i = 0; i < leftovers.size(); ++i) {
+    accumulators[leftover_owner[i]].AddTree(leftovers[i]);
+  }
+
+  // ---- Step (f): maximum matching of subtrees to mentions ----------------
+  if (!subtrees.empty()) {
+    // Shortest paths from every mention in the pruned graph.
+    std::vector<graph::ShortestPaths> paths;
+    paths.reserve(num_mentions);
+    for (int m = 0; m < num_mentions; ++m) {
+      paths.push_back(graph::Dijkstra(pruned, m));
+    }
+    graph::HopcroftKarp matcher(num_mentions,
+                                static_cast<int>(subtrees.size()));
+    // For path reconstruction: the closest subtree node per (mention,
+    // subtree) pair.
+    std::vector<std::vector<int>> closest_node(
+        num_mentions, std::vector<int>(subtrees.size(), -1));
+    for (int m = 0; m < num_mentions; ++m) {
+      for (size_t s = 0; s < subtrees.size(); ++s) {
+        double best = std::numeric_limits<double>::infinity();
+        int best_node = -1;
+        for (int node : subtrees[s].tree.nodes()) {
+          if (paths[m].distance[node] < best) {
+            best = paths[m].distance[node];
+            best_node = node;
+          }
+        }
+        if (best_node >= 0 && best <= bound) {
+          matcher.AddEdge(m, static_cast<int>(s));
+          closest_node[m][s] = best_node;
+        }
+      }
+    }
+    int matched = matcher.MaxMatching();
+    if (matched < static_cast<int>(subtrees.size())) {
+      return Status::BoundTooSmall(
+          "maximum matching cannot assign every subtree; B below B*");
+    }
+    if (stats != nullptr) stats->matched_subtrees = matched;
+
+    for (size_t s = 0; s < subtrees.size(); ++s) {
+      int mention = matcher.MatchOfRight(static_cast<int>(s));
+      TENET_DCHECK(mention >= 0);
+      CoverTreeAccumulator& acc = accumulators[mention];
+      acc.AddTree(subtrees[s].tree);
+      // Shortest path mention -> subtree.
+      std::vector<int> path =
+          paths[mention].PathTo(pruned, closest_node[mention][s]);
+      for (size_t i = 1; i < path.size(); ++i) {
+        acc.AddEdge(path[i - 1], path[i],
+                    pruned.EdgeWeight(path[i - 1], path[i], 0.0));
+      }
+    }
+  }
+
+  for (int m = 0; m < num_mentions; ++m) {
+    cover.trees[m] = accumulators[m].Take();
+  }
+  if (stats != nullptr) stats->cover_total_edges = cover.TotalEdges();
+  return cover;
+}
+
+Result<std::pair<double, TreeCover>> SolveWithMinimalBound(
+    const TreeCoverSolver& solver, const CoherenceGraph& cg,
+    double initial_bound, double tolerance) {
+  if (initial_bound <= 0.0) {
+    return Status::InvalidArgument("initial bound must be positive");
+  }
+  double hi = initial_bound;
+  Result<TreeCover> at_hi = solver.Solve(cg, hi);
+  int guard = 0;
+  while (!at_hi.ok()) {
+    if (!at_hi.status().IsBoundTooSmall() || ++guard > 64) {
+      return at_hi.status();
+    }
+    hi *= 2.0;
+    at_hi = solver.Solve(cg, hi);
+  }
+  double lo = 0.0;
+  // Bisect [lo, hi); hi always feasible.
+  while (hi - lo > tolerance * hi) {
+    double mid = (lo + hi) / 2.0;
+    if (mid <= 0.0) break;
+    Result<TreeCover> at_mid = solver.Solve(cg, mid);
+    if (at_mid.ok()) {
+      hi = mid;
+      at_hi = std::move(at_mid);
+    } else if (at_mid.status().IsBoundTooSmall()) {
+      lo = mid;
+    } else {
+      return at_mid.status();
+    }
+  }
+  return std::make_pair(hi, std::move(at_hi).value());
+}
+
+}  // namespace core
+}  // namespace tenet

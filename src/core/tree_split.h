@@ -1,0 +1,44 @@
+#ifndef TENET_CORE_TREE_SPLIT_H_
+#define TENET_CORE_TREE_SPLIT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/tree.h"
+
+namespace tenet {
+namespace core {
+
+// Output of tree splitting (Algorithms 2 and 3): the leftover tree L_i
+// containing the root mention, plus zero or more carved-off subtrees.
+struct SplitResult {
+  /// The leftover tree; always contains the original root and has weight
+  /// omega(L) <= B.
+  graph::RootedTree leftover = graph::RootedTree::Singleton(0);
+  /// Carved subtrees; each has weight omega(S) in (B, 2B].  A subtree's
+  /// root may be shared with the leftover or another subtree (trees of a
+  /// cover may share nodes, Definition 6).
+  std::vector<graph::RootedTree> subtrees;
+};
+
+// Splits `tree` under the bound `bound`, establishing the invariants of
+// Algorithms 2 and 3:
+//   * omega(leftover) <= bound and root(tree) in leftover;
+//   * every subtree weight lies in (bound, 2*bound];
+//   * the union of leftover and subtree edges is exactly the edges of
+//     `tree` (each edge appears once).
+//
+// The implementation is a single post-order recursion rather than the
+// paper's two-procedure stack formulation; see DESIGN.md (Faithfulness
+// notes) — the published pseudo-code can return a leftover in (B, 2B],
+// contradicting its own output contract, while this recursion provably
+// establishes it whenever every edge weight is <= bound.
+//
+// Fails with InvalidArgument when some edge weighs more than `bound`
+// (Algorithm 1 step (a) guarantees pruned inputs) or bound <= 0.
+Result<SplitResult> SplitTree(const graph::RootedTree& tree, double bound);
+
+}  // namespace core
+}  // namespace tenet
+
+#endif  // TENET_CORE_TREE_SPLIT_H_

@@ -1,0 +1,43 @@
+#ifndef TENET_DATASETS_CORPUS_GENERATOR_H_
+#define TENET_DATASETS_CORPUS_GENERATOR_H_
+
+#include <string>
+
+#include "common/rng.h"
+#include "datasets/document.h"
+#include "datasets/spec.h"
+#include "kb/synthetic_kb.h"
+
+namespace tenet {
+namespace datasets {
+
+// Renders annotated synthetic documents over a synthetic KB, reproducing
+// the statistical profile of a DatasetSpec: mentions per document,
+// non-linkable fractions (Table 2), ambiguity level, document length, and
+// the sparse-coherence structure (a coherent core domain plus isolated
+// entities from foreign domains).
+//
+// The generator and the extraction pipeline share the wordlists grammar the
+// way the paper's corpora and NLP tools share English: documents are plain
+// text; nothing about the gold segmentation is leaked to the extractor.
+class CorpusGenerator {
+ public:
+  /// `world` must be finalized and outlive the generator.
+  explicit CorpusGenerator(const kb::SyntheticKb* world);
+
+  /// Generates a full dataset according to `spec`.
+  Dataset Generate(const DatasetSpec& spec, Rng& rng) const;
+
+  /// Generates a single document; exposed for the scaling experiments
+  /// (Figure 7) which sweep per-document parameters directly.
+  Document GenerateDocument(const DatasetSpec& spec, std::string doc_id,
+                            bool advertisement, Rng& rng) const;
+
+ private:
+  const kb::SyntheticKb* world_;
+};
+
+}  // namespace datasets
+}  // namespace tenet
+
+#endif  // TENET_DATASETS_CORPUS_GENERATOR_H_

@@ -1,0 +1,75 @@
+#ifndef TENET_DATASETS_DOCUMENT_H_
+#define TENET_DATASETS_DOCUMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "kb/types.h"
+
+namespace tenet {
+namespace datasets {
+
+// Ground-truth annotation of one noun phrase occurrence.  `entity` is
+// kInvalidEntity for non-linkable (emerging / out-of-KB) phrases, which the
+// datasets of Table 2 contain in quantity.
+struct GoldEntityLink {
+  std::string surface;
+  int sentence = 0;
+  kb::EntityId entity = kb::kInvalidEntity;
+
+  bool linkable() const { return entity != kb::kInvalidEntity; }
+};
+
+// Ground-truth annotation of one relational phrase (already lemmatized).
+struct GoldPredicateLink {
+  std::string lemma;
+  int sentence = 0;
+  kb::PredicateId predicate = kb::kInvalidPredicate;
+
+  bool linkable() const { return predicate != kb::kInvalidPredicate; }
+};
+
+// One annotated document.
+struct Document {
+  std::string id;
+  std::string text;
+  int num_words = 0;
+  /// True for the advertisement-domain News articles with extra fresh
+  /// phrases (Sec. 6.2, detection of isolated concepts).
+  bool advertisement = false;
+  std::vector<GoldEntityLink> gold_entities;
+  std::vector<GoldPredicateLink> gold_predicates;
+
+  int NumLinkableEntities() const {
+    int n = 0;
+    for (const GoldEntityLink& g : gold_entities) n += g.linkable() ? 1 : 0;
+    return n;
+  }
+  int NumNonLinkableEntities() const {
+    return static_cast<int>(gold_entities.size()) - NumLinkableEntities();
+  }
+  int NumLinkablePredicates() const {
+    int n = 0;
+    for (const GoldPredicateLink& g : gold_predicates) {
+      n += g.linkable() ? 1 : 0;
+    }
+    return n;
+  }
+  int NumNonLinkablePredicates() const {
+    return static_cast<int>(gold_predicates.size()) -
+           NumLinkablePredicates();
+  }
+};
+
+// A full annotated corpus.
+struct Dataset {
+  std::string name;
+  /// True when relational phrases are annotated (News, T-REx42).
+  bool has_relation_gold = false;
+  std::vector<Document> documents;
+};
+
+}  // namespace datasets
+}  // namespace tenet
+
+#endif  // TENET_DATASETS_DOCUMENT_H_

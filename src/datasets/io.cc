@@ -1,0 +1,205 @@
+#include "datasets/io.h"
+
+#include <fstream>
+#include <vector>
+
+namespace tenet {
+namespace datasets {
+namespace {
+
+constexpr char kMagic[] = "TENETDS v1";
+
+bool HasNewlineOrTab(const std::string& s) {
+  return s.find('\n') != std::string::npos ||
+         s.find('\t') != std::string::npos;
+}
+
+Result<std::string> ReadLine(std::istream& in, const char* what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(std::string("unexpected end of file: ") +
+                                   what);
+  }
+  return line;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line, size_t max_fields) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (fields.size() + 1 < max_fields) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) break;
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  fields.push_back(line.substr(start));
+  return fields;
+}
+
+Result<int64_t> ParseInt(const std::string& s, const char* what) {
+  try {
+    size_t consumed = 0;
+    int64_t value = std::stoll(s, &consumed);
+    if (consumed != s.size()) {
+      return Status::InvalidArgument(std::string("trailing garbage in ") +
+                                     what);
+    }
+    return value;
+  } catch (...) {
+    return Status::InvalidArgument(std::string("not an integer: ") + what);
+  }
+}
+
+}  // namespace
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out << kMagic << "\n";
+  out << "name\t" << dataset.name << "\n";
+  out << "relation_gold\t" << (dataset.has_relation_gold ? 1 : 0) << "\n";
+  out << "docs\t" << dataset.documents.size() << "\n";
+  for (const Document& doc : dataset.documents) {
+    if (HasNewlineOrTab(doc.id) || HasNewlineOrTab(doc.text)) {
+      return Status::InvalidArgument(
+          "document id/text contains newline or tab: " + doc.id);
+    }
+    out << "doc\t" << doc.id << '\t' << (doc.advertisement ? 1 : 0) << '\t'
+        << doc.num_words << "\n";
+    out << "text\t" << doc.text << "\n";
+    out << "gold_n\t" << doc.gold_entities.size() << "\n";
+    for (const GoldEntityLink& g : doc.gold_entities) {
+      if (HasNewlineOrTab(g.surface)) {
+        return Status::InvalidArgument("gold surface contains newline/tab");
+      }
+      out << g.sentence << '\t' << g.entity << '\t' << g.surface << "\n";
+    }
+    out << "gold_r\t" << doc.gold_predicates.size() << "\n";
+    for (const GoldPredicateLink& g : doc.gold_predicates) {
+      if (HasNewlineOrTab(g.lemma)) {
+        return Status::InvalidArgument("gold lemma contains newline/tab");
+      }
+      out << g.sentence << '\t' << g.predicate << '\t' << g.lemma << "\n";
+    }
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Result<Dataset> LoadDataset(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  TENET_ASSIGN_OR_RETURN(std::string magic, ReadLine(in, "magic"));
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a TENETDS v1 file: " + path);
+  }
+  Dataset dataset;
+
+  auto expect_field = [&in](const char* tag,
+                            size_t max_fields) -> Result<std::vector<std::string>> {
+    TENET_ASSIGN_OR_RETURN(std::string line, ReadLine(in, tag));
+    std::vector<std::string> fields = SplitTabs(line, max_fields);
+    if (fields.empty() || fields[0] != tag) {
+      return Status::InvalidArgument(std::string("expected ") + tag +
+                                     " line, got: " + line);
+    }
+    return fields;
+  };
+
+  TENET_ASSIGN_OR_RETURN(std::vector<std::string> name_fields,
+                         expect_field("name", 2));
+  if (name_fields.size() != 2) {
+    return Status::InvalidArgument("bad name line");
+  }
+  dataset.name = name_fields[1];
+
+  TENET_ASSIGN_OR_RETURN(std::vector<std::string> rel_fields,
+                         expect_field("relation_gold", 2));
+  if (rel_fields.size() != 2) {
+    return Status::InvalidArgument("bad relation_gold line");
+  }
+  TENET_ASSIGN_OR_RETURN(int64_t has_rel,
+                         ParseInt(rel_fields[1], "relation_gold"));
+  dataset.has_relation_gold = has_rel != 0;
+
+  TENET_ASSIGN_OR_RETURN(std::vector<std::string> docs_fields,
+                         expect_field("docs", 2));
+  if (docs_fields.size() != 2) {
+    return Status::InvalidArgument("bad docs line");
+  }
+  TENET_ASSIGN_OR_RETURN(int64_t num_docs, ParseInt(docs_fields[1], "docs"));
+  if (num_docs < 0) return Status::InvalidArgument("negative docs count");
+
+  for (int64_t d = 0; d < num_docs; ++d) {
+    Document doc;
+    TENET_ASSIGN_OR_RETURN(std::vector<std::string> doc_fields,
+                           expect_field("doc", 4));
+    if (doc_fields.size() != 4) {
+      return Status::InvalidArgument("bad doc line");
+    }
+    doc.id = doc_fields[1];
+    TENET_ASSIGN_OR_RETURN(int64_t ads, ParseInt(doc_fields[2], "ad flag"));
+    doc.advertisement = ads != 0;
+    TENET_ASSIGN_OR_RETURN(int64_t words,
+                           ParseInt(doc_fields[3], "word count"));
+    doc.num_words = static_cast<int>(words);
+
+    TENET_ASSIGN_OR_RETURN(std::vector<std::string> text_fields,
+                           expect_field("text", 2));
+    doc.text = text_fields.size() == 2 ? text_fields[1] : "";
+
+    TENET_ASSIGN_OR_RETURN(std::vector<std::string> gn_fields,
+                           expect_field("gold_n", 2));
+    if (gn_fields.size() != 2) {
+      return Status::InvalidArgument("bad gold_n line");
+    }
+    TENET_ASSIGN_OR_RETURN(int64_t num_gold_n,
+                           ParseInt(gn_fields[1], "gold_n"));
+    for (int64_t i = 0; i < num_gold_n; ++i) {
+      TENET_ASSIGN_OR_RETURN(std::string line, ReadLine(in, "gold noun"));
+      std::vector<std::string> fields = SplitTabs(line, 3);
+      if (fields.size() != 3) {
+        return Status::InvalidArgument("bad gold noun line: " + line);
+      }
+      GoldEntityLink gold;
+      TENET_ASSIGN_OR_RETURN(int64_t sentence,
+                             ParseInt(fields[0], "gold sentence"));
+      TENET_ASSIGN_OR_RETURN(int64_t entity,
+                             ParseInt(fields[1], "gold entity"));
+      gold.sentence = static_cast<int>(sentence);
+      gold.entity = static_cast<kb::EntityId>(entity);
+      gold.surface = fields[2];
+      doc.gold_entities.push_back(std::move(gold));
+    }
+
+    TENET_ASSIGN_OR_RETURN(std::vector<std::string> gr_fields,
+                           expect_field("gold_r", 2));
+    if (gr_fields.size() != 2) {
+      return Status::InvalidArgument("bad gold_r line");
+    }
+    TENET_ASSIGN_OR_RETURN(int64_t num_gold_r,
+                           ParseInt(gr_fields[1], "gold_r"));
+    for (int64_t i = 0; i < num_gold_r; ++i) {
+      TENET_ASSIGN_OR_RETURN(std::string line, ReadLine(in, "gold rel"));
+      std::vector<std::string> fields = SplitTabs(line, 3);
+      if (fields.size() != 3) {
+        return Status::InvalidArgument("bad gold rel line: " + line);
+      }
+      GoldPredicateLink gold;
+      TENET_ASSIGN_OR_RETURN(int64_t sentence,
+                             ParseInt(fields[0], "gold sentence"));
+      TENET_ASSIGN_OR_RETURN(int64_t predicate,
+                             ParseInt(fields[1], "gold predicate"));
+      gold.sentence = static_cast<int>(sentence);
+      gold.predicate = static_cast<kb::PredicateId>(predicate);
+      gold.lemma = fields[2];
+      doc.gold_predicates.push_back(std::move(gold));
+    }
+    dataset.documents.push_back(std::move(doc));
+  }
+  return dataset;
+}
+
+}  // namespace datasets
+}  // namespace tenet

@@ -1,0 +1,27 @@
+#ifndef TENET_DATASETS_IO_H_
+#define TENET_DATASETS_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "datasets/document.h"
+
+namespace tenet {
+namespace datasets {
+
+// Serialization of annotated corpora ("TENETDS v1", line-oriented text).
+// Generated datasets can be exported for inspection or external
+// re-annotation and reloaded bit-identically, so experiments can be
+// re-run against a frozen corpus instead of a generator seed.
+
+/// Writes `dataset` to `path`.  Document texts must not contain newlines
+/// (the corpus generator never emits them).
+Status SaveDataset(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset written by SaveDataset.
+Result<Dataset> LoadDataset(const std::string& path);
+
+}  // namespace datasets
+}  // namespace tenet
+
+#endif  // TENET_DATASETS_IO_H_

@@ -1,0 +1,74 @@
+#include "datasets/spec.h"
+
+namespace tenet {
+namespace datasets {
+
+DatasetSpec NewsSpec() {
+  DatasetSpec spec;
+  spec.name = "News";
+  spec.num_docs = 16;
+  spec.mentions_per_doc = 7.69;
+  spec.relations_per_doc = 4.75;
+  spec.nonlinkable_noun_rate = 0.2101;
+  spec.nonlinkable_rel_rate = 0.6316;
+  spec.ambiguous_surface_rate = 0.45;
+  spec.words_per_doc = 171;
+  spec.composites_per_doc = 0.8;
+  spec.conjunction_pairs_per_doc = 1.0;
+  spec.advertisement_fraction = 6.0 / 16.0;
+  spec.isolated_entities_per_doc = 1.3;
+  return spec;
+}
+
+DatasetSpec TRex42Spec() {
+  DatasetSpec spec;
+  spec.name = "T-REx42";
+  spec.num_docs = 42;
+  spec.mentions_per_doc = 7.79;
+  spec.relations_per_doc = 5.17;
+  spec.nonlinkable_noun_rate = 0.0734;
+  spec.nonlinkable_rel_rate = 0.4516;
+  spec.ambiguous_surface_rate = 0.40;
+  spec.words_per_doc = 179;
+  spec.composites_per_doc = 0.7;
+  spec.conjunction_pairs_per_doc = 0.9;
+  spec.isolated_entities_per_doc = 1.0;
+  return spec;
+}
+
+DatasetSpec Kore50Spec() {
+  DatasetSpec spec;
+  spec.name = "KORE50";
+  spec.num_docs = 50;
+  spec.mentions_per_doc = 2.96;
+  spec.relations_per_doc = 0.0;
+  spec.nonlinkable_noun_rate = 0.0068;
+  spec.nonlinkable_rel_rate = 0.0;
+  // Hand-crafted, highly ambiguous mentions: most occurrences use a shared
+  // surface whose correct sense must be inferred from context.
+  spec.ambiguous_surface_rate = 0.75;
+  spec.words_per_doc = 13;
+  spec.composites_per_doc = 0.5;
+  spec.conjunction_pairs_per_doc = 0.4;
+  spec.isolated_entities_per_doc = 0.2;
+  return spec;
+}
+
+DatasetSpec Msnbc19Spec() {
+  DatasetSpec spec;
+  spec.name = "MSNBC19";
+  spec.num_docs = 19;
+  spec.mentions_per_doc = 22.32;
+  spec.relations_per_doc = 0.0;
+  spec.nonlinkable_noun_rate = 0.1509;
+  spec.nonlinkable_rel_rate = 0.0;
+  spec.ambiguous_surface_rate = 0.40;
+  spec.words_per_doc = 562;
+  spec.composites_per_doc = 1.5;
+  spec.conjunction_pairs_per_doc = 2.2;
+  spec.isolated_entities_per_doc = 2.5;
+  return spec;
+}
+
+}  // namespace datasets
+}  // namespace tenet

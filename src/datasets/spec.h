@@ -1,0 +1,64 @@
+#ifndef TENET_DATASETS_SPEC_H_
+#define TENET_DATASETS_SPEC_H_
+
+#include <string>
+
+namespace tenet {
+namespace datasets {
+
+// Generation profile of one benchmark dataset.  The four factory functions
+// below are calibrated to the published statistics of the corpora the
+// paper evaluates on (its Table 2 and Sec. 6.1 dataset descriptions);
+// the corpus generator turns a profile into an annotated synthetic corpus
+// over the synthetic KB (DESIGN.md §1, dataset substitution).
+struct DatasetSpec {
+  std::string name;
+  int num_docs = 10;
+  /// Target gold noun phrases per document (Table 2, "# of n./document").
+  double mentions_per_doc = 8.0;
+  /// Target gold relational phrases per document; 0 disables relation gold.
+  double relations_per_doc = 0.0;
+  /// Fraction of noun phrases that are non-linkable fresh names.
+  double nonlinkable_noun_rate = 0.1;
+  /// Fraction of relational phrases with no KB predicate.
+  double nonlinkable_rel_rate = 0.0;
+  /// Probability that an entity occurrence is rendered by an ambiguous
+  /// surface (one shared by several KB entities) rather than its label.
+  double ambiguous_surface_rate = 0.25;
+  /// Approximate words per document; filler clauses pad to this target.
+  int words_per_doc = 170;
+  /// Expected composite-entity (canopy) occurrences per document.
+  double composites_per_doc = 0.8;
+  /// Expected conjunction pairs per document: two independent entities
+  /// rendered adjacently as "A and B" (gold: two separate mentions) — the
+  /// overlap ambiguity that punishes over-merging mention detectors.
+  double conjunction_pairs_per_doc = 0.9;
+  /// Fraction of documents drawn from the advertisement domain (extra
+  /// fresh phrases; News only).
+  double advertisement_fraction = 0.0;
+  /// Number of isolated entities (from foreign domains) per document —
+  /// the sparse-coherence ingredient.
+  double isolated_entities_per_doc = 1.2;
+};
+
+/// News [38]: long text, 170.88 words/doc, 16 documents (10 normal + 6
+/// advertisement), 7.69 nouns/doc with 21.01% non-linkable, 4.75
+/// relations/doc with 63.16% non-linkable.
+DatasetSpec NewsSpec();
+
+/// T-REx42 [21]: long text, 179.17 words/doc, 42 documents, 7.79 nouns/doc
+/// with 7.34% non-linkable, 5.17 relations/doc with 45.16% non-linkable.
+DatasetSpec TRex42Spec();
+
+/// KORE50 [31]: short text, 12.84 words/doc, 50 documents, 2.96 nouns/doc
+/// with 0.68% non-linkable, highly ambiguous mentions, no relation gold.
+DatasetSpec Kore50Spec();
+
+/// MSNBC19 [15]: long text, 562 words/doc, 19 documents, 22.32 nouns/doc
+/// with 15.09% non-linkable, no relation gold.
+DatasetSpec Msnbc19Spec();
+
+}  // namespace datasets
+}  // namespace tenet
+
+#endif  // TENET_DATASETS_SPEC_H_

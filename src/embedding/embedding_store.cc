@@ -1,0 +1,74 @@
+#include "embedding/embedding_store.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace embedding {
+
+EmbeddingStore::EmbeddingStore(int dimension, int32_t num_entities,
+                               int32_t num_predicates)
+    : dimension_(dimension),
+      num_entities_(num_entities),
+      num_predicates_(num_predicates),
+      data_(static_cast<size_t>(dimension) * (num_entities + num_predicates),
+            0.0f) {
+  TENET_CHECK_GT(dimension, 0);
+  TENET_CHECK_GE(num_entities, 0);
+  TENET_CHECK_GE(num_predicates, 0);
+}
+
+size_t EmbeddingStore::NormIndex(kb::ConceptRef ref) const {
+  TENET_CHECK(ref.valid());
+  if (ref.is_entity()) {
+    TENET_CHECK_LT(ref.id, num_entities_);
+    return static_cast<size_t>(ref.id);
+  }
+  TENET_CHECK_LT(ref.id, num_predicates_);
+  return static_cast<size_t>(num_entities_) + ref.id;
+}
+
+size_t EmbeddingStore::Offset(kb::ConceptRef ref) const {
+  return NormIndex(ref) * static_cast<size_t>(dimension_);
+}
+
+std::span<float> EmbeddingStore::MutableVector(kb::ConceptRef ref) {
+  TENET_CHECK(!finalized_) << "write after Finalize";
+  return std::span<float>(data_.data() + Offset(ref), dimension_);
+}
+
+std::span<const float> EmbeddingStore::Vector(kb::ConceptRef ref) const {
+  return std::span<const float>(data_.data() + Offset(ref), dimension_);
+}
+
+void EmbeddingStore::Finalize() {
+  TENET_CHECK(!finalized_) << "Finalize called twice";
+  size_t count = static_cast<size_t>(num_entities_) + num_predicates_;
+  norms_.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    double sum = 0.0;
+    const float* v = data_.data() + i * dimension_;
+    for (int d = 0; d < dimension_; ++d) sum += double{v[d]} * v[d];
+    norms_[i] = std::sqrt(sum);
+  }
+  finalized_ = true;
+}
+
+double EmbeddingStore::Cosine(kb::ConceptRef a, kb::ConceptRef b) const {
+  TENET_CHECK(finalized_) << "Cosine before Finalize";
+  size_t ia = NormIndex(a);
+  size_t ib = NormIndex(b);
+  if (norms_[ia] <= 0.0 || norms_[ib] <= 0.0) return 0.0;
+  const float* va = data_.data() + ia * dimension_;
+  const float* vb = data_.data() + ib * dimension_;
+  double dot = 0.0;
+  for (int d = 0; d < dimension_; ++d) dot += double{va[d]} * vb[d];
+  double cosine = dot / (norms_[ia] * norms_[ib]);
+  if (cosine > 1.0) cosine = 1.0;
+  if (cosine < -1.0) cosine = -1.0;
+  return cosine;
+}
+
+}  // namespace embedding
+}  // namespace tenet

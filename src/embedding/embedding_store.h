@@ -1,0 +1,64 @@
+#ifndef TENET_EMBEDDING_EMBEDDING_STORE_H_
+#define TENET_EMBEDDING_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "kb/types.h"
+
+namespace tenet {
+namespace embedding {
+
+// Dense, contiguous storage of one fixed-dimension vector per KB concept —
+// the in-process analogue of the paper's memory-mapped PyTorch-BigGraph
+// array (Sec. 6.1): obtaining a vector is O(1) pointer arithmetic, and the
+// pairwise relatedness used by the coherence graph is plain cosine
+// similarity (Equations 3-5).
+//
+// Build phase: write through MutableVector, then Finalize() (caches norms).
+// Query phase: Vector() / Cosine().
+class EmbeddingStore {
+ public:
+  EmbeddingStore(int dimension, int32_t num_entities,
+                 int32_t num_predicates);
+
+  int dimension() const { return dimension_; }
+  int32_t num_entities() const { return num_entities_; }
+  int32_t num_predicates() const { return num_predicates_; }
+
+  /// Writable view of the vector of `ref`.  Only before Finalize().
+  std::span<float> MutableVector(kb::ConceptRef ref);
+
+  /// Read-only view of the vector of `ref`.
+  std::span<const float> Vector(kb::ConceptRef ref) const;
+
+  /// Caches vector norms; must be called once after all writes.
+  void Finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Cosine similarity in [-1, 1]; zero vectors yield 0.
+  double Cosine(kb::ConceptRef a, kb::ConceptRef b) const;
+
+  /// The paper's global semantic distance 1 - cos (Equations 3-5),
+  /// clamped to [0, 2].
+  double CosineDistance(kb::ConceptRef a, kb::ConceptRef b) const {
+    return 1.0 - Cosine(a, b);
+  }
+
+ private:
+  size_t Offset(kb::ConceptRef ref) const;
+  size_t NormIndex(kb::ConceptRef ref) const;
+
+  int dimension_;
+  int32_t num_entities_;
+  int32_t num_predicates_;
+  std::vector<float> data_;    // entities first, then predicates
+  std::vector<double> norms_;  // cached by Finalize()
+  bool finalized_ = false;
+};
+
+}  // namespace embedding
+}  // namespace tenet
+
+#endif  // TENET_EMBEDDING_EMBEDDING_STORE_H_

@@ -1,0 +1,148 @@
+#include "embedding/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace embedding {
+namespace {
+
+std::vector<float> RandomUnitVector(int dim, Rng& rng) {
+  std::vector<float> v(dim);
+  double norm_sq = 0.0;
+  for (int d = 0; d < dim; ++d) {
+    v[d] = static_cast<float>(rng.NextGaussian());
+    norm_sq += double{v[d]} * v[d];
+  }
+  double norm = std::sqrt(std::max(norm_sq, 1e-12));
+  for (float& x : v) x = static_cast<float>(x / norm);
+  return v;
+}
+
+}  // namespace
+
+EmbeddingStore StructuralEmbeddingTrainer::Train(const kb::KnowledgeBase& kb,
+                                                 Rng& rng) const {
+  TENET_CHECK(kb.finalized());
+  const int dim = options_.dimension;
+  EmbeddingStore store(dim, kb.num_entities(), kb.num_predicates());
+
+  // One centroid per domain, lazily created.
+  std::unordered_map<int32_t, std::vector<float>> centroids;
+  auto centroid_of = [&](int32_t domain) -> const std::vector<float>& {
+    auto it = centroids.find(domain);
+    if (it == centroids.end()) {
+      it = centroids.emplace(domain, RandomUnitVector(dim, rng)).first;
+    }
+    return it->second;
+  };
+
+  auto seed_vector = [&](kb::ConceptRef ref, int32_t domain) {
+    const std::vector<float>& c = centroid_of(domain);
+    std::span<float> v = store.MutableVector(ref);
+    for (int d = 0; d < dim; ++d) {
+      v[d] = c[d] + static_cast<float>(options_.noise * rng.NextGaussian() /
+                                       std::sqrt(static_cast<double>(dim)));
+    }
+  };
+
+  for (kb::EntityId e = 0; e < kb.num_entities(); ++e) {
+    seed_vector(kb::ConceptRef::Entity(e), kb.entity(e).domain);
+  }
+  for (kb::PredicateId p = 0; p < kb.num_predicates(); ++p) {
+    seed_vector(kb::ConceptRef::Predicate(p), kb.predicate(p).domain);
+  }
+
+  // Shared per-fact components: subject and object of each fact receive
+  // the same random direction (damped for the predicate), so direct fact
+  // partners end up measurably closer than arbitrary same-domain pairs.
+  if (options_.fact_component > 0.0) {
+    const double gamma = options_.fact_component;
+    for (const kb::Triple& t : kb.facts()) {
+      std::vector<float> f = RandomUnitVector(dim, rng);
+      auto add = [&](kb::ConceptRef ref, double weight) {
+        std::span<float> v = store.MutableVector(ref);
+        for (int d = 0; d < dim; ++d) {
+          v[d] += static_cast<float>(weight * gamma * f[d]);
+        }
+      };
+      add(kb::ConceptRef::Entity(t.subject), 1.0);
+      if (t.object_is_entity) add(kb::ConceptRef::Entity(t.object_entity), 1.0);
+      // Predicates participate in far more facts than entities; per-fact
+      // components would swamp their domain structure, so they keep the
+      // centroid + smoothing signal only.
+    }
+  }
+
+  // Neighborhood smoothing over the fact graph.  Entities average over
+  // adjacent entities; predicates average over the subjects/objects of
+  // their facts.
+  const size_t total =
+      static_cast<size_t>(kb.num_entities()) + kb.num_predicates();
+  std::vector<float> next(total * dim);
+  for (int iter = 0; iter < options_.smoothing_iterations; ++iter) {
+    const double alpha = options_.smoothing_alpha;
+    auto blend = [&](kb::ConceptRef ref, size_t flat,
+                     const std::vector<kb::ConceptRef>& neighbors) {
+      std::span<const float> self = store.Vector(ref);
+      float* out = next.data() + flat * dim;
+      if (neighbors.empty()) {
+        std::copy(self.begin(), self.end(), out);
+        return;
+      }
+      std::vector<double> mean(dim, 0.0);
+      for (kb::ConceptRef n : neighbors) {
+        std::span<const float> nv = store.Vector(n);
+        for (int d = 0; d < dim; ++d) mean[d] += nv[d];
+      }
+      for (int d = 0; d < dim; ++d) {
+        mean[d] /= static_cast<double>(neighbors.size());
+        out[d] = static_cast<float>((1.0 - alpha) * self[d] +
+                                    alpha * mean[d]);
+      }
+    };
+
+    for (kb::EntityId e = 0; e < kb.num_entities(); ++e) {
+      std::vector<kb::ConceptRef> neighbors;
+      for (kb::EntityId n : kb.NeighborEntities(e)) {
+        neighbors.push_back(kb::ConceptRef::Entity(n));
+      }
+      blend(kb::ConceptRef::Entity(e), static_cast<size_t>(e), neighbors);
+    }
+    for (kb::PredicateId p = 0; p < kb.num_predicates(); ++p) {
+      std::vector<kb::ConceptRef> neighbors;
+      for (int32_t fact_index : kb.FactsOfPredicate(p)) {
+        const kb::Triple& t = kb.facts()[fact_index];
+        neighbors.push_back(kb::ConceptRef::Entity(t.subject));
+        if (t.object_is_entity) {
+          neighbors.push_back(kb::ConceptRef::Entity(t.object_entity));
+        }
+      }
+      blend(kb::ConceptRef::Predicate(p),
+            static_cast<size_t>(kb.num_entities()) + p, neighbors);
+    }
+
+    // Write back.
+    for (kb::EntityId e = 0; e < kb.num_entities(); ++e) {
+      std::span<float> v = store.MutableVector(kb::ConceptRef::Entity(e));
+      const float* src = next.data() + static_cast<size_t>(e) * dim;
+      std::copy(src, src + dim, v.begin());
+    }
+    for (kb::PredicateId p = 0; p < kb.num_predicates(); ++p) {
+      std::span<float> v = store.MutableVector(kb::ConceptRef::Predicate(p));
+      const float* src =
+          next.data() + (static_cast<size_t>(kb.num_entities()) + p) * dim;
+      std::copy(src, src + dim, v.begin());
+    }
+  }
+
+  store.Finalize();
+  return store;
+}
+
+}  // namespace embedding
+}  // namespace tenet

@@ -1,0 +1,64 @@
+#include "eval/harness.h"
+
+#include <cstdio>
+
+#include "common/timer.h"
+
+namespace tenet {
+namespace eval {
+
+SystemScores EvaluateEndToEnd(const baselines::Linker& linker,
+                              const datasets::Dataset& dataset) {
+  SystemScores scores;
+  scores.system = std::string(linker.name());
+  scores.dataset = dataset.name;
+  WallTimer timer;
+  for (const datasets::Document& doc : dataset.documents) {
+    Result<core::LinkingResult> result = linker.LinkDocument(doc.text);
+    if (!result.ok()) {
+      ++scores.failed_documents;
+      continue;
+    }
+    SystemPrediction prediction = FromLinkingResult(*result);
+    scores.entity_linking.Add(ScoreEntityLinking(doc, prediction));
+    if (dataset.has_relation_gold && linker.links_relations()) {
+      scores.relation_linking.Add(ScoreRelationLinking(doc, prediction));
+    }
+    scores.mention_detection.Add(ScoreMentionDetection(doc, prediction));
+    scores.isolated_detection.Add(ScoreIsolatedDetection(doc, prediction));
+  }
+  scores.total_ms = timer.ElapsedMillis();
+  return scores;
+}
+
+SystemScores EvaluateDisambiguation(const baselines::Linker& linker,
+                                    const datasets::Dataset& dataset,
+                                    const text::Gazetteer& gazetteer) {
+  SystemScores scores;
+  scores.system = std::string(linker.name());
+  scores.dataset = dataset.name;
+  WallTimer timer;
+  for (const datasets::Document& doc : dataset.documents) {
+    core::MentionSet mentions = MentionSetFromGold(doc, gazetteer);
+    Result<core::LinkingResult> result =
+        linker.LinkMentionSet(std::move(mentions));
+    if (!result.ok()) {
+      ++scores.failed_documents;
+      continue;
+    }
+    SystemPrediction prediction = FromLinkingResult(*result);
+    scores.entity_linking.Add(ScoreEntityLinking(doc, prediction));
+  }
+  scores.total_ms = timer.ElapsedMillis();
+  return scores;
+}
+
+std::string FormatPRF(const PRF& prf) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.3f %.3f %.3f", prf.Precision(),
+                prf.Recall(), prf.F1());
+  return std::string(buffer);
+}
+
+}  // namespace eval
+}  // namespace tenet

@@ -1,0 +1,43 @@
+#ifndef TENET_EVAL_HARNESS_H_
+#define TENET_EVAL_HARNESS_H_
+
+#include <string>
+
+#include "baselines/linker.h"
+#include "datasets/document.h"
+#include "eval/metrics.h"
+#include "text/gazetteer.h"
+
+namespace tenet {
+namespace eval {
+
+// Aggregate scores of one system over one dataset.
+struct SystemScores {
+  std::string system;
+  std::string dataset;
+  PRF entity_linking;       // Table 3
+  PRF relation_linking;     // Table 4
+  PRF mention_detection;    // Figure 6(a)
+  PRF isolated_detection;   // Figure 6(c)
+  double total_ms = 0.0;    // wall-clock over all documents
+  int failed_documents = 0; // documents the system errored on
+};
+
+/// Runs `linker` end-to-end over every document of `dataset` and scores
+/// all four measures.
+SystemScores EvaluateEndToEnd(const baselines::Linker& linker,
+                              const datasets::Dataset& dataset);
+
+/// Disambiguation-only evaluation (Figure 6(b)): gold mentions are handed
+/// to the system as input.
+SystemScores EvaluateDisambiguation(const baselines::Linker& linker,
+                                    const datasets::Dataset& dataset,
+                                    const text::Gazetteer& gazetteer);
+
+/// Formats "P R F" with three decimals for the harness tables.
+std::string FormatPRF(const PRF& prf);
+
+}  // namespace eval
+}  // namespace tenet
+
+#endif  // TENET_EVAL_HARNESS_H_

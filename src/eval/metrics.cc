@@ -1,0 +1,224 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace tenet {
+namespace eval {
+namespace {
+
+std::vector<std::string> Words(const std::string& s) {
+  return SplitString(AsciiToLower(s), ' ');
+}
+
+bool IsSubsequenceOfWords(const std::vector<std::string>& needle,
+                          const std::vector<std::string>& haystack) {
+  if (needle.empty() || needle.size() > haystack.size()) return false;
+  for (size_t start = 0; start + needle.size() <= haystack.size(); ++start) {
+    bool match = true;
+    for (size_t i = 0; i < needle.size(); ++i) {
+      if (haystack[start + i] != needle[i]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool TokenContainment(const std::string& a, const std::string& b) {
+  std::vector<std::string> wa = Words(a);
+  std::vector<std::string> wb = Words(b);
+  return IsSubsequenceOfWords(wa, wb) || IsSubsequenceOfWords(wb, wa);
+}
+
+SystemPrediction FromLinkingResult(const core::LinkingResult& result) {
+  SystemPrediction prediction;
+  for (const core::LinkedConcept& link : result.links) {
+    std::string surface = AsciiToLower(link.surface);
+    if (link.kind == core::Mention::Kind::kNoun) {
+      prediction.entity_links.emplace_back(surface, link.concept_ref.id);
+      prediction.selected_noun_surfaces.push_back(std::move(surface));
+    } else {
+      prediction.predicate_links.emplace_back(std::move(surface),
+                                              link.concept_ref.id);
+    }
+  }
+  for (int m : result.isolated_mentions) {
+    const core::Mention& mention = result.mentions.mention(m);
+    if (mention.is_noun()) {
+      std::string surface = AsciiToLower(mention.surface);
+      prediction.isolated_noun_surfaces.push_back(surface);
+      prediction.selected_noun_surfaces.push_back(std::move(surface));
+    }
+  }
+  return prediction;
+}
+
+PRF ScoreEntityLinking(const datasets::Document& gold,
+                       const SystemPrediction& prediction) {
+  PRF prf;
+  // Gold: lower surface -> entity (kInvalidEntity for non-linkable).
+  std::unordered_map<std::string, kb::EntityId> gold_by_surface;
+  for (const datasets::GoldEntityLink& g : gold.gold_entities) {
+    gold_by_surface.emplace(AsciiToLower(g.surface), g.entity);
+  }
+
+  std::unordered_set<std::string> matched_gold;
+  for (const auto& [surface, entity] : prediction.entity_links) {
+    auto it = gold_by_surface.find(surface);
+    if (it != gold_by_surface.end()) {
+      if (it->second == entity) {
+        // Correct surface and entity.
+        if (matched_gold.insert(surface).second) {
+          ++prf.tp;
+        }
+      } else {
+        // Wrong entity, or a linkable prediction on a non-linkable phrase.
+        ++prf.fp;
+      }
+      continue;
+    }
+    // Wrong segmentation: prediction overlapping some gold phrase.
+    bool overlaps = false;
+    for (const auto& [gold_surface, gold_entity] : gold_by_surface) {
+      (void)gold_entity;
+      if (TokenContainment(surface, gold_surface)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) ++prf.fp;
+    // Phrases outside the gold annotation are ignored (Sec. 6.2).
+  }
+
+  for (const auto& [surface, entity] : gold_by_surface) {
+    if (entity == kb::kInvalidEntity) continue;  // NIL not part of recall
+    if (matched_gold.count(surface) == 0) ++prf.fn;
+  }
+  return prf;
+}
+
+PRF ScoreRelationLinking(const datasets::Document& gold,
+                         const SystemPrediction& prediction) {
+  PRF prf;
+  std::unordered_map<std::string, kb::PredicateId> gold_by_lemma;
+  for (const datasets::GoldPredicateLink& g : gold.gold_predicates) {
+    gold_by_lemma.emplace(AsciiToLower(g.lemma), g.predicate);
+  }
+  std::unordered_set<std::string> matched_gold;
+  for (const auto& [lemma, predicate] : prediction.predicate_links) {
+    auto it = gold_by_lemma.find(lemma);
+    if (it == gold_by_lemma.end()) continue;  // outside gold: ignored
+    if (it->second == predicate) {
+      if (matched_gold.insert(lemma).second) ++prf.tp;
+    } else {
+      ++prf.fp;
+    }
+  }
+  for (const auto& [lemma, predicate] : gold_by_lemma) {
+    if (predicate == kb::kInvalidPredicate) continue;
+    if (matched_gold.count(lemma) == 0) ++prf.fn;
+  }
+  return prf;
+}
+
+PRF ScoreMentionDetection(const datasets::Document& gold,
+                          const SystemPrediction& prediction) {
+  PRF prf;
+  std::unordered_set<std::string> gold_surfaces;
+  for (const datasets::GoldEntityLink& g : gold.gold_entities) {
+    gold_surfaces.insert(AsciiToLower(g.surface));
+  }
+  std::unordered_set<std::string> predicted(
+      prediction.selected_noun_surfaces.begin(),
+      prediction.selected_noun_surfaces.end());
+  for (const std::string& surface : predicted) {
+    if (gold_surfaces.count(surface) > 0) {
+      ++prf.tp;
+    } else {
+      ++prf.fp;
+    }
+  }
+  for (const std::string& surface : gold_surfaces) {
+    if (predicted.count(surface) == 0) ++prf.fn;
+  }
+  return prf;
+}
+
+PRF ScoreIsolatedDetection(const datasets::Document& gold,
+                           const SystemPrediction& prediction) {
+  PRF prf;
+  std::unordered_map<std::string, bool> gold_linkable;  // surface -> linkable
+  for (const datasets::GoldEntityLink& g : gold.gold_entities) {
+    gold_linkable.emplace(AsciiToLower(g.surface), g.linkable());
+  }
+  std::unordered_set<std::string> predicted(
+      prediction.isolated_noun_surfaces.begin(),
+      prediction.isolated_noun_surfaces.end());
+  std::unordered_set<std::string> matched_nil;
+  for (const std::string& surface : predicted) {
+    auto it = gold_linkable.find(surface);
+    if (it != gold_linkable.end()) {
+      if (!it->second) {
+        ++prf.tp;
+        matched_nil.insert(surface);
+      } else {
+        ++prf.fp;  // claimed a linkable phrase is new
+      }
+      continue;
+    }
+    // Wrong segmentation: judge by the overlapped gold phrase's status.
+    bool counted = false;
+    for (const auto& [gold_surface, linkable] : gold_linkable) {
+      if (TokenContainment(surface, gold_surface)) {
+        if (linkable) {
+          ++prf.fp;
+        } else {
+          ++prf.tp;
+          matched_nil.insert(gold_surface);
+        }
+        counted = true;
+        break;
+      }
+    }
+    (void)counted;  // surfaces outside the gold annotation are ignored
+  }
+  for (const auto& [surface, linkable] : gold_linkable) {
+    if (!linkable && matched_nil.count(surface) == 0) ++prf.fn;
+  }
+  return prf;
+}
+
+core::MentionSet MentionSetFromGold(const datasets::Document& gold,
+                                    const text::Gazetteer& gazetteer) {
+  core::MentionSet set;
+  std::unordered_set<std::string> seen;
+  for (const datasets::GoldEntityLink& g : gold.gold_entities) {
+    std::string key = AsciiToLower(g.surface);
+    if (!seen.insert(key).second) continue;
+    core::Mention mention;
+    mention.kind = core::Mention::Kind::kNoun;
+    mention.surface = g.surface;
+    mention.type = gazetteer.LookupType(g.surface);
+    mention.sentences = {g.sentence};
+    mention.group = set.num_groups();
+    int id = set.num_mentions();
+    set.mentions.push_back(std::move(mention));
+    core::MentionGroup group;
+    group.members = {id};
+    group.short_mentions = {id};
+    group.canopies = {core::Canopy{{id}}};
+    set.groups.push_back(std::move(group));
+  }
+  return set;
+}
+
+}  // namespace eval
+}  // namespace tenet

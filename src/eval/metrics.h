@@ -1,0 +1,90 @@
+#ifndef TENET_EVAL_METRICS_H_
+#define TENET_EVAL_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "datasets/document.h"
+#include "kb/types.h"
+#include "text/gazetteer.h"
+
+namespace tenet {
+namespace eval {
+
+// Precision / recall / F1 accumulator (Sec. 6.1, Evaluation Metrics).
+struct PRF {
+  int tp = 0;
+  int fp = 0;
+  int fn = 0;
+
+  double Precision() const { return tp + fp == 0 ? 0.0 : double{1} * tp / (tp + fp); }
+  double Recall() const { return tp + fn == 0 ? 0.0 : double{1} * tp / (tp + fn); }
+  double F1() const {
+    double p = Precision();
+    double r = Recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+  void Add(const PRF& other) {
+    tp += other.tp;
+    fp += other.fp;
+    fn += other.fn;
+  }
+};
+
+// A system's output over one document, normalized for scoring (surfaces
+// lower-cased).  Produced from core::LinkingResult via FromLinkingResult;
+// baselines emit the same structure.
+struct SystemPrediction {
+  /// Linked noun phrases: (surface, entity).
+  std::vector<std::pair<std::string, kb::EntityId>> entity_links;
+  /// Linked relational phrases: (lemma, predicate).
+  std::vector<std::pair<std::string, kb::PredicateId>> predicate_links;
+  /// Mention-detection output: all selected noun surfaces (linked or
+  /// isolated).
+  std::vector<std::string> selected_noun_surfaces;
+  /// Noun surfaces reported as isolated / emerging concepts.
+  std::vector<std::string> isolated_noun_surfaces;
+};
+
+/// Converts a pipeline result into the scoring structure.
+SystemPrediction FromLinkingResult(const core::LinkingResult& result);
+
+/// End-to-end entity linking score (Table 3).  Following Sec. 6.2, only
+/// predictions whose surface corresponds to a ground-truth noun phrase are
+/// evaluated: exact-surface predictions are judged on their entity; wrong
+/// segmentations (prediction overlapping a gold phrase token-wise) count as
+/// false positives; phrases outside the gold annotation are ignored.
+/// Linking a gold non-linkable phrase is a false positive.
+PRF ScoreEntityLinking(const datasets::Document& gold,
+                       const SystemPrediction& prediction);
+
+/// End-to-end relation linking score (Table 4); exact lemma matching.
+PRF ScoreRelationLinking(const datasets::Document& gold,
+                         const SystemPrediction& prediction);
+
+/// Mention detection score (Figure 6(a)): exact surface matching against
+/// all gold phrases, linkable and non-linkable alike.
+PRF ScoreMentionDetection(const datasets::Document& gold,
+                          const SystemPrediction& prediction);
+
+/// Isolated-concept detection (Figure 6(c)): precision of the phrases a
+/// system reports as non-linkable.
+PRF ScoreIsolatedDetection(const datasets::Document& gold,
+                           const SystemPrediction& prediction);
+
+/// Builds the mention universe for the disambiguation-only task (Figure
+/// 6(b)): the gold noun phrases are given as input mentions, each a
+/// singleton group.
+core::MentionSet MentionSetFromGold(const datasets::Document& gold,
+                                    const text::Gazetteer& gazetteer);
+
+/// True when the two surfaces share a word-level containment relation
+/// (one's token sequence contains the other's), used to classify wrong
+/// segmentations.  Case-insensitive.  Exposed for tests.
+bool TokenContainment(const std::string& a, const std::string& b);
+
+}  // namespace eval
+}  // namespace tenet
+
+#endif  // TENET_EVAL_METRICS_H_

@@ -1,0 +1,79 @@
+#include "eval/sparsity.h"
+
+#include <vector>
+
+namespace tenet {
+namespace eval {
+namespace {
+
+constexpr int kNumThresholds = 10;  // 0.0, 0.1, ..., 0.9
+
+std::vector<SparsityPoint> Sparsity(
+    const datasets::Dataset& dataset, const kb::KnowledgeBase& kb,
+    const embedding::EmbeddingStore& embeddings, bool include_predicates) {
+  (void)kb;
+  std::vector<SparsityPoint> points(kNumThresholds);
+  std::vector<int> doc_counts(kNumThresholds, 0);
+  for (int t = 0; t < kNumThresholds; ++t) {
+    points[t].threshold = 0.1 * t;
+  }
+
+  for (const datasets::Document& doc : dataset.documents) {
+    // Gold concepts of this document.
+    std::vector<kb::ConceptRef> concepts;
+    for (const datasets::GoldEntityLink& g : doc.gold_entities) {
+      if (g.linkable()) concepts.push_back(kb::ConceptRef::Entity(g.entity));
+    }
+    if (include_predicates) {
+      for (const datasets::GoldPredicateLink& g : doc.gold_predicates) {
+        if (g.linkable()) {
+          concepts.push_back(kb::ConceptRef::Predicate(g.predicate));
+        }
+      }
+    }
+    const int n = static_cast<int>(concepts.size());
+    if (n < 2) continue;
+
+    // Pairwise distances once; bucket into cumulative thresholds.
+    std::vector<int> edges_at(kNumThresholds, 0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        double distance =
+            1.0 - embeddings.Cosine(concepts[i], concepts[j]);
+        for (int t = 0; t < kNumThresholds; ++t) {
+          if (distance <= points[t].threshold) ++edges_at[t];
+        }
+      }
+    }
+    for (int t = 0; t < kNumThresholds; ++t) {
+      double e = edges_at[t];
+      points[t].density += 2.0 * e / (double{1} * n * (n - 1));
+      points[t].avg_degree += 2.0 * e / n;
+      ++doc_counts[t];
+    }
+  }
+  for (int t = 0; t < kNumThresholds; ++t) {
+    if (doc_counts[t] > 0) {
+      points[t].density /= doc_counts[t];
+      points[t].avg_degree /= doc_counts[t];
+    }
+  }
+  return points;
+}
+
+}  // namespace
+
+std::vector<SparsityPoint> EntitySparsity(
+    const datasets::Dataset& dataset, const kb::KnowledgeBase& kb,
+    const embedding::EmbeddingStore& embeddings) {
+  return Sparsity(dataset, kb, embeddings, /*include_predicates=*/false);
+}
+
+std::vector<SparsityPoint> ConceptSparsity(
+    const datasets::Dataset& dataset, const kb::KnowledgeBase& kb,
+    const embedding::EmbeddingStore& embeddings) {
+  return Sparsity(dataset, kb, embeddings, /*include_predicates=*/true);
+}
+
+}  // namespace eval
+}  // namespace tenet

@@ -1,0 +1,38 @@
+#ifndef TENET_EVAL_SPARSITY_H_
+#define TENET_EVAL_SPARSITY_H_
+
+#include <vector>
+
+#include "datasets/document.h"
+#include "embedding/embedding_store.h"
+#include "kb/knowledge_base.h"
+
+namespace tenet {
+namespace eval {
+
+// One point of the sparsity curves of Figures 4 and 5: at semantic-distance
+// threshold `threshold`, connect every pair of gold concepts closer than
+// the threshold and report
+//   density     Den(C)        = 2|E| / (|C| (|C|-1))
+//   avg_degree  Avg_degree(C) = 2|E| / |C|
+// averaged over the documents of a dataset.
+struct SparsityPoint {
+  double threshold = 0.0;
+  double density = 0.0;
+  double avg_degree = 0.0;
+};
+
+/// Entity-only sparsity (Figure 4) over distance thresholds 0.0 .. 0.9.
+std::vector<SparsityPoint> EntitySparsity(
+    const datasets::Dataset& dataset, const kb::KnowledgeBase& kb,
+    const embedding::EmbeddingStore& embeddings);
+
+/// Entity + predicate sparsity (Figure 5).
+std::vector<SparsityPoint> ConceptSparsity(
+    const datasets::Dataset& dataset, const kb::KnowledgeBase& kb,
+    const embedding::EmbeddingStore& embeddings);
+
+}  // namespace eval
+}  // namespace tenet
+
+#endif  // TENET_EVAL_SPARSITY_H_

@@ -1,0 +1,87 @@
+#include "graph/hopcroft_karp.h"
+
+#include <limits>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace graph {
+namespace {
+constexpr int kInfLayer = std::numeric_limits<int>::max();
+}  // namespace
+
+HopcroftKarp::HopcroftKarp(int num_left, int num_right)
+    : num_left_(num_left),
+      num_right_(num_right),
+      adj_(num_left),
+      match_left_(num_left, -1),
+      match_right_(num_right, -1),
+      layer_(num_left, kInfLayer) {
+  TENET_CHECK_GE(num_left, 0);
+  TENET_CHECK_GE(num_right, 0);
+}
+
+void HopcroftKarp::AddEdge(int l, int r) {
+  TENET_CHECK(l >= 0 && l < num_left_);
+  TENET_CHECK(r >= 0 && r < num_right_);
+  adj_[l].push_back(r);
+  solved_ = false;
+}
+
+bool HopcroftKarp::Bfs() {
+  std::queue<int> queue;
+  for (int l = 0; l < num_left_; ++l) {
+    if (match_left_[l] == -1) {
+      layer_[l] = 0;
+      queue.push(l);
+    } else {
+      layer_[l] = kInfLayer;
+    }
+  }
+  bool found_augmenting = false;
+  while (!queue.empty()) {
+    int l = queue.front();
+    queue.pop();
+    for (int r : adj_[l]) {
+      int next = match_right_[r];
+      if (next == -1) {
+        found_augmenting = true;
+      } else if (layer_[next] == kInfLayer) {
+        layer_[next] = layer_[l] + 1;
+        queue.push(next);
+      }
+    }
+  }
+  return found_augmenting;
+}
+
+bool HopcroftKarp::Dfs(int l) {
+  for (int r : adj_[l]) {
+    int next = match_right_[r];
+    if (next == -1 || (layer_[next] == layer_[l] + 1 && Dfs(next))) {
+      match_left_[l] = r;
+      match_right_[r] = l;
+      return true;
+    }
+  }
+  layer_[l] = kInfLayer;
+  return false;
+}
+
+int HopcroftKarp::MaxMatching() {
+  if (solved_) return matching_size_;
+  for (int& m : match_left_) m = -1;
+  for (int& m : match_right_) m = -1;
+  matching_size_ = 0;
+  while (Bfs()) {
+    for (int l = 0; l < num_left_; ++l) {
+      if (match_left_[l] == -1 && Dfs(l)) ++matching_size_;
+    }
+  }
+  solved_ = true;
+  return matching_size_;
+}
+
+}  // namespace graph
+}  // namespace tenet

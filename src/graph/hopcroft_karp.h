@@ -1,0 +1,47 @@
+#ifndef TENET_GRAPH_HOPCROFT_KARP_H_
+#define TENET_GRAPH_HOPCROFT_KARP_H_
+
+#include <vector>
+
+namespace tenet {
+namespace graph {
+
+// Maximum cardinality matching in a bipartite graph, O(E * sqrt(V)).
+// Algorithm 1 step (f) matches subtrees produced by tree splitting to
+// mention roots; the matching must be maximum so that the solver only
+// reports a failure warning when *no* assignment of subtrees exists.
+//
+// Left vertices are 0..num_left-1, right vertices 0..num_right-1.
+class HopcroftKarp {
+ public:
+  HopcroftKarp(int num_left, int num_right);
+
+  /// Adds an edge between left vertex `l` and right vertex `r`.
+  void AddEdge(int l, int r);
+
+  /// Computes a maximum matching; returns its size.  Idempotent.
+  int MaxMatching();
+
+  /// After MaxMatching(): partner of left vertex `l`, or -1 if unmatched.
+  int MatchOfLeft(int l) const { return match_left_[l]; }
+  /// After MaxMatching(): partner of right vertex `r`, or -1 if unmatched.
+  int MatchOfRight(int r) const { return match_right_[r]; }
+
+ private:
+  bool Bfs();
+  bool Dfs(int l);
+
+  int num_left_;
+  int num_right_;
+  std::vector<std::vector<int>> adj_;  // left -> rights
+  std::vector<int> match_left_;
+  std::vector<int> match_right_;
+  std::vector<int> layer_;
+  bool solved_ = false;
+  int matching_size_ = 0;
+};
+
+}  // namespace graph
+}  // namespace tenet
+
+#endif  // TENET_GRAPH_HOPCROFT_KARP_H_

@@ -1,0 +1,91 @@
+#ifndef TENET_GRAPH_TREE_H_
+#define TENET_GRAPH_TREE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tenet {
+namespace graph {
+
+// An edge of a rooted tree, oriented parent -> child.
+struct TreeEdge {
+  int parent = 0;
+  int child = 0;
+  double weight = 0.0;
+};
+
+// A rooted tree over arbitrary (sparse) integer node ids — typically node
+// ids of a knowledge coherence graph.  Trees produced by Algorithm 1 are
+// small (tens of nodes), so adjacency is kept in hash maps keyed by node id
+// rather than dense arrays.
+//
+// Invariants: connected, acyclic, every node reachable from root().
+class RootedTree {
+ public:
+  /// Builds a tree from an unordered, unoriented edge list.  Fails with
+  /// InvalidArgument when the edges do not form a tree containing `root`
+  /// (cycle, disconnected, or duplicate edge).  A tree may be a single
+  /// isolated `root` with no edges.
+  static Result<RootedTree> FromEdges(
+      int root, const std::vector<std::pair<std::pair<int, int>, double>>&
+                    undirected_edges);
+
+  /// Builds from already-oriented edges; same validation.
+  static Result<RootedTree> FromOrientedEdges(
+      int root, const std::vector<TreeEdge>& edges);
+
+  /// Single-node tree.
+  static RootedTree Singleton(int root);
+
+  int root() const { return root_; }
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  bool empty_of_edges() const { return edges_.empty(); }
+
+  /// All node ids, root first, in BFS order of discovery.
+  const std::vector<int>& nodes() const { return nodes_; }
+  const std::vector<TreeEdge>& edges() const { return edges_; }
+
+  bool Contains(int node) const { return children_.count(node) > 0; }
+
+  /// Children of `node` as (child id, edge weight) pairs; `node` must be in
+  /// the tree.
+  const std::vector<std::pair<int, double>>& Children(int node) const;
+
+  /// Parent of `node`, or -1 for the root.  `node` must be in the tree.
+  int Parent(int node) const;
+
+  /// Sum of all edge weights — the paper's tree weight omega(T).
+  double TotalWeight() const { return total_weight_; }
+
+  /// Nodes in post-order (children before parents); the traversal order used
+  /// by the tree-splitting algorithms (Algorithms 2 and 3).
+  std::vector<int> PostOrderNodes() const;
+
+  /// Weight of the subtree hanging below `node` (inclusive of `node`,
+  /// exclusive of the edge to its parent).
+  double SubtreeWeight(int node) const;
+
+  /// Extracts the full subtree rooted at `node` as a new tree.
+  RootedTree Subtree(int node) const;
+
+ private:
+  RootedTree() = default;
+
+  void PostOrderVisit(int node, std::vector<int>& out) const;
+
+  int root_ = -1;
+  std::vector<int> nodes_;
+  std::vector<TreeEdge> edges_;
+  std::unordered_map<int, std::vector<std::pair<int, double>>> children_;
+  std::unordered_map<int, int> parent_;
+  double total_weight_ = 0.0;
+};
+
+}  // namespace graph
+}  // namespace tenet
+
+#endif  // TENET_GRAPH_TREE_H_

@@ -1,0 +1,42 @@
+#include "graph/union_find.h"
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace graph {
+
+UnionFind::UnionFind(int n)
+    : parent_(n), rank_(n, 0), set_size_(n, 1), num_sets_(n) {
+  TENET_CHECK_GE(n, 0);
+  for (int i = 0; i < n; ++i) parent_[i] = i;
+}
+
+int UnionFind::Find(int x) {
+  TENET_DCHECK(x >= 0 && x < size());
+  int root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[x] != root) {
+    int next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(int a, int b) {
+  int ra = Find(a);
+  int rb = Find(b);
+  if (ra == rb) return false;
+  if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  set_size_[ra] += set_size_[rb];
+  if (rank_[ra] == rank_[rb]) ++rank_[ra];
+  --num_sets_;
+  return true;
+}
+
+int UnionFind::SetSize(int x) { return set_size_[Find(x)]; }
+
+}  // namespace graph
+}  // namespace tenet

@@ -1,0 +1,45 @@
+#ifndef TENET_GRAPH_UNION_FIND_H_
+#define TENET_GRAPH_UNION_FIND_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tenet {
+namespace graph {
+
+// Disjoint-set forest with union by rank and path compression.  Used by
+// Kruskal's MST (Algorithm 1, step (c)) and by the Kruskal-style greedy
+// disambiguation (Algorithm 5).
+class UnionFind {
+ public:
+  /// Creates `n` singleton sets labelled 0..n-1.
+  explicit UnionFind(int n);
+
+  /// Representative of the set containing `x`.
+  int Find(int x);
+
+  /// Merges the sets of `a` and `b`; returns false when already merged.
+  bool Union(int a, int b);
+
+  /// True when `a` and `b` are in the same set.
+  bool Connected(int a, int b) { return Find(a) == Find(b); }
+
+  /// Number of elements in the set containing `x`.
+  int SetSize(int x);
+
+  /// Current number of disjoint sets.
+  int num_sets() const { return num_sets_; }
+
+  int size() const { return static_cast<int>(parent_.size()); }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> rank_;
+  std::vector<int> set_size_;
+  int num_sets_;
+};
+
+}  // namespace graph
+}  // namespace tenet
+
+#endif  // TENET_GRAPH_UNION_FIND_H_

@@ -1,0 +1,86 @@
+#include "kb/alias_index.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tenet {
+namespace kb {
+
+void AliasIndex::Add(std::string_view surface, ConceptRef concept_ref,
+                     double weight) {
+  TENET_CHECK(!finalized_) << "AliasIndex::Add after Finalize";
+  TENET_CHECK_GT(weight, 0.0);
+  TENET_CHECK(concept_ref.valid());
+  std::string key = AsciiToLower(surface);
+  if (key.empty()) return;
+  std::vector<AliasPosting>& list = postings_[key];
+  for (AliasPosting& posting : list) {
+    if (posting.concept_ref == concept_ref) {
+      posting.prior += weight;
+      return;
+    }
+  }
+  list.push_back(AliasPosting{concept_ref, weight});
+}
+
+void AliasIndex::Finalize() {
+  TENET_CHECK(!finalized_) << "AliasIndex::Finalize called twice";
+  for (auto& [surface, list] : postings_) {
+    double entity_total = 0.0;
+    double predicate_total = 0.0;
+    for (const AliasPosting& posting : list) {
+      if (posting.concept_ref.is_entity()) {
+        entity_total += posting.prior;
+      } else {
+        predicate_total += posting.prior;
+      }
+    }
+    for (AliasPosting& posting : list) {
+      double total =
+          posting.concept_ref.is_entity() ? entity_total : predicate_total;
+      posting.prior = total > 0.0 ? posting.prior / total : 0.0;
+    }
+    std::stable_sort(list.begin(), list.end(),
+                     [](const AliasPosting& a, const AliasPosting& b) {
+                       return a.prior > b.prior;
+                     });
+  }
+  finalized_ = true;
+}
+
+std::vector<AliasPosting> AliasIndex::Lookup(std::string_view surface,
+                                             ConceptRef::Kind kind) const {
+  TENET_CHECK(finalized_) << "AliasIndex::Lookup before Finalize";
+  std::vector<AliasPosting> out;
+  auto it = postings_.find(AsciiToLower(surface));
+  if (it == postings_.end()) return out;
+  for (const AliasPosting& posting : it->second) {
+    if (posting.concept_ref.kind == kind) out.push_back(posting);
+  }
+  return out;
+}
+
+std::vector<AliasPosting> AliasIndex::LookupEntities(
+    std::string_view surface) const {
+  return Lookup(surface, ConceptRef::Kind::kEntity);
+}
+
+std::vector<AliasPosting> AliasIndex::LookupPredicates(
+    std::string_view surface) const {
+  return Lookup(surface, ConceptRef::Kind::kPredicate);
+}
+
+bool AliasIndex::ContainsSurface(std::string_view surface,
+                                 ConceptRef::Kind kind) const {
+  auto it = postings_.find(AsciiToLower(surface));
+  if (it == postings_.end()) return false;
+  for (const AliasPosting& posting : it->second) {
+    if (posting.concept_ref.kind == kind) return true;
+  }
+  return false;
+}
+
+}  // namespace kb
+}  // namespace tenet

@@ -1,0 +1,82 @@
+#ifndef TENET_KB_ALIAS_INDEX_H_
+#define TENET_KB_ALIAS_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "kb/types.h"
+
+namespace tenet {
+namespace kb {
+
+// One candidate concept for a surface form, with its prior matching
+// probability P(c | surface) (Equations 1 and 2 of the paper).
+struct AliasPosting {
+  ConceptRef concept_ref;
+  /// Raw popularity weight before Finalize(); P(c|surface) afterwards.
+  double prior = 0.0;
+};
+
+// Case-insensitive inverted index from surface forms (labels and aliases)
+// to candidate concepts — the in-process equivalent of the Solr/Lucene index
+// the paper builds over the Wikidata JSON dump (Sec. 6.1, "Indexing the
+// Candidate Entities and Predicates").
+//
+// Usage: Add() postings while loading the KB, then Finalize() once to
+// normalize popularity weights into prior probabilities per (surface, kind).
+class AliasIndex {
+ public:
+  AliasIndex() = default;
+
+  /// Registers `concept` as a candidate of `surface` with popularity
+  /// `weight` (> 0).  Duplicate (surface, concept) pairs accumulate weight.
+  void Add(std::string_view surface, ConceptRef concept_ref, double weight);
+
+  /// Normalizes weights to probabilities: within each surface form, entity
+  /// postings sum to 1 and predicate postings sum to 1 (entities and
+  /// predicates are disambiguated against their own candidate sets).
+  /// Postings are sorted by descending prior.  Must be called exactly once.
+  void Finalize();
+
+  /// Entity candidates of `surface`, most probable first; empty when the
+  /// surface is unknown (a non-linkable phrase).
+  std::vector<AliasPosting> LookupEntities(std::string_view surface) const;
+
+  /// Predicate candidates of `surface`, most probable first.
+  std::vector<AliasPosting> LookupPredicates(std::string_view surface) const;
+
+  /// True when the (case-folded) surface has at least one posting of the
+  /// requested kind.
+  bool ContainsSurface(std::string_view surface,
+                       ConceptRef::Kind kind) const;
+
+  /// Number of distinct (case-folded) surface forms.
+  size_t num_surfaces() const { return postings_.size(); }
+
+  /// Invokes `visitor(surface, posting)` for every posting (iteration
+  /// order unspecified).  Used by serialization.
+  template <typename Visitor>
+  void VisitPostings(Visitor&& visitor) const {
+    for (const auto& [surface, list] : postings_) {
+      for (const AliasPosting& posting : list) {
+        visitor(surface, posting);
+      }
+    }
+  }
+
+  bool finalized() const { return finalized_; }
+
+ private:
+  std::vector<AliasPosting> Lookup(std::string_view surface,
+                                   ConceptRef::Kind kind) const;
+
+  std::unordered_map<std::string, std::vector<AliasPosting>> postings_;
+  bool finalized_ = false;
+};
+
+}  // namespace kb
+}  // namespace tenet
+
+#endif  // TENET_KB_ALIAS_INDEX_H_

@@ -1,0 +1,350 @@
+#include "kb/io.h"
+
+#include <cstdint>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <cctype>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace kb {
+namespace {
+
+constexpr char kKbMagic[] = "TENETKB v1";
+constexpr char kEmbMagic[] = "TENETEMB1";
+
+bool HasForbiddenChars(const std::string& s) {
+  return s.find('\t') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+// Reads one line, failing with context when the stream is exhausted.
+Result<std::string> ReadLine(std::istream& in, const char* what) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument(std::string("unexpected end of file: ") +
+                                   what);
+  }
+  return line;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> fields;
+  size_t start = 0;
+  while (true) {
+    size_t tab = line.find('\t', start);
+    if (tab == std::string::npos) {
+      fields.push_back(line.substr(start));
+      break;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+  return fields;
+}
+
+Result<int64_t> ParseInt(const std::string& s, const char* what) {
+  try {
+    size_t consumed = 0;
+    int64_t value = std::stoll(s, &consumed);
+    if (consumed != s.size()) {
+      return Status::InvalidArgument(std::string("trailing garbage in ") +
+                                     what);
+    }
+    return value;
+  } catch (...) {
+    return Status::InvalidArgument(std::string("not an integer: ") + what);
+  }
+}
+
+Result<double> ParseDouble(const std::string& s, const char* what) {
+  try {
+    size_t consumed = 0;
+    double value = std::stod(s, &consumed);
+    if (consumed != s.size()) {
+      return Status::InvalidArgument(std::string("trailing garbage in ") +
+                                     what);
+    }
+    return value;
+  } catch (...) {
+    return Status::InvalidArgument(std::string("not a number: ") + what);
+  }
+}
+
+}  // namespace
+
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path) {
+  if (!kb.finalized()) {
+    return Status::FailedPrecondition("KB must be finalized before saving");
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+
+  out << std::setprecision(17);  // doubles round-trip exactly
+  out << kKbMagic << "\n";
+  out << "E\t" << kb.num_entities() << "\n";
+  for (EntityId id = 0; id < kb.num_entities(); ++id) {
+    const EntityRecord& rec = kb.entity(id);
+    if (HasForbiddenChars(rec.label)) {
+      return Status::InvalidArgument("label contains tab/newline: " +
+                                     rec.label);
+    }
+    out << static_cast<int>(rec.type) << '\t' << rec.domain << '\t'
+        << rec.popularity << '\t' << rec.label << "\n";
+  }
+  out << "P\t" << kb.num_predicates() << "\n";
+  for (PredicateId id = 0; id < kb.num_predicates(); ++id) {
+    const PredicateRecord& rec = kb.predicate(id);
+    if (HasForbiddenChars(rec.label)) {
+      return Status::InvalidArgument("label contains tab/newline: " +
+                                     rec.label);
+    }
+    out << rec.domain << '\t' << rec.popularity << '\t' << rec.label << "\n";
+  }
+
+  // Postings are persisted as finalized priors; renormalization on reload
+  // is idempotent, so candidate distributions round-trip exactly.
+  std::vector<std::string> alias_lines;
+  kb.alias_index().VisitPostings(
+      [&alias_lines](std::string_view surface, const AliasPosting& posting) {
+        std::ostringstream line;
+        line << std::setprecision(17);
+        line << (posting.concept_ref.is_entity() ? 'E' : 'P') << '\t'
+             << posting.concept_ref.id << '\t' << posting.prior << '\t'
+             << surface;
+        alias_lines.push_back(line.str());
+      });
+  out << "A\t" << alias_lines.size() << "\n";
+  for (const std::string& line : alias_lines) out << line << "\n";
+
+  out << "F\t" << kb.num_facts() << "\n";
+  for (const Triple& t : kb.facts()) {
+    if (t.object_is_entity) {
+      out << t.subject << '\t' << t.predicate << "\tE\t" << t.object_entity
+          << "\n";
+    } else {
+      if (HasForbiddenChars(t.object_literal)) {
+        return Status::InvalidArgument("literal contains tab/newline");
+      }
+      out << t.subject << '\t' << t.predicate << "\tL\t" << t.object_literal
+          << "\n";
+    }
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+
+  TENET_ASSIGN_OR_RETURN(std::string magic, ReadLine(in, "magic"));
+  if (magic != kKbMagic) {
+    return Status::InvalidArgument("not a TENETKB v1 file: " + path);
+  }
+  KnowledgeBase kb;
+
+  auto read_section = [&in](const char* tag) -> Result<int64_t> {
+    TENET_ASSIGN_OR_RETURN(std::string header, ReadLine(in, tag));
+    std::vector<std::string> fields = SplitTabs(header);
+    if (fields.size() != 2 || fields[0] != tag) {
+      return Status::InvalidArgument(std::string("bad section header for ") +
+                                     tag);
+    }
+    TENET_ASSIGN_OR_RETURN(int64_t count, ParseInt(fields[1], tag));
+    if (count < 0) {
+      return Status::InvalidArgument(std::string("negative count in ") + tag);
+    }
+    return count;
+  };
+
+  TENET_ASSIGN_OR_RETURN(int64_t num_entities, read_section("E"));
+  for (int64_t i = 0; i < num_entities; ++i) {
+    TENET_ASSIGN_OR_RETURN(std::string line, ReadLine(in, "entity"));
+    std::vector<std::string> fields = SplitTabs(line);
+    if (fields.size() != 4) {
+      return Status::InvalidArgument("bad entity line: " + line);
+    }
+    TENET_ASSIGN_OR_RETURN(int64_t type, ParseInt(fields[0], "entity type"));
+    if (type < 0 || type >= kNumEntityTypes) {
+      return Status::InvalidArgument("bad entity type: " + fields[0]);
+    }
+    TENET_ASSIGN_OR_RETURN(int64_t domain,
+                           ParseInt(fields[1], "entity domain"));
+    TENET_ASSIGN_OR_RETURN(double popularity,
+                           ParseDouble(fields[2], "entity popularity"));
+    if (popularity <= 0.0) {
+      return Status::InvalidArgument("non-positive popularity");
+    }
+    kb.AddEntity(fields[3], static_cast<EntityType>(type),
+                 static_cast<int32_t>(domain), popularity,
+                 /*register_label_alias=*/false);
+  }
+
+  TENET_ASSIGN_OR_RETURN(int64_t num_predicates, read_section("P"));
+  for (int64_t i = 0; i < num_predicates; ++i) {
+    TENET_ASSIGN_OR_RETURN(std::string line, ReadLine(in, "predicate"));
+    std::vector<std::string> fields = SplitTabs(line);
+    if (fields.size() != 3) {
+      return Status::InvalidArgument("bad predicate line: " + line);
+    }
+    TENET_ASSIGN_OR_RETURN(int64_t domain,
+                           ParseInt(fields[0], "predicate domain"));
+    TENET_ASSIGN_OR_RETURN(double popularity,
+                           ParseDouble(fields[1], "predicate popularity"));
+    if (popularity <= 0.0) {
+      return Status::InvalidArgument("non-positive popularity");
+    }
+    kb.AddPredicate(fields[2], static_cast<int32_t>(domain), popularity,
+                    /*register_label_alias=*/false);
+  }
+
+  TENET_ASSIGN_OR_RETURN(int64_t num_aliases, read_section("A"));
+  for (int64_t i = 0; i < num_aliases; ++i) {
+    TENET_ASSIGN_OR_RETURN(std::string line, ReadLine(in, "alias"));
+    std::vector<std::string> fields = SplitTabs(line);
+    if (fields.size() != 4 || (fields[0] != "E" && fields[0] != "P")) {
+      return Status::InvalidArgument("bad alias line: " + line);
+    }
+    TENET_ASSIGN_OR_RETURN(int64_t id, ParseInt(fields[1], "alias id"));
+    TENET_ASSIGN_OR_RETURN(double weight,
+                           ParseDouble(fields[2], "alias weight"));
+    if (weight <= 0.0) {
+      return Status::InvalidArgument("non-positive alias weight");
+    }
+    if (fields[0] == "E") {
+      if (id < 0 || id >= kb.num_entities()) {
+        return Status::InvalidArgument("alias refers to unknown entity");
+      }
+      kb.AddEntityAlias(static_cast<EntityId>(id), fields[3], weight);
+    } else {
+      if (id < 0 || id >= kb.num_predicates()) {
+        return Status::InvalidArgument("alias refers to unknown predicate");
+      }
+      kb.AddPredicateAlias(static_cast<PredicateId>(id), fields[3], weight);
+    }
+  }
+
+  TENET_ASSIGN_OR_RETURN(int64_t num_facts, read_section("F"));
+  for (int64_t i = 0; i < num_facts; ++i) {
+    TENET_ASSIGN_OR_RETURN(std::string line, ReadLine(in, "fact"));
+    std::vector<std::string> fields = SplitTabs(line);
+    if (fields.size() != 4 || (fields[2] != "E" && fields[2] != "L")) {
+      return Status::InvalidArgument("bad fact line: " + line);
+    }
+    TENET_ASSIGN_OR_RETURN(int64_t subject,
+                           ParseInt(fields[0], "fact subject"));
+    TENET_ASSIGN_OR_RETURN(int64_t predicate,
+                           ParseInt(fields[1], "fact predicate"));
+    Status status;
+    if (fields[2] == "E") {
+      TENET_ASSIGN_OR_RETURN(int64_t object,
+                             ParseInt(fields[3], "fact object"));
+      status = kb.AddFact(static_cast<EntityId>(subject),
+                          static_cast<PredicateId>(predicate),
+                          static_cast<EntityId>(object));
+    } else {
+      status = kb.AddLiteralFact(static_cast<EntityId>(subject),
+                                 static_cast<PredicateId>(predicate),
+                                 fields[3]);
+    }
+    TENET_RETURN_IF_ERROR(status);
+  }
+
+  kb.Finalize();
+  return kb;
+}
+
+Status SaveEmbeddings(const embedding::EmbeddingStore& store,
+                      const std::string& path) {
+  if (!store.finalized()) {
+    return Status::FailedPrecondition(
+        "embeddings must be finalized before saving");
+  }
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(kEmbMagic, sizeof(kEmbMagic) - 1);
+  int32_t header[3] = {store.dimension(), store.num_entities(),
+                       store.num_predicates()};
+  out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  auto dump = [&out, &store](ConceptRef ref) {
+    std::span<const float> v = store.Vector(ref);
+    out.write(reinterpret_cast<const char*>(v.data()),
+              static_cast<std::streamsize>(v.size() * sizeof(float)));
+  };
+  for (EntityId e = 0; e < store.num_entities(); ++e) {
+    dump(ConceptRef::Entity(e));
+  }
+  for (PredicateId p = 0; p < store.num_predicates(); ++p) {
+    dump(ConceptRef::Predicate(p));
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+Result<embedding::EmbeddingStore> LoadEmbeddings(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open " + path);
+  char magic[sizeof(kEmbMagic) - 1];
+  in.read(magic, sizeof(magic));
+  if (!in || std::string_view(magic, sizeof(magic)) != kEmbMagic) {
+    return Status::InvalidArgument("not a TENETEMB1 file: " + path);
+  }
+  int32_t header[3];
+  in.read(reinterpret_cast<char*>(header), sizeof(header));
+  if (!in || header[0] <= 0 || header[1] < 0 || header[2] < 0) {
+    return Status::InvalidArgument("bad embedding header");
+  }
+  embedding::EmbeddingStore store(header[0], header[1], header[2]);
+  auto slurp = [&in, &store](ConceptRef ref) -> bool {
+    std::span<float> v = store.MutableVector(ref);
+    in.read(reinterpret_cast<char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+    return static_cast<bool>(in);
+  };
+  for (EntityId e = 0; e < header[1]; ++e) {
+    if (!slurp(ConceptRef::Entity(e))) {
+      return Status::InvalidArgument("truncated embedding file");
+    }
+  }
+  for (PredicateId p = 0; p < header[2]; ++p) {
+    if (!slurp(ConceptRef::Predicate(p))) {
+      return Status::InvalidArgument("truncated embedding file");
+    }
+  }
+  store.Finalize();
+  return store;
+}
+
+text::Gazetteer DeriveGazetteer(const KnowledgeBase& kb) {
+  TENET_CHECK(kb.finalized());
+  text::Gazetteer gazetteer;
+  // Collect, per surface, the highest-prior entity posting.
+  std::unordered_map<std::string, std::pair<double, EntityId>> best;
+  kb.alias_index().VisitPostings(
+      [&best](std::string_view surface, const AliasPosting& posting) {
+        if (!posting.concept_ref.is_entity()) return;
+        auto [it, inserted] = best.emplace(
+            std::string(surface),
+            std::make_pair(posting.prior, posting.concept_ref.id));
+        if (!inserted && posting.prior > it->second.first) {
+          it->second = {posting.prior, posting.concept_ref.id};
+        }
+      });
+  for (const auto& [surface, sense] : best) {
+    bool lowercase =
+        !surface.empty() &&
+        std::islower(static_cast<unsigned char>(surface[0])) != 0;
+    gazetteer.AddSurface(surface, kb.entity(sense.second).type, lowercase);
+  }
+  return gazetteer;
+}
+
+}  // namespace kb
+}  // namespace tenet

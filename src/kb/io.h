@@ -1,0 +1,50 @@
+#ifndef TENET_KB_IO_H_
+#define TENET_KB_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "embedding/embedding_store.h"
+#include "kb/knowledge_base.h"
+#include "text/gazetteer.h"
+
+namespace tenet {
+namespace kb {
+
+// Serialization of the knowledge base and the embedding store — the
+// counterpart of the paper's offline preprocessing (indexing the Wikidata
+// JSON dump, storing PBG vectors in a memory-mapped array): build the
+// substrates once, persist them, and reload in O(size of file).
+//
+// Format: a line-oriented text container ("TENETKB v1") for the KB —
+// entities, predicates, aliases with weights, and facts — and a small
+// binary container ("TENETEMB1") for the embeddings.  Both formats are
+// versioned and validated on load; Load* never aborts on malformed input,
+// it returns InvalidArgument.
+
+/// Writes `kb` (which must be finalized) to `path`.  Alias priors are
+/// persisted as the original weights, so a reloaded KB reproduces the
+/// exact candidate distributions.
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path);
+
+/// Reads a KB written by SaveKnowledgeBase and finalizes it.
+Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path);
+
+/// Writes the embedding store (finalized) to `path` (binary).
+Status SaveEmbeddings(const embedding::EmbeddingStore& store,
+                      const std::string& path);
+
+/// Reads embeddings written by SaveEmbeddings and finalizes the store.
+Result<embedding::EmbeddingStore> LoadEmbeddings(const std::string& path);
+
+/// Derives an NER gazetteer from a (finalized) KB: every alias surface is
+/// registered under the type of its most probable entity sense; surfaces
+/// that start lowercase are marked spottable in lowercase text.  This is
+/// how a loaded KB becomes usable by the extraction pipeline without
+/// persisting the gazetteer separately.
+text::Gazetteer DeriveGazetteer(const KnowledgeBase& kb);
+
+}  // namespace kb
+}  // namespace tenet
+
+#endif  // TENET_KB_IO_H_

@@ -1,0 +1,193 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace kb {
+
+EntityId KnowledgeBase::AddEntity(std::string_view label, EntityType type,
+                                  int32_t domain, double popularity,
+                                  bool register_label_alias) {
+  TENET_CHECK(!finalized_);
+  TENET_CHECK_GT(popularity, 0.0);
+  EntityId id = static_cast<EntityId>(entities_.size());
+  entities_.push_back(
+      EntityRecord{std::string(label), type, domain, popularity});
+  if (register_label_alias) {
+    alias_index_.Add(label, ConceptRef::Entity(id), popularity);
+  }
+  return id;
+}
+
+PredicateId KnowledgeBase::AddPredicate(std::string_view label,
+                                        int32_t domain, double popularity,
+                                        bool register_label_alias) {
+  TENET_CHECK(!finalized_);
+  TENET_CHECK_GT(popularity, 0.0);
+  PredicateId id = static_cast<PredicateId>(predicates_.size());
+  predicates_.push_back(
+      PredicateRecord{std::string(label), domain, popularity});
+  if (register_label_alias) {
+    alias_index_.Add(label, ConceptRef::Predicate(id), popularity);
+  }
+  return id;
+}
+
+void KnowledgeBase::AddEntityAlias(EntityId id, std::string_view surface,
+                                   double weight) {
+  TENET_CHECK(!finalized_);
+  TENET_CHECK(id >= 0 && id < num_entities());
+  double w = weight > 0.0 ? weight : entities_[id].popularity;
+  alias_index_.Add(surface, ConceptRef::Entity(id), w);
+}
+
+void KnowledgeBase::AddPredicateAlias(PredicateId id,
+                                      std::string_view surface,
+                                      double weight) {
+  TENET_CHECK(!finalized_);
+  TENET_CHECK(id >= 0 && id < num_predicates());
+  double w = weight > 0.0 ? weight : predicates_[id].popularity;
+  alias_index_.Add(surface, ConceptRef::Predicate(id), w);
+}
+
+Status KnowledgeBase::AddFact(EntityId subject, PredicateId predicate,
+                              EntityId object_entity) {
+  TENET_CHECK(!finalized_);
+  if (subject < 0 || subject >= num_entities()) {
+    return Status::InvalidArgument("bad subject entity id");
+  }
+  if (object_entity < 0 || object_entity >= num_entities()) {
+    return Status::InvalidArgument("bad object entity id");
+  }
+  if (predicate < 0 || predicate >= num_predicates()) {
+    return Status::InvalidArgument("bad predicate id");
+  }
+  Triple t;
+  t.subject = subject;
+  t.predicate = predicate;
+  t.object_entity = object_entity;
+  t.object_is_entity = true;
+  facts_.push_back(std::move(t));
+  return Status::Ok();
+}
+
+Status KnowledgeBase::AddLiteralFact(EntityId subject, PredicateId predicate,
+                                     std::string_view literal) {
+  TENET_CHECK(!finalized_);
+  if (subject < 0 || subject >= num_entities()) {
+    return Status::InvalidArgument("bad subject entity id");
+  }
+  if (predicate < 0 || predicate >= num_predicates()) {
+    return Status::InvalidArgument("bad predicate id");
+  }
+  Triple t;
+  t.subject = subject;
+  t.predicate = predicate;
+  t.object_literal = std::string(literal);
+  t.object_is_entity = false;
+  facts_.push_back(std::move(t));
+  return Status::Ok();
+}
+
+void KnowledgeBase::Finalize() {
+  TENET_CHECK(!finalized_) << "KnowledgeBase::Finalize called twice";
+  alias_index_.Finalize();
+  facts_of_entity_.assign(entities_.size(), {});
+  facts_of_predicate_.assign(predicates_.size(), {});
+  for (int32_t i = 0; i < num_facts(); ++i) {
+    const Triple& t = facts_[i];
+    facts_of_entity_[t.subject].push_back(i);
+    if (t.object_is_entity && t.object_entity != t.subject) {
+      facts_of_entity_[t.object_entity].push_back(i);
+    }
+    facts_of_predicate_[t.predicate].push_back(i);
+  }
+  finalized_ = true;
+}
+
+const EntityRecord& KnowledgeBase::entity(EntityId id) const {
+  TENET_CHECK(id >= 0 && id < num_entities()) << "bad entity id " << id;
+  return entities_[id];
+}
+
+const PredicateRecord& KnowledgeBase::predicate(PredicateId id) const {
+  TENET_CHECK(id >= 0 && id < num_predicates()) << "bad predicate id " << id;
+  return predicates_[id];
+}
+
+std::vector<EntityCandidate> KnowledgeBase::CandidateEntities(
+    std::string_view surface, std::optional<EntityType> type,
+    int max_candidates) const {
+  TENET_CHECK(finalized_);
+  std::vector<EntityCandidate> out;
+  if (max_candidates <= 0) return out;
+  for (const AliasPosting& posting : alias_index_.LookupEntities(surface)) {
+    EntityId id = posting.concept_ref.id;
+    if (type.has_value() && entities_[id].type != *type) continue;
+    out.push_back(EntityCandidate{id, posting.prior});
+    if (static_cast<int>(out.size()) == max_candidates) break;
+  }
+  // Renormalize so the truncated/filtered set is still a distribution.
+  double total = 0.0;
+  for (const EntityCandidate& c : out) total += c.prior;
+  if (total > 0.0) {
+    for (EntityCandidate& c : out) c.prior /= total;
+  }
+  return out;
+}
+
+std::vector<PredicateCandidate> KnowledgeBase::CandidatePredicates(
+    std::string_view surface, int max_candidates) const {
+  TENET_CHECK(finalized_);
+  std::vector<PredicateCandidate> out;
+  if (max_candidates <= 0) return out;
+  for (const AliasPosting& posting :
+       alias_index_.LookupPredicates(surface)) {
+    out.push_back(PredicateCandidate{posting.concept_ref.id, posting.prior});
+    if (static_cast<int>(out.size()) == max_candidates) break;
+  }
+  double total = 0.0;
+  for (const PredicateCandidate& c : out) total += c.prior;
+  if (total > 0.0) {
+    for (PredicateCandidate& c : out) c.prior /= total;
+  }
+  return out;
+}
+
+const std::vector<int32_t>& KnowledgeBase::FactsOfEntity(EntityId id) const {
+  TENET_CHECK(finalized_);
+  TENET_CHECK(id >= 0 && id < num_entities());
+  return facts_of_entity_[id];
+}
+
+const std::vector<int32_t>& KnowledgeBase::FactsOfPredicate(
+    PredicateId id) const {
+  TENET_CHECK(finalized_);
+  TENET_CHECK(id >= 0 && id < num_predicates());
+  return facts_of_predicate_[id];
+}
+
+std::vector<EntityId> KnowledgeBase::NeighborEntities(EntityId id) const {
+  TENET_CHECK(finalized_);
+  std::unordered_set<EntityId> seen;
+  std::vector<EntityId> out;
+  for (int32_t fact_index : FactsOfEntity(id)) {
+    const Triple& t = facts_[fact_index];
+    EntityId other = kInvalidEntity;
+    if (t.subject == id && t.object_is_entity) {
+      other = t.object_entity;
+    } else if (t.object_is_entity && t.object_entity == id) {
+      other = t.subject;
+    }
+    if (other != kInvalidEntity && other != id && seen.insert(other).second) {
+      out.push_back(other);
+    }
+  }
+  return out;
+}
+
+}  // namespace kb
+}  // namespace tenet

@@ -1,0 +1,274 @@
+#include "kb/synthetic_kb.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/wordlists.h"
+
+namespace tenet {
+namespace kb {
+namespace {
+
+// Sampling profile of entity types within a domain.
+EntityType SampleEntityType(Rng& rng) {
+  double u = rng.NextDouble();
+  if (u < 0.34) return EntityType::kPerson;
+  if (u < 0.50) return EntityType::kOrganization;
+  if (u < 0.66) return EntityType::kLocation;
+  if (u < 0.76) return EntityType::kWork;
+  if (u < 0.86) return EntityType::kTopic;
+  if (u < 0.92) return EntityType::kEvent;
+  if (u < 0.97) return EntityType::kProduct;
+  return EntityType::kOther;
+}
+
+std::string Pick(const std::vector<std::string_view>& pool, Rng& rng) {
+  TENET_CHECK(!pool.empty());
+  return std::string(pool[rng.NextUint64(pool.size())]);
+}
+
+// Generates a fresh label of the given type, retrying / numbering until it
+// is unique within `used`.
+std::string MakeLabel(EntityType type, Rng& rng,
+                      std::unordered_set<std::string>& used) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::string label;
+    switch (type) {
+      case EntityType::kPerson:
+        label = Pick(text::PersonFirstNames(), rng) + " " +
+                Pick(text::PersonLastNames(), rng);
+        break;
+      case EntityType::kOrganization:
+        label = Pick(text::OrganizationHeads(), rng) + " " +
+                Pick(text::OrganizationSuffixes(), rng);
+        break;
+      case EntityType::kLocation:
+        label = Pick(text::LocationNames(), rng);
+        if (rng.NextBool(0.4)) {
+          label += " " + Pick(text::LocationSuffixes(), rng);
+        }
+        break;
+      case EntityType::kWork:
+        label = "The " + Pick(text::WorkHeadNouns(), rng);
+        break;
+      case EntityType::kTopic:
+        label = Pick(text::TopicAdjectives(), rng) + " " +
+                Pick(text::TopicNouns(), rng);
+        break;
+      case EntityType::kEvent:
+        label = Pick(text::LocationNames(), rng) + " " +
+                Pick(text::EventHeads(), rng);
+        break;
+      case EntityType::kProduct:
+        label = Pick(text::ProductHeads(), rng) + " " +
+                std::to_string(1 + rng.NextUint64(99));
+        break;
+      case EntityType::kOther:
+        label = Pick(text::OrganizationHeads(), rng) + " " +
+                Pick(text::WorkHeadNouns(), rng);
+        break;
+    }
+    if (used.insert(label).second) return label;
+    // On collision, try a numbered variant once in a while.
+    if (attempt > 16) {
+      std::string numbered =
+          label + " " + std::to_string(2 + rng.NextUint64(97));
+      if (used.insert(numbered).second) return numbered;
+    }
+  }
+  // Guaranteed-unique fallback.
+  std::string fallback = "Entity " + std::to_string(used.size());
+  used.insert(fallback);
+  return fallback;
+}
+
+std::string LastWord(const std::string& s) {
+  size_t pos = s.rfind(' ');
+  return pos == std::string::npos ? s : s.substr(pos + 1);
+}
+
+}  // namespace
+
+SyntheticKb SyntheticKbGenerator::Generate(Rng& rng) const {
+  SyntheticKb world;
+  const SyntheticKbOptions& opt = options_;
+  TENET_CHECK_GT(opt.num_domains, 0);
+  TENET_CHECK_GT(opt.entities_per_domain, 0);
+  TENET_CHECK_GT(opt.num_predicates, 0);
+
+  world.entities_by_domain.resize(opt.num_domains);
+  world.composites_by_domain.resize(opt.num_domains);
+  world.predicates_by_domain.resize(opt.num_domains);
+  std::unordered_set<std::string> used_labels;
+
+  // ---- Plain entities -----------------------------------------------------
+  for (int32_t d = 0; d < opt.num_domains; ++d) {
+    for (int i = 0; i < opt.entities_per_domain; ++i) {
+      EntityType type = SampleEntityType(rng);
+      std::string label = MakeLabel(type, rng, used_labels);
+      // Zipf-like popularity by within-domain rank.
+      double popularity =
+          1.0 / std::pow(static_cast<double>(i + 1), opt.popularity_zipf);
+      EntityId id = world.kb.AddEntity(label, type, d, popularity);
+      world.entities_by_domain[d].push_back(id);
+      world.entity_surfaces.push_back({label});
+    }
+  }
+
+  // ---- Composite entities (canopy fodder) --------------------------------
+  for (int32_t d = 0; d < opt.num_domains; ++d) {
+    // Snapshot the plain entities: composites never nest, keeping labels at
+    // one connector each.
+    const std::vector<EntityId> domain_entities =
+        world.entities_by_domain[d];
+    for (int i = 0; i < opt.composite_entities_per_domain; ++i) {
+      // Component A: an existing work/plain label; component B: an existing
+      // entity label from the same domain.
+      EntityId part_a = rng.Pick(domain_entities);
+      EntityId part_b = rng.Pick(domain_entities);
+      if (part_a == part_b) continue;
+      const std::string& label_a = world.kb.entity(part_a).label;
+      const std::string& label_b = world.kb.entity(part_b).label;
+      std::string connector;
+      double u = rng.NextDouble();
+      EntityType type = EntityType::kWork;
+      if (u < 0.4) {
+        connector = " of ";
+      } else if (u < 0.65) {
+        connector = " on the ";
+      } else if (u < 0.8) {
+        connector = " and ";
+      } else if (u < 0.9) {
+        connector = ": ";
+      } else {
+        connector = " " + std::to_string(2 + rng.NextUint64(30)) + " ";
+        type = EntityType::kEvent;
+      }
+      std::string label = label_a + connector + label_b;
+      if (!used_labels.insert(label).second) continue;
+      double popularity = 0.8 + rng.NextDouble(0.0, 0.6);
+      EntityId id = world.kb.AddEntity(label, type, d, popularity);
+      world.entities_by_domain[d].push_back(id);
+      world.composites_by_domain[d].push_back(id);
+      world.entity_surfaces.push_back({label});
+    }
+  }
+
+  // ---- Extra aliases ------------------------------------------------------
+  const int32_t num_entities = world.kb.num_entities();
+  for (EntityId id = 0; id < num_entities; ++id) {
+    const EntityRecord& rec = world.kb.entity(id);
+    // Persons: bare last name alias (natural surname ambiguity).
+    if (rec.type == EntityType::kPerson &&
+        rng.NextBool(opt.short_alias_fraction)) {
+      std::string last = LastWord(rec.label);
+      world.kb.AddEntityAlias(id, last, rec.popularity * 0.5);
+      world.entity_surfaces[id].push_back(last);
+    }
+    // Cross-entity ambiguous aliases: this entity is also known by another
+    // entity's name (same type, usually a different domain).  A second,
+    // weaker alias is drawn with half probability so some surfaces carry
+    // 3-4 senses (the regime of Figure 6(d)).
+    int alias_draws = (rng.NextBool(opt.ambiguous_alias_fraction) ? 1 : 0) +
+                      (rng.NextBool(opt.ambiguous_alias_fraction / 5) ? 1 : 0);
+    for (int draw = 0; draw < alias_draws; ++draw) {
+      for (int attempt = 0; attempt < 16; ++attempt) {
+        EntityId other = static_cast<EntityId>(rng.NextUint64(num_entities));
+        const EntityRecord& other_rec = world.kb.entity(other);
+        if (other == id || other_rec.type != rec.type) continue;
+        // Only short plain labels become shared surfaces; long composite
+        // titles are rarely ambiguous in real KBs.
+        if (std::count(other_rec.label.begin(), other_rec.label.end(), ' ') >
+            2) {
+          continue;
+        }
+        world.kb.AddEntityAlias(id, other_rec.label,
+                                rec.popularity * (draw == 0 ? 0.7 : 0.35));
+        world.entity_surfaces[id].push_back(other_rec.label);
+        break;
+      }
+    }
+  }
+
+  // ---- Predicates ---------------------------------------------------------
+  const std::vector<std::string_view>& verb_pool =
+      text::PredicateVerbLemmas();
+  std::unordered_set<std::string> used_predicate_labels;
+  for (int i = 0; i < opt.num_predicates; ++i) {
+    int32_t domain = i % opt.num_domains;
+    std::string label;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      label = std::string(verb_pool[rng.NextUint64(verb_pool.size())]);
+      if (rng.NextBool(0.35)) {
+        label += " " + Pick(text::VerbParticles(), rng);
+      }
+      if (used_predicate_labels.insert(label).second) break;
+      label.clear();
+    }
+    if (label.empty()) {
+      label = std::string(verb_pool[i % verb_pool.size()]) + " " +
+              std::to_string(i);
+      used_predicate_labels.insert(label);
+    }
+    double popularity = 1.0 / std::sqrt(static_cast<double>(i + 1));
+    PredicateId pid = world.kb.AddPredicate(label, domain, popularity);
+    world.predicates_by_domain[domain].push_back(pid);
+    world.predicate_surfaces.push_back({label});
+  }
+  // Verb alias collisions: predicate also answers to another predicate's
+  // verb (one relational phrase, several candidate predicates).
+  for (PredicateId pid = 0; pid < world.kb.num_predicates(); ++pid) {
+    if (!rng.NextBool(opt.predicate_alias_collision)) continue;
+    PredicateId other = static_cast<PredicateId>(
+        rng.NextUint64(world.kb.num_predicates()));
+    if (other == pid) continue;
+    const std::string& alias = world.kb.predicate(other).label;
+    world.kb.AddPredicateAlias(pid, alias,
+                               world.kb.predicate(pid).popularity * 0.6);
+    world.predicate_surfaces[pid].push_back(alias);
+  }
+
+  // ---- Facts --------------------------------------------------------------
+  for (int32_t d = 0; d < opt.num_domains; ++d) {
+    for (EntityId subject : world.entities_by_domain[d]) {
+      for (int f = 0; f < opt.facts_per_entity; ++f) {
+        int32_t object_domain = d;
+        if (rng.NextBool(opt.cross_domain_fact_fraction)) {
+          object_domain =
+              static_cast<int32_t>(rng.NextUint64(opt.num_domains));
+        }
+        EntityId object = rng.Pick(world.entities_by_domain[object_domain]);
+        if (object == subject) continue;
+        const std::vector<PredicateId>& home =
+            world.predicates_by_domain[d].empty()
+                ? world.predicates_by_domain[0]
+                : world.predicates_by_domain[d];
+        PredicateId predicate =
+            rng.NextBool(0.7) && !home.empty()
+                ? rng.Pick(home)
+                : static_cast<PredicateId>(
+                      rng.NextUint64(world.kb.num_predicates()));
+        TENET_CHECK(world.kb.AddFact(subject, predicate, object).ok());
+      }
+    }
+  }
+
+  world.kb.Finalize();
+
+  // ---- Gazetteer ----------------------------------------------------------
+  for (EntityId id = 0; id < world.kb.num_entities(); ++id) {
+    const EntityRecord& rec = world.kb.entity(id);
+    bool lowercase = rec.type == EntityType::kTopic;
+    for (const std::string& surface : world.entity_surfaces[id]) {
+      world.gazetteer.AddSurface(surface, rec.type, lowercase);
+    }
+  }
+  return world;
+}
+
+}  // namespace kb
+}  // namespace tenet

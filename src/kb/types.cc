@@ -1,0 +1,35 @@
+#include "kb/types.h"
+
+namespace tenet {
+namespace kb {
+
+std::string_view EntityTypeToString(EntityType type) {
+  switch (type) {
+    case EntityType::kPerson:
+      return "person";
+    case EntityType::kOrganization:
+      return "organization";
+    case EntityType::kLocation:
+      return "location";
+    case EntityType::kWork:
+      return "work";
+    case EntityType::kTopic:
+      return "topic";
+    case EntityType::kEvent:
+      return "event";
+    case EntityType::kProduct:
+      return "product";
+    case EntityType::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+std::string ConceptRefToString(const ConceptRef& ref) {
+  std::string out(ref.is_entity() ? "E" : "P");
+  out += std::to_string(ref.id);
+  return out;
+}
+
+}  // namespace kb
+}  // namespace tenet

@@ -1,0 +1,54 @@
+// Umbrella header of the TENET library: joint entity and relation linking
+// with coherence relaxation (Lin, Chen, Zhang — SIGMOD 2021).
+//
+// A typical embedding of the library:
+//
+//   #include "tenet.h"
+//
+//   // 1. Substrates: a knowledge base, concept embeddings, a gazetteer.
+//   tenet::kb::KnowledgeBase kb = ...;            // or kb::LoadKnowledgeBase
+//   tenet::embedding::EmbeddingStore vectors =
+//       tenet::embedding::StructuralEmbeddingTrainer().Train(kb, rng);
+//   tenet::text::Gazetteer gazetteer = tenet::kb::DeriveGazetteer(kb);
+//
+//   // 2. Link documents.
+//   tenet::core::TenetPipeline pipeline(&kb, &vectors, &gazetteer);
+//   auto result = pipeline.LinkDocument(text);
+//
+//   // 3. Optional: harvest KB-population candidates.
+//   tenet::core::KbPopulator populator(&kb);
+//
+// Layering (each header is also individually includable):
+//   common/     -> error model (Status/Result), Rng, logging, timers
+//   graph/      -> MST, matching, shortest paths, rooted trees
+//   kb/         -> triple store + alias index + persistence + synthesis
+//   embedding/  -> vector store + structural trainer
+//   text/       -> tokenizer, lemmatizer, extractor, gazetteer
+//   core/       -> the paper's algorithms and the end-to-end pipeline
+//   baselines/  -> the comparison systems of the evaluation
+//   datasets/   -> synthetic corpora with gold annotations
+//   eval/       -> scoring and the experiment harness
+#ifndef TENET_TENET_H_
+#define TENET_TENET_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/canopy.h"
+#include "core/coherence_graph.h"
+#include "core/disambiguator.h"
+#include "core/mention.h"
+#include "core/pipeline.h"
+#include "core/population.h"
+#include "core/tree_cover.h"
+#include "core/tree_split.h"
+#include "embedding/embedding_store.h"
+#include "embedding/trainer.h"
+#include "kb/io.h"
+#include "kb/knowledge_base.h"
+#include "kb/synthetic_kb.h"
+#include "kb/types.h"
+#include "text/extraction.h"
+#include "text/gazetteer.h"
+
+#endif  // TENET_TENET_H_

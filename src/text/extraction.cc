@@ -1,0 +1,246 @@
+#include "text/extraction.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/lemmatizer.h"
+#include "text/tokenizer.h"
+#include "text/wordlists.h"
+
+namespace tenet {
+namespace text {
+namespace {
+
+bool IsInPool(const std::vector<std::string_view>& pool,
+              std::string_view word) {
+  std::string lower = AsciiToLower(word);
+  return std::find(pool.begin(), pool.end(), lower) != pool.end();
+}
+
+bool IsPronoun(std::string_view word) { return IsInPool(Pronouns(), word); }
+
+// True when a capitalized sentence-initial token is merely a function word
+// ("The", "He", "During") rather than the start of a name.
+bool IsFunctionWord(std::string_view word) {
+  return IsInPool(Stopwords(), word) || IsInPool(Determiners(), word) ||
+         IsKnownVerbForm(word);
+}
+
+std::string JoinTokens(const TokenizedDocument& doc, int begin, int end) {
+  std::string out;
+  for (int i = begin; i < end; ++i) {
+    if (!out.empty() && !doc.tokens[i].is_punct) out += ' ';
+    out += doc.tokens[i].t;
+  }
+  return out;
+}
+
+}  // namespace
+
+Extractor::Extractor(const Gazetteer* gazetteer) : gazetteer_(gazetteer) {
+  TENET_CHECK(gazetteer != nullptr);
+}
+
+ExtractionResult Extractor::ExtractFromText(
+    std::string_view document_text) const {
+  return Extract(Tokenize(document_text));
+}
+
+ExtractionResult Extractor::Extract(const TokenizedDocument& doc) const {
+  ExtractionResult result;
+  const int num_tokens = static_cast<int>(doc.tokens.size());
+  std::vector<bool> in_mention(num_tokens, false);
+
+  // ---- Pass 1: capitalized-run mentions ---------------------------------
+  for (int s = 0; s < doc.num_sentences(); ++s) {
+    const int sent_begin = doc.sentence_begin[s];
+    const int sent_end = doc.SentenceEnd(s);
+    int i = sent_begin;
+    while (i < sent_end) {
+      const Token& tok = doc.tokens[i];
+      bool starts_run = !tok.is_punct && IsCapitalized(tok.t);
+      if (starts_run && i == sent_begin && IsFunctionWord(tok.t)) {
+        // Sentence-initial "The"/"He"/"During": only a name start when it is
+        // a capitalized determiner directly followed by another capitalized
+        // word ("The Storm ...").
+        bool title_start =
+            IsInPool(Determiners(), tok.t) && i + 1 < sent_end &&
+            !doc.tokens[i + 1].is_punct && IsCapitalized(doc.tokens[i + 1].t);
+        if (!title_start) starts_run = false;
+      }
+      if (starts_run && IsPronoun(tok.t)) starts_run = false;
+      if (!starts_run) {
+        ++i;
+        continue;
+      }
+      int begin = i;
+      int end = i + 1;
+      // A run extends over strictly capitalized tokens; lowercase connectors
+      // ("of the") intentionally terminate it — they are the linguistic
+      // features that the canopy machinery rejoins later.  A number joins
+      // the run only at its end ("Falcon 9"); a number *between* two
+      // capitalized tokens stays outside as a connector ("Apollo 11
+      // mission" style, Sec. 5.1).
+      while (end < sent_end && !doc.tokens[end].is_punct &&
+             IsCapitalized(doc.tokens[end].t)) {
+        ++end;
+      }
+      if (end < sent_end && !doc.tokens[end].is_punct &&
+          IsAsciiNumber(doc.tokens[end].t) &&
+          !(end + 1 < sent_end && !doc.tokens[end + 1].is_punct &&
+            IsCapitalized(doc.tokens[end + 1].t))) {
+        ++end;
+      }
+      ShortMention mention;
+      mention.surface = JoinTokens(doc, begin, end);
+      mention.type = gazetteer_->LookupType(mention.surface);
+      mention.sentence = s;
+      mention.token_begin = begin;
+      mention.token_end = end;
+      for (int t = begin; t < end; ++t) in_mention[t] = true;
+      result.mentions.push_back(std::move(mention));
+      i = end;
+    }
+  }
+
+  // ---- Pass 2: lowercase gazetteer mentions (topics) --------------------
+  const int max_ngram = std::max(1, gazetteer_->max_lowercase_tokens());
+  for (int s = 0; s < doc.num_sentences(); ++s) {
+    const int sent_begin = doc.sentence_begin[s];
+    const int sent_end = doc.SentenceEnd(s);
+    int i = sent_begin;
+    while (i < sent_end) {
+      if (in_mention[i] || doc.tokens[i].is_punct ||
+          IsCapitalized(doc.tokens[i].t)) {
+        ++i;
+        continue;
+      }
+      int matched_end = -1;
+      for (int n = std::min(max_ngram, sent_end - i); n >= 1; --n) {
+        int end = i + n;
+        bool clean = true;
+        for (int t = i; t < end; ++t) {
+          if (in_mention[t] || doc.tokens[t].is_punct) {
+            clean = false;
+            break;
+          }
+        }
+        if (!clean) continue;
+        std::string surface = JoinTokens(doc, i, end);
+        if (gazetteer_->IsLowercaseMention(surface)) {
+          matched_end = end;
+          break;  // longest match wins
+        }
+      }
+      if (matched_end < 0) {
+        ++i;
+        continue;
+      }
+      ShortMention mention;
+      mention.surface = JoinTokens(doc, i, matched_end);
+      mention.type = gazetteer_->LookupType(mention.surface);
+      mention.sentence = s;
+      mention.token_begin = i;
+      mention.token_end = matched_end;
+      for (int t = i; t < matched_end; ++t) in_mention[t] = true;
+      result.mentions.push_back(std::move(mention));
+      i = matched_end;
+    }
+  }
+
+  // Keep mentions in document order (pass 2 appended out of order).
+  std::sort(result.mentions.begin(), result.mentions.end(),
+            [](const ShortMention& a, const ShortMention& b) {
+              return a.token_begin < b.token_begin;
+            });
+
+  // ---- Pass 3: relational phrases (Open-IE-lite) -------------------------
+  // An anchor is a mention span or a resolvable pronoun.  A relation is kept
+  // only when a verb (+ optional particle) lies between two anchors of the
+  // same sentence, mirroring the paper's "relational phrases that connect
+  // two noun phrases in a triple".
+  std::vector<bool> is_anchor_token(num_tokens, false);
+  for (const ShortMention& m : result.mentions) {
+    for (int t = m.token_begin; t < m.token_end; ++t) is_anchor_token[t] = true;
+  }
+  bool seen_person_before = false;  // any prior person/org mention to bind a pronoun
+  int mention_cursor = 0;
+  for (int s = 0; s < doc.num_sentences(); ++s) {
+    const int sent_begin = doc.sentence_begin[s];
+    const int sent_end = doc.SentenceEnd(s);
+    // Advance the cursor over mentions before this sentence; pronouns bind
+    // to any earlier person/organization mention.
+    while (mention_cursor < static_cast<int>(result.mentions.size()) &&
+           result.mentions[mention_cursor].sentence < s) {
+      const std::optional<kb::EntityType>& type =
+          result.mentions[mention_cursor].type;
+      if (type == kb::EntityType::kPerson ||
+          type == kb::EntityType::kOrganization || !type.has_value()) {
+        seen_person_before = true;
+      }
+      ++mention_cursor;
+    }
+    for (int i = sent_begin; i < sent_end; ++i) {
+      const Token& tok = doc.tokens[i];
+      if (tok.is_punct || in_mention[i]) continue;
+      if (!IsKnownVerbForm(tok.t) || IsCapitalized(tok.t)) continue;
+
+      int end = i + 1;
+      if (end < sent_end && !doc.tokens[end].is_punct &&
+          IsInPool(VerbParticles(), doc.tokens[end].t) && !in_mention[end]) {
+        ++end;
+      }
+      // Left anchor: a mention token or pronoun earlier in the sentence, or
+      // a pronoun resolved from a previous sentence's subject.
+      bool left_anchor = false;
+      for (int t = sent_begin; t < i; ++t) {
+        if (is_anchor_token[t]) {
+          left_anchor = true;
+          break;
+        }
+        if (!doc.tokens[t].is_punct && IsPronoun(doc.tokens[t].t) &&
+            seen_person_before) {
+          left_anchor = true;
+          break;
+        }
+      }
+      // Right anchor: a mention token after the phrase in the same sentence.
+      bool right_anchor = false;
+      for (int t = end; t < sent_end; ++t) {
+        if (is_anchor_token[t]) {
+          right_anchor = true;
+          break;
+        }
+      }
+      if (!left_anchor || !right_anchor) continue;
+
+      ExtractedRelation rel;
+      rel.raw = JoinTokens(doc, i, end);
+      rel.lemma = LemmatizeRelationalPhrase(rel.raw);
+      rel.sentence = s;
+      rel.token_begin = i;
+      rel.token_end = end;
+      result.relations.push_back(std::move(rel));
+      i = end - 1;
+    }
+  }
+
+  // ---- Pass 4: feature links between adjacent mentions -------------------
+  result.link_after.assign(result.mentions.size(), std::nullopt);
+  for (size_t m = 0; m + 1 < result.mentions.size(); ++m) {
+    const ShortMention& left = result.mentions[m];
+    const ShortMention& right = result.mentions[m + 1];
+    if (left.sentence != right.sentence) continue;
+    if (left.token_end > right.token_begin) continue;  // overlap safety
+    std::vector<std::string> gap;
+    for (int t = left.token_end; t < right.token_begin; ++t) {
+      gap.push_back(doc.tokens[t].t);
+    }
+    result.link_after[m] = ClassifyConnector(gap);
+  }
+  return result;
+}
+
+}  // namespace text
+}  // namespace tenet

@@ -1,0 +1,49 @@
+#include "text/features.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "text/wordlists.h"
+
+namespace tenet {
+namespace text {
+namespace {
+
+bool IsIn(const std::vector<std::string_view>& pool, std::string_view word) {
+  std::string lower = AsciiToLower(word);
+  return std::find(pool.begin(), pool.end(), lower) != pool.end();
+}
+
+}  // namespace
+
+std::optional<Connector> ClassifyConnector(
+    const std::vector<std::string>& gap) {
+  if (gap.empty() || gap.size() > 2) return std::nullopt;
+
+  if (gap.size() == 1) {
+    const std::string& w = gap[0];
+    if (IsIn(CoordinatingConjunctions(), w)) {
+      return Connector{ConnectorKind::kConjunction, AsciiToLower(w)};
+    }
+    if (IsIn(Prepositions(), w)) {
+      return Connector{ConnectorKind::kPreposition, AsciiToLower(w)};
+    }
+    if (IsNumberWord(w)) {
+      return Connector{ConnectorKind::kNumber, w};
+    }
+    if (IsIn(ConnectorPunctuation(), w)) {
+      return Connector{ConnectorKind::kPunctuation, w};
+    }
+    return std::nullopt;
+  }
+
+  // Two tokens: preposition + determiner ("on the", "of the").
+  if (IsIn(Prepositions(), gap[0]) && IsIn(Determiners(), gap[1])) {
+    return Connector{ConnectorKind::kPreposition,
+                     AsciiToLower(gap[0]) + " " + AsciiToLower(gap[1])};
+  }
+  return std::nullopt;
+}
+
+}  // namespace text
+}  // namespace tenet

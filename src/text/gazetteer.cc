@@ -1,0 +1,42 @@
+#include "text/gazetteer.h"
+
+#include "common/string_util.h"
+
+namespace tenet {
+namespace text {
+
+void Gazetteer::AddSurface(std::string_view surface, kb::EntityType type,
+                           bool lowercase_mention) {
+  std::string key = AsciiToLower(surface);
+  if (key.empty()) return;
+  auto [it, inserted] = entries_.emplace(key, Entry{type, lowercase_mention});
+  if (!inserted) {
+    it->second.lowercase_mention |= lowercase_mention;
+  }
+  if (lowercase_mention) {
+    int tokens = 1;
+    for (char c : key) {
+      if (c == ' ') ++tokens;
+    }
+    if (tokens > max_lowercase_tokens_) max_lowercase_tokens_ = tokens;
+  }
+}
+
+std::optional<kb::EntityType> Gazetteer::LookupType(
+    std::string_view surface) const {
+  auto it = entries_.find(AsciiToLower(surface));
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.type;
+}
+
+bool Gazetteer::Contains(std::string_view surface) const {
+  return entries_.count(AsciiToLower(surface)) > 0;
+}
+
+bool Gazetteer::IsLowercaseMention(std::string_view surface) const {
+  auto it = entries_.find(AsciiToLower(surface));
+  return it != entries_.end() && it->second.lowercase_mention;
+}
+
+}  // namespace text
+}  // namespace tenet

@@ -1,0 +1,57 @@
+#ifndef TENET_TEXT_GAZETTEER_H_
+#define TENET_TEXT_GAZETTEER_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "kb/types.h"
+
+namespace tenet {
+namespace text {
+
+// Surface-form dictionary used for NER-style typing and for recognizing
+// lowercase mentions (topics such as "machine learning" that carry no
+// capitalization signal).  This is the TAGME-dictionary stand-in: in the
+// paper the spotter's dictionary is likewise derived from the KB's
+// labels/aliases.
+//
+// Lookups are case-insensitive.  A surface registered multiple times with
+// different types keeps the first type (dominant sense).
+class Gazetteer {
+ public:
+  Gazetteer() = default;
+
+  /// Registers a surface form with its entity type.  `lowercase_mention`
+  /// marks surfaces that should be spotted even without capitalization.
+  void AddSurface(std::string_view surface, kb::EntityType type,
+                  bool lowercase_mention = false);
+
+  /// NER type of `surface`, or nullopt when unknown.
+  std::optional<kb::EntityType> LookupType(std::string_view surface) const;
+
+  bool Contains(std::string_view surface) const;
+
+  /// True when `surface` may be spotted in lowercase text.
+  bool IsLowercaseMention(std::string_view surface) const;
+
+  /// Longest registered lowercase-mention phrase, in whitespace tokens;
+  /// bounds the n-gram scan of the extractor.
+  int max_lowercase_tokens() const { return max_lowercase_tokens_; }
+
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    kb::EntityType type;
+    bool lowercase_mention;
+  };
+  std::unordered_map<std::string, Entry> entries_;
+  int max_lowercase_tokens_ = 0;
+};
+
+}  // namespace text
+}  // namespace tenet
+
+#endif  // TENET_TEXT_GAZETTEER_H_

@@ -1,0 +1,61 @@
+#include "text/lemmatizer.h"
+
+#include "common/string_util.h"
+#include "text/wordlists.h"
+
+namespace tenet {
+namespace text {
+
+std::string LemmatizeVerb(std::string_view word) {
+  std::string lower = AsciiToLower(word);
+  if (const VerbForms* v = FindVerbByAnyForm(lower)) {
+    return std::string(v->lemma);
+  }
+  // Fallback suffix rules for verbs outside the table.
+  auto ends = [&lower](std::string_view suffix) {
+    return EndsWith(lower, suffix) && lower.size() > suffix.size() + 1;
+  };
+  if (ends("ies")) return lower.substr(0, lower.size() - 3) + "y";
+  if (ends("ied")) return lower.substr(0, lower.size() - 3) + "y";
+  if (ends("ing") && lower.size() > 5) {
+    std::string stem = lower.substr(0, lower.size() - 3);
+    // doubled final consonant: "starring" -> "star"
+    if (stem.size() >= 2 && stem[stem.size() - 1] == stem[stem.size() - 2]) {
+      stem.pop_back();
+    }
+    return stem;
+  }
+  if (ends("ed")) {
+    std::string stem = lower.substr(0, lower.size() - 2);
+    if (stem.size() >= 2 && stem[stem.size() - 1] == stem[stem.size() - 2]) {
+      stem.pop_back();
+    }
+    return stem;
+  }
+  if (ends("es") && (EndsWith(lower, "shes") || EndsWith(lower, "ches") ||
+                     EndsWith(lower, "xes") || EndsWith(lower, "sses"))) {
+    return lower.substr(0, lower.size() - 2);
+  }
+  if (ends("s") && !EndsWith(lower, "ss")) {
+    return lower.substr(0, lower.size() - 1);
+  }
+  return lower;
+}
+
+std::string LemmatizeRelationalPhrase(std::string_view phrase) {
+  std::vector<std::string> words = SplitString(phrase, ' ');
+  if (words.empty()) return "";
+  std::string out = LemmatizeVerb(words[0]);
+  for (size_t i = 1; i < words.size(); ++i) {
+    out += ' ';
+    out += AsciiToLower(words[i]);
+  }
+  return out;
+}
+
+bool IsKnownVerbForm(std::string_view word) {
+  return FindVerbByAnyForm(AsciiToLower(word)) != nullptr;
+}
+
+}  // namespace text
+}  // namespace tenet

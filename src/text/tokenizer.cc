@@ -1,0 +1,87 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace tenet {
+namespace text {
+namespace {
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '\'';
+}
+
+bool IsSentenceTerminator(char c) { return c == '.' || c == '!' || c == '?'; }
+
+bool IsPunct(char c) {
+  switch (c) {
+    case '.':
+    case ',':
+    case ':':
+    case ';':
+    case '!':
+    case '?':
+    case '(':
+    case ')':
+    case '"':
+    case '-':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+TokenizedDocument Tokenize(std::string_view s) {
+  TokenizedDocument doc;
+  int sentence = 0;
+  bool sentence_open = false;
+  size_t i = 0;
+  auto emit = [&](std::string token_text, bool is_punct) {
+    if (!sentence_open) {
+      doc.sentence_begin.push_back(static_cast<int>(doc.tokens.size()));
+      sentence_open = true;
+    }
+    Token t;
+    t.t = std::move(token_text);
+    t.sentence = sentence;
+    t.index = static_cast<int>(doc.tokens.size());
+    t.is_punct = is_punct;
+    doc.tokens.push_back(std::move(t));
+  };
+
+  while (i < s.size()) {
+    char c = s[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsWordChar(c)) {
+      size_t begin = i;
+      while (i < s.size() &&
+             (IsWordChar(s[i]) ||
+              // keep intra-word hyphens: "co-author"
+              (s[i] == '-' && i + 1 < s.size() && IsWordChar(s[i + 1]) &&
+               i > begin))) {
+        ++i;
+      }
+      emit(std::string(s.substr(begin, i - begin)), /*is_punct=*/false);
+      continue;
+    }
+    if (IsPunct(c)) {
+      emit(std::string(1, c), /*is_punct=*/true);
+      ++i;
+      if (IsSentenceTerminator(c) && sentence_open) {
+        sentence_open = false;
+        ++sentence;
+      }
+      continue;
+    }
+    // Unknown byte: skip.
+    ++i;
+  }
+  return doc;
+}
+
+}  // namespace text
+}  // namespace tenet

@@ -1,0 +1,22 @@
+#ifndef TENET_TEXT_TOKENIZER_H_
+#define TENET_TEXT_TOKENIZER_H_
+
+#include <string_view>
+
+#include "text/token.h"
+
+namespace tenet {
+namespace text {
+
+// Rule-based tokenizer + sentence splitter (the NLTK stand-in).
+//
+// Tokens are maximal runs of letters/digits/apostrophes; the punctuation
+// characters . , : ; ! ? ( ) " become single-character punctuation tokens.
+// A hyphen between word characters stays inside the token ("co-author");
+// a free-standing hyphen becomes punctuation.  Sentences end at . ! ?
+TokenizedDocument Tokenize(std::string_view document_text);
+
+}  // namespace text
+}  // namespace tenet
+
+#endif  // TENET_TEXT_TOKENIZER_H_

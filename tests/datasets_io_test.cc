@@ -1,0 +1,123 @@
+#include "datasets/io.h"
+
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "datasets/corpus_generator.h"
+#include "datasets/world.h"
+
+namespace tenet {
+namespace datasets {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+Dataset MakeDataset() {
+  SyntheticWorld world = BuildWorld({.kb = {.num_domains = 3,
+                                            .entities_per_domain = 15,
+                                            .num_predicates = 8},
+                                     .embeddings = {},
+                                     .seed = 111});
+  CorpusGenerator gen(&world.kb_world);
+  Rng rng(112);
+  DatasetSpec spec = NewsSpec();
+  spec.num_docs = 5;
+  return gen.Generate(spec, rng);
+}
+
+TEST(DatasetsIoTest, RoundTripIsExact) {
+  Dataset original = MakeDataset();
+  std::string path = TempPath("corpus.tenetds");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  Result<Dataset> loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  EXPECT_EQ(loaded->name, original.name);
+  EXPECT_EQ(loaded->has_relation_gold, original.has_relation_gold);
+  ASSERT_EQ(loaded->documents.size(), original.documents.size());
+  for (size_t d = 0; d < original.documents.size(); ++d) {
+    const Document& a = original.documents[d];
+    const Document& b = loaded->documents[d];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.text, b.text);
+    EXPECT_EQ(a.num_words, b.num_words);
+    EXPECT_EQ(a.advertisement, b.advertisement);
+    ASSERT_EQ(a.gold_entities.size(), b.gold_entities.size());
+    for (size_t i = 0; i < a.gold_entities.size(); ++i) {
+      EXPECT_EQ(a.gold_entities[i].surface, b.gold_entities[i].surface);
+      EXPECT_EQ(a.gold_entities[i].sentence, b.gold_entities[i].sentence);
+      EXPECT_EQ(a.gold_entities[i].entity, b.gold_entities[i].entity);
+    }
+    ASSERT_EQ(a.gold_predicates.size(), b.gold_predicates.size());
+    for (size_t i = 0; i < a.gold_predicates.size(); ++i) {
+      EXPECT_EQ(a.gold_predicates[i].lemma, b.gold_predicates[i].lemma);
+      EXPECT_EQ(a.gold_predicates[i].predicate,
+                b.gold_predicates[i].predicate);
+    }
+  }
+}
+
+TEST(DatasetsIoTest, NonLinkableGoldSurvives) {
+  Dataset original = MakeDataset();
+  bool has_nil = false;
+  for (const Document& d : original.documents) {
+    has_nil |= d.NumNonLinkableEntities() > 0;
+  }
+  ASSERT_TRUE(has_nil);
+  std::string path = TempPath("corpus_nil.tenetds");
+  ASSERT_TRUE(SaveDataset(original, path).ok());
+  Result<Dataset> loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t d = 0; d < original.documents.size(); ++d) {
+    EXPECT_EQ(loaded->documents[d].NumNonLinkableEntities(),
+              original.documents[d].NumNonLinkableEntities());
+    EXPECT_EQ(loaded->documents[d].NumNonLinkablePredicates(),
+              original.documents[d].NumNonLinkablePredicates());
+  }
+}
+
+TEST(DatasetsIoTest, EmptyDatasetRoundTrips) {
+  Dataset empty;
+  empty.name = "empty";
+  std::string path = TempPath("empty.tenetds");
+  ASSERT_TRUE(SaveDataset(empty, path).ok());
+  Result<Dataset> loaded = LoadDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->name, "empty");
+  EXPECT_TRUE(loaded->documents.empty());
+}
+
+TEST(DatasetsIoTest, LoadRejectsGarbageAndTruncation) {
+  std::string path = TempPath("garbage.tenetds");
+  {
+    std::ofstream out(path);
+    out << "nope\n";
+  }
+  EXPECT_TRUE(LoadDataset(path).status().IsInvalidArgument());
+
+  Dataset ds = MakeDataset();
+  ASSERT_TRUE(SaveDataset(ds, path).ok());
+  // Truncate to the first 4 lines.
+  std::ifstream in(path);
+  std::string head;
+  std::string line;
+  for (int i = 0; i < 4 && std::getline(in, line); ++i) head += line + "\n";
+  in.close();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << head;
+  }
+  EXPECT_FALSE(LoadDataset(path).ok());
+}
+
+TEST(DatasetsIoTest, MissingFileIsNotFound) {
+  EXPECT_TRUE(
+      LoadDataset(TempPath("missing.tenetds")).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace datasets
+}  // namespace tenet

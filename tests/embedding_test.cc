@@ -1,0 +1,156 @@
+#include "embedding/embedding_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "embedding/trainer.h"
+#include "kb/synthetic_kb.h"
+
+namespace tenet {
+namespace embedding {
+namespace {
+
+using kb::ConceptRef;
+
+TEST(EmbeddingStoreTest, VectorRoundTrip) {
+  EmbeddingStore store(4, 2, 1);
+  std::span<float> v = store.MutableVector(ConceptRef::Entity(1));
+  v[0] = 1.0f;
+  v[3] = -2.0f;
+  store.Finalize();
+  std::span<const float> read = store.Vector(ConceptRef::Entity(1));
+  EXPECT_FLOAT_EQ(read[0], 1.0f);
+  EXPECT_FLOAT_EQ(read[1], 0.0f);
+  EXPECT_FLOAT_EQ(read[3], -2.0f);
+}
+
+TEST(EmbeddingStoreTest, CosineBasics) {
+  EmbeddingStore store(3, 3, 0);
+  auto a = store.MutableVector(ConceptRef::Entity(0));
+  a[0] = 1.0f;
+  auto b = store.MutableVector(ConceptRef::Entity(1));
+  b[0] = 2.0f;  // same direction
+  auto c = store.MutableVector(ConceptRef::Entity(2));
+  c[1] = 5.0f;  // orthogonal
+  store.Finalize();
+
+  EXPECT_NEAR(store.Cosine(ConceptRef::Entity(0), ConceptRef::Entity(1)),
+              1.0, 1e-6);
+  EXPECT_NEAR(store.Cosine(ConceptRef::Entity(0), ConceptRef::Entity(2)),
+              0.0, 1e-6);
+  EXPECT_NEAR(
+      store.CosineDistance(ConceptRef::Entity(0), ConceptRef::Entity(2)),
+      1.0, 1e-6);
+}
+
+TEST(EmbeddingStoreTest, ZeroVectorHasZeroCosine) {
+  EmbeddingStore store(3, 2, 0);
+  auto a = store.MutableVector(ConceptRef::Entity(0));
+  a[0] = 1.0f;
+  store.Finalize();
+  EXPECT_DOUBLE_EQ(store.Cosine(ConceptRef::Entity(0), ConceptRef::Entity(1)),
+                   0.0);
+}
+
+TEST(EmbeddingStoreTest, EntityAndPredicateSpacesAreDistinct) {
+  EmbeddingStore store(2, 1, 1);
+  auto e = store.MutableVector(ConceptRef::Entity(0));
+  e[0] = 1.0f;
+  auto p = store.MutableVector(ConceptRef::Predicate(0));
+  p[1] = 1.0f;
+  store.Finalize();
+  EXPECT_NEAR(store.Cosine(ConceptRef::Entity(0), ConceptRef::Predicate(0)),
+              0.0, 1e-6);
+}
+
+class TrainerTest : public ::testing::Test {
+ protected:
+  static kb::SyntheticKb BuildWorld(uint64_t seed) {
+    kb::SyntheticKbOptions options;
+    options.num_domains = 4;
+    options.entities_per_domain = 25;
+    options.num_predicates = 12;
+    Rng rng(seed);
+    return kb::SyntheticKbGenerator(options).Generate(rng);
+  }
+};
+
+TEST_F(TrainerTest, IntraDomainSimilarityExceedsCrossDomain) {
+  kb::SyntheticKb world = BuildWorld(5);
+  Rng rng(42);
+  EmbeddingStore store = StructuralEmbeddingTrainer().Train(world.kb, rng);
+
+  double intra_sum = 0.0;
+  int intra_count = 0;
+  double cross_sum = 0.0;
+  int cross_count = 0;
+  Rng pair_rng(7);
+  for (int i = 0; i < 4000; ++i) {
+    kb::EntityId a =
+        static_cast<kb::EntityId>(pair_rng.NextUint64(world.kb.num_entities()));
+    kb::EntityId b =
+        static_cast<kb::EntityId>(pair_rng.NextUint64(world.kb.num_entities()));
+    if (a == b) continue;
+    double cosine =
+        store.Cosine(ConceptRef::Entity(a), ConceptRef::Entity(b));
+    if (world.kb.entity(a).domain == world.kb.entity(b).domain) {
+      intra_sum += cosine;
+      ++intra_count;
+    } else {
+      cross_sum += cosine;
+      ++cross_count;
+    }
+  }
+  ASSERT_GT(intra_count, 0);
+  ASSERT_GT(cross_count, 0);
+  double intra_mean = intra_sum / intra_count;
+  double cross_mean = cross_sum / cross_count;
+  EXPECT_GT(intra_mean, cross_mean + 0.3)
+      << "intra=" << intra_mean << " cross=" << cross_mean;
+}
+
+TEST_F(TrainerTest, PredicatesAlignWithTheirDomainEntities) {
+  kb::SyntheticKb world = BuildWorld(6);
+  Rng rng(43);
+  EmbeddingStore store = StructuralEmbeddingTrainer().Train(world.kb, rng);
+
+  double same = 0.0;
+  double other = 0.0;
+  int count = 0;
+  for (kb::PredicateId p = 0; p < world.kb.num_predicates(); ++p) {
+    int32_t d = world.kb.predicate(p).domain;
+    int32_t d_other = (d + 1) % static_cast<int32_t>(
+                                    world.entities_by_domain.size());
+    if (world.entities_by_domain[d].empty() ||
+        world.entities_by_domain[d_other].empty()) {
+      continue;
+    }
+    same += store.Cosine(ConceptRef::Predicate(p),
+                         ConceptRef::Entity(world.entities_by_domain[d][0]));
+    other += store.Cosine(
+        ConceptRef::Predicate(p),
+        ConceptRef::Entity(world.entities_by_domain[d_other][0]));
+    ++count;
+  }
+  ASSERT_GT(count, 0);
+  EXPECT_GT(same / count, other / count);
+}
+
+TEST_F(TrainerTest, DeterministicGivenSeed) {
+  kb::SyntheticKb world = BuildWorld(8);
+  Rng rng1(11);
+  Rng rng2(11);
+  EmbeddingStore s1 = StructuralEmbeddingTrainer().Train(world.kb, rng1);
+  EmbeddingStore s2 = StructuralEmbeddingTrainer().Train(world.kb, rng2);
+  for (kb::EntityId e = 0; e < world.kb.num_entities(); e += 7) {
+    auto v1 = s1.Vector(ConceptRef::Entity(e));
+    auto v2 = s2.Vector(ConceptRef::Entity(e));
+    for (int d = 0; d < s1.dimension(); ++d) {
+      EXPECT_FLOAT_EQ(v1[d], v2[d]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace embedding
+}  // namespace tenet

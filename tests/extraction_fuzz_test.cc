@@ -1,0 +1,110 @@
+// Robustness tests: the text pipeline must behave sanely on arbitrary
+// byte soup, degenerate inputs, and adversarial token patterns — never
+// crash, never emit inconsistent spans.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/extraction.h"
+#include "text/tokenizer.h"
+
+namespace tenet {
+namespace text {
+namespace {
+
+Gazetteer SmallGazetteer() {
+  Gazetteer g;
+  g.AddSurface("Brooklyn", kb::EntityType::kLocation);
+  g.AddSurface("machine learning", kb::EntityType::kTopic, true);
+  return g;
+}
+
+void CheckConsistency(const TokenizedDocument& doc,
+                      const ExtractionResult& r) {
+  const int num_tokens = static_cast<int>(doc.tokens.size());
+  ASSERT_EQ(r.link_after.size(), r.mentions.size());
+  for (size_t i = 0; i < r.mentions.size(); ++i) {
+    const ShortMention& m = r.mentions[i];
+    EXPECT_GE(m.token_begin, 0);
+    EXPECT_LT(m.token_begin, m.token_end);
+    EXPECT_LE(m.token_end, num_tokens);
+    EXPECT_GE(m.sentence, 0);
+    EXPECT_LT(m.sentence, std::max(1, doc.num_sentences()));
+    EXPECT_FALSE(m.surface.empty());
+    if (i + 1 < r.mentions.size()) {
+      EXPECT_LE(m.token_end, r.mentions[i + 1].token_begin + 0)
+          << "overlapping mentions";
+      EXPECT_LE(m.token_begin, r.mentions[i + 1].token_begin);
+    }
+  }
+  for (const ExtractedRelation& rel : r.relations) {
+    EXPECT_GE(rel.token_begin, 0);
+    EXPECT_LT(rel.token_begin, rel.token_end);
+    EXPECT_LE(rel.token_end, num_tokens);
+    EXPECT_FALSE(rel.lemma.empty());
+  }
+}
+
+TEST(ExtractionFuzzTest, DegenerateInputs) {
+  Gazetteer g = SmallGazetteer();
+  Extractor extractor(&g);
+  for (const char* text :
+       {"", ".", "...", "???!!!", "and and and", "of of of", "11 22 33",
+        ": : :", "a", "A", "A.", "The.", "He she it they.",
+        "AAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAAA",
+        "visited visited visited.", "- - - -", "(((((", "\"\"\"",
+        "Brooklyn Brooklyn Brooklyn Brooklyn."}) {
+    TokenizedDocument doc = Tokenize(text);
+    ExtractionResult r = extractor.Extract(doc);
+    CheckConsistency(doc, r);
+  }
+}
+
+class ExtractionFuzzCase : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExtractionFuzzCase, RandomByteSoupNeverCrashes) {
+  Rng rng(GetParam());
+  Gazetteer g = SmallGazetteer();
+  Extractor extractor(&g);
+  std::string text;
+  const int length = 40 + static_cast<int>(rng.NextUint64(400));
+  for (int i = 0; i < length; ++i) {
+    text.push_back(static_cast<char>(rng.NextUint64(127 - 32) + 32));
+  }
+  TokenizedDocument doc = Tokenize(text);
+  ExtractionResult r = extractor.Extract(doc);
+  CheckConsistency(doc, r);
+}
+
+TEST_P(ExtractionFuzzCase, RandomWordSoupNeverCrashes) {
+  Rng rng(GetParam() + 5000);
+  Gazetteer g = SmallGazetteer();
+  Extractor extractor(&g);
+  // Random mixture of names, verbs, connectors, numbers, punctuation.
+  const char* pool[] = {"Brooklyn", "visited", "and",     "of",  "the",
+                        "machine",  "learning", "11",      ".",   ",",
+                        "He",       "Zorvex",   "painted", ":",   "-",
+                        "quantum",  "a",        "The",     "Sea", "?"};
+  std::string text;
+  const int words = 10 + static_cast<int>(rng.NextUint64(120));
+  for (int i = 0; i < words; ++i) {
+    if (i > 0) text += ' ';
+    text += pool[rng.NextUint64(std::size(pool))];
+  }
+  TokenizedDocument doc = Tokenize(text);
+  ExtractionResult r = extractor.Extract(doc);
+  CheckConsistency(doc, r);
+
+  // Tokenization itself is also consistent.
+  for (int s = 0; s < doc.num_sentences(); ++s) {
+    EXPECT_LE(doc.sentence_begin[s], doc.SentenceEnd(s));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtractionFuzzCase,
+                         ::testing::Range<uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace text
+}  // namespace tenet

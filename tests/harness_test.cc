@@ -1,0 +1,136 @@
+// Smoke tests of the experiment harness (eval/harness) and the sparsity
+// analysis (eval/sparsity), over a miniature world.
+#include <gtest/gtest.h>
+
+#include "baselines/falcon_like.h"
+#include "baselines/tenet_linker.h"
+#include "datasets/corpus_generator.h"
+#include "datasets/world.h"
+#include "eval/harness.h"
+#include "eval/sparsity.h"
+
+namespace tenet {
+namespace eval {
+namespace {
+
+const datasets::SyntheticWorld& World() {
+  static const datasets::SyntheticWorld* world =
+      new datasets::SyntheticWorld(datasets::BuildWorld());
+  return *world;
+}
+
+datasets::Dataset TinyDataset(uint64_t seed) {
+  datasets::CorpusGenerator gen(&World().kb_world);
+  Rng rng(seed);
+  datasets::DatasetSpec spec = datasets::TRex42Spec();
+  spec.num_docs = 5;
+  return gen.Generate(spec, rng);
+}
+
+baselines::BaselineSubstrate Substrate() {
+  return baselines::BaselineSubstrate{
+      &World().kb(), &World().embeddings, &World().gazetteer(), {}};
+}
+
+TEST(HarnessTest, EndToEndProducesConsistentScores) {
+  datasets::Dataset ds = TinyDataset(51);
+  baselines::TenetLinker tenet(Substrate());
+  SystemScores scores = EvaluateEndToEnd(tenet, ds);
+  EXPECT_EQ(scores.system, "TENET");
+  EXPECT_EQ(scores.dataset, "T-REx42");
+  EXPECT_EQ(scores.failed_documents, 0);
+  EXPECT_GT(scores.entity_linking.tp, 0);
+  EXPECT_GE(scores.total_ms, 0.0);
+  // PRF sanity.
+  EXPECT_GE(scores.entity_linking.Precision(), 0.0);
+  EXPECT_LE(scores.entity_linking.Precision(), 1.0);
+  EXPECT_LE(scores.entity_linking.F1(),
+            std::max(scores.entity_linking.Precision(),
+                     scores.entity_linking.Recall()) +
+                1e-12);
+}
+
+TEST(HarnessTest, RelationScoresOnlyWhenAnnotated) {
+  datasets::Dataset ds = TinyDataset(52);
+  ASSERT_TRUE(ds.has_relation_gold);
+  baselines::TenetLinker tenet(Substrate());
+  SystemScores with_rel = EvaluateEndToEnd(tenet, ds);
+  EXPECT_GT(with_rel.relation_linking.tp + with_rel.relation_linking.fn, 0);
+
+  ds.has_relation_gold = false;
+  SystemScores without_rel = EvaluateEndToEnd(tenet, ds);
+  EXPECT_EQ(without_rel.relation_linking.tp, 0);
+  EXPECT_EQ(without_rel.relation_linking.fn, 0);
+}
+
+TEST(HarnessTest, DisambiguationModeScoresGoldMentions) {
+  datasets::Dataset ds = TinyDataset(53);
+  baselines::TenetLinker tenet(Substrate());
+  SystemScores scores =
+      EvaluateDisambiguation(tenet, ds, World().gazetteer());
+  EXPECT_EQ(scores.failed_documents, 0);
+  // With gold mentions given, recall can only be bounded by
+  // disambiguation errors — it must be at least end-to-end recall.
+  SystemScores end_to_end = EvaluateEndToEnd(tenet, ds);
+  EXPECT_GE(scores.entity_linking.Recall() + 0.05,
+            end_to_end.entity_linking.Recall());
+}
+
+TEST(HarnessTest, FormatPrf) {
+  PRF prf;
+  prf.tp = 1;
+  prf.fp = 1;
+  prf.fn = 3;
+  EXPECT_EQ(FormatPRF(prf), "0.500 0.250 0.333");
+}
+
+TEST(SparsityTest, CurvesAreMonotoneAndBounded) {
+  datasets::Dataset ds = TinyDataset(54);
+  std::vector<SparsityPoint> entity_curve =
+      EntitySparsity(ds, World().kb(), World().embeddings);
+  std::vector<SparsityPoint> concept_curve =
+      ConceptSparsity(ds, World().kb(), World().embeddings);
+  ASSERT_EQ(entity_curve.size(), 10u);
+  ASSERT_EQ(concept_curve.size(), 10u);
+  for (size_t i = 0; i < entity_curve.size(); ++i) {
+    EXPECT_NEAR(entity_curve[i].threshold, 0.1 * i, 1e-12);
+    EXPECT_GE(entity_curve[i].density, 0.0);
+    EXPECT_LE(entity_curve[i].density, 1.0);
+    EXPECT_GE(entity_curve[i].avg_degree, 0.0);
+    if (i > 0) {
+      // Cumulative thresholds: both metrics are non-decreasing.
+      EXPECT_GE(entity_curve[i].density, entity_curve[i - 1].density);
+      EXPECT_GE(entity_curve[i].avg_degree,
+                entity_curve[i - 1].avg_degree);
+    }
+  }
+  // Concept curves include predicates: at least as many nodes, and the
+  // same monotonicity.
+  for (size_t i = 1; i < concept_curve.size(); ++i) {
+    EXPECT_GE(concept_curve[i].density, concept_curve[i - 1].density);
+  }
+}
+
+TEST(SparsityTest, SparseAtLowThresholds) {
+  datasets::Dataset ds = TinyDataset(55);
+  std::vector<SparsityPoint> curve =
+      EntitySparsity(ds, World().kb(), World().embeddings);
+  // The motivating observation (Figs. 4-5): documents are NOT densely
+  // coherent — density far below 1 at small distance thresholds.
+  EXPECT_LT(curve[2].density, 0.5);
+}
+
+TEST(SparsityTest, EmptyDatasetYieldsZeroCurves) {
+  datasets::Dataset empty;
+  empty.name = "empty";
+  std::vector<SparsityPoint> curve =
+      EntitySparsity(empty, World().kb(), World().embeddings);
+  for (const SparsityPoint& p : curve) {
+    EXPECT_DOUBLE_EQ(p.density, 0.0);
+    EXPECT_DOUBLE_EQ(p.avg_degree, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace tenet

@@ -1,0 +1,137 @@
+#include "graph/hopcroft_karp.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tenet {
+namespace graph {
+namespace {
+
+TEST(HopcroftKarpTest, EmptyGraph) {
+  HopcroftKarp hk(0, 0);
+  EXPECT_EQ(hk.MaxMatching(), 0);
+}
+
+TEST(HopcroftKarpTest, NoEdges) {
+  HopcroftKarp hk(3, 3);
+  EXPECT_EQ(hk.MaxMatching(), 0);
+  EXPECT_EQ(hk.MatchOfLeft(0), -1);
+  EXPECT_EQ(hk.MatchOfRight(2), -1);
+}
+
+TEST(HopcroftKarpTest, PerfectMatchingOnIdentity) {
+  HopcroftKarp hk(4, 4);
+  for (int i = 0; i < 4; ++i) hk.AddEdge(i, i);
+  EXPECT_EQ(hk.MaxMatching(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(hk.MatchOfLeft(i), i);
+    EXPECT_EQ(hk.MatchOfRight(i), i);
+  }
+}
+
+TEST(HopcroftKarpTest, RequiresAugmentingPath) {
+  // l0-{r0,r1}, l1-{r0}: greedy could match l0-r0 and strand l1; maximum
+  // matching must find size 2.
+  HopcroftKarp hk(2, 2);
+  hk.AddEdge(0, 0);
+  hk.AddEdge(0, 1);
+  hk.AddEdge(1, 0);
+  EXPECT_EQ(hk.MaxMatching(), 2);
+  EXPECT_EQ(hk.MatchOfLeft(1), 0);
+  EXPECT_EQ(hk.MatchOfLeft(0), 1);
+}
+
+TEST(HopcroftKarpTest, BottleneckRightVertex) {
+  // Three lefts all competing for one right.
+  HopcroftKarp hk(3, 1);
+  for (int l = 0; l < 3; ++l) hk.AddEdge(l, 0);
+  EXPECT_EQ(hk.MaxMatching(), 1);
+}
+
+TEST(HopcroftKarpTest, IdempotentAfterSolve) {
+  HopcroftKarp hk(2, 2);
+  hk.AddEdge(0, 0);
+  hk.AddEdge(1, 1);
+  EXPECT_EQ(hk.MaxMatching(), 2);
+  EXPECT_EQ(hk.MaxMatching(), 2);
+  hk.AddEdge(0, 1);  // invalidates the solution, must recompute fine
+  EXPECT_EQ(hk.MaxMatching(), 2);
+}
+
+// Brute force maximum matching by recursion over left vertices.
+int BruteForceMatching(int num_left, int num_right,
+                       const std::vector<std::pair<int, int>>& edges) {
+  std::vector<std::vector<int>> adj(num_left);
+  for (auto [l, r] : edges) adj[l].push_back(r);
+  std::vector<bool> used(num_right, false);
+  int best = 0;
+  // Depth-first over lefts, choosing to match or skip each.
+  std::function<void(int, int)> rec = [&](int l, int matched) {
+    if (l == num_left) {
+      best = std::max(best, matched);
+      return;
+    }
+    // Prune: even matching everything remaining cannot beat best.
+    if (matched + (num_left - l) <= best) return;
+    rec(l + 1, matched);  // skip l
+    for (int r : adj[l]) {
+      if (!used[r]) {
+        used[r] = true;
+        rec(l + 1, matched + 1);
+        used[r] = false;
+      }
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+// Property: Hopcroft-Karp size equals brute force on random graphs, and the
+// reported matching is consistent (mutual and uses real edges).
+class HopcroftKarpPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HopcroftKarpPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const int num_left = 1 + static_cast<int>(rng.NextUint64(9));
+  const int num_right = 1 + static_cast<int>(rng.NextUint64(9));
+  std::vector<std::pair<int, int>> edges;
+  HopcroftKarp hk(num_left, num_right);
+  std::set<std::pair<int, int>> edge_set;
+  for (int l = 0; l < num_left; ++l) {
+    for (int r = 0; r < num_right; ++r) {
+      if (rng.NextBool(0.35)) {
+        edges.emplace_back(l, r);
+        edge_set.insert({l, r});
+        hk.AddEdge(l, r);
+      }
+    }
+  }
+  int size = hk.MaxMatching();
+  EXPECT_EQ(size, BruteForceMatching(num_left, num_right, edges));
+
+  // Consistency of the assignment.
+  int counted = 0;
+  for (int l = 0; l < num_left; ++l) {
+    int r = hk.MatchOfLeft(l);
+    if (r >= 0) {
+      ++counted;
+      EXPECT_EQ(hk.MatchOfRight(r), l);
+      EXPECT_TRUE(edge_set.count({l, r})) << "matched a non-edge";
+    }
+  }
+  EXPECT_EQ(counted, size);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HopcroftKarpPropertyTest,
+                         ::testing::Range<uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace graph
+}  // namespace tenet

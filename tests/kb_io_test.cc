@@ -1,0 +1,237 @@
+#include "kb/io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "datasets/corpus_generator.h"
+#include "datasets/world.h"
+#include "kb/synthetic_kb.h"
+
+namespace tenet {
+namespace kb {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(KbIoTest, KnowledgeBaseRoundTrip) {
+  Rng rng(61);
+  SyntheticKbOptions options;
+  options.num_domains = 4;
+  options.entities_per_domain = 20;
+  options.num_predicates = 10;
+  SyntheticKb world = SyntheticKbGenerator(options).Generate(rng);
+
+  std::string path = TempPath("kb_roundtrip.tenetkb");
+  ASSERT_TRUE(SaveKnowledgeBase(world.kb, path).ok());
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+
+  const KnowledgeBase& a = world.kb;
+  const KnowledgeBase& b = loaded.value();
+  ASSERT_EQ(a.num_entities(), b.num_entities());
+  ASSERT_EQ(a.num_predicates(), b.num_predicates());
+  ASSERT_EQ(a.num_facts(), b.num_facts());
+  for (EntityId id = 0; id < a.num_entities(); ++id) {
+    EXPECT_EQ(a.entity(id).label, b.entity(id).label);
+    EXPECT_EQ(a.entity(id).type, b.entity(id).type);
+    EXPECT_EQ(a.entity(id).domain, b.entity(id).domain);
+    EXPECT_DOUBLE_EQ(a.entity(id).popularity, b.entity(id).popularity);
+  }
+  for (int32_t i = 0; i < a.num_facts(); ++i) {
+    EXPECT_EQ(a.facts()[i].subject, b.facts()[i].subject);
+    EXPECT_EQ(a.facts()[i].predicate, b.facts()[i].predicate);
+    EXPECT_EQ(a.facts()[i].object_is_entity, b.facts()[i].object_is_entity);
+  }
+
+  // Candidate distributions round-trip exactly (priors are re-normalized
+  // idempotently).
+  for (EntityId id = 0; id < a.num_entities(); ++id) {
+    const std::string& label = a.entity(id).label;
+    std::vector<EntityCandidate> ca =
+        a.CandidateEntities(label, std::nullopt, 10);
+    std::vector<EntityCandidate> cb =
+        b.CandidateEntities(label, std::nullopt, 10);
+    ASSERT_EQ(ca.size(), cb.size()) << label;
+    for (size_t i = 0; i < ca.size(); ++i) {
+      EXPECT_EQ(ca[i].entity, cb[i].entity) << label;
+      EXPECT_NEAR(ca[i].prior, cb[i].prior, 1e-9) << label;
+    }
+  }
+}
+
+TEST(KbIoTest, LiteralFactsRoundTrip) {
+  KnowledgeBase kb;
+  EntityId e = kb.AddEntity("Brooklyn", EntityType::kLocation);
+  PredicateId p = kb.AddPredicate("founded in");
+  ASSERT_TRUE(kb.AddLiteralFact(e, p, "1898").ok());
+  kb.Finalize();
+
+  std::string path = TempPath("kb_literal.tenetkb");
+  ASSERT_TRUE(SaveKnowledgeBase(kb, path).ok());
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->num_facts(), 1);
+  EXPECT_FALSE(loaded->facts()[0].object_is_entity);
+  EXPECT_EQ(loaded->facts()[0].object_literal, "1898");
+}
+
+TEST(KbIoTest, LoadRejectsGarbage) {
+  std::string path = TempPath("kb_garbage.tenetkb");
+  {
+    std::ofstream out(path);
+    out << "definitely not a kb\n";
+  }
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsInvalidArgument());
+}
+
+TEST(KbIoTest, LoadRejectsTruncatedFile) {
+  // Save a valid KB, then truncate it mid-section.
+  KnowledgeBase kb;
+  kb.AddEntity("A", EntityType::kOther);
+  kb.AddEntity("B", EntityType::kOther);
+  kb.Finalize();
+  std::string path = TempPath("kb_truncated.tenetkb");
+  ASSERT_TRUE(SaveKnowledgeBase(kb, path).ok());
+  std::ifstream in(path);
+  std::string head;
+  std::string line;
+  for (int i = 0; i < 3 && std::getline(in, line); ++i) head += line + "\n";
+  in.close();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << head;
+  }
+  EXPECT_FALSE(LoadKnowledgeBase(path).ok());
+}
+
+TEST(KbIoTest, LoadRejectsMissingFile) {
+  Result<KnowledgeBase> loaded =
+      LoadKnowledgeBase(TempPath("does_not_exist.tenetkb"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsNotFound());
+}
+
+TEST(KbIoTest, SaveRejectsUnfinalizedKb) {
+  KnowledgeBase kb;
+  kb.AddEntity("A", EntityType::kOther);
+  EXPECT_EQ(SaveKnowledgeBase(kb, TempPath("nope.tenetkb")).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(KbIoTest, EmbeddingsRoundTripBitExact) {
+  datasets::SyntheticWorld world = datasets::BuildWorld({
+      .kb = {.num_domains = 3, .entities_per_domain = 15,
+             .num_predicates = 8},
+      .embeddings = {},
+      .seed = 99,
+  });
+  std::string path = TempPath("embeddings.tenetemb");
+  ASSERT_TRUE(SaveEmbeddings(world.embeddings, path).ok());
+  Result<embedding::EmbeddingStore> loaded = LoadEmbeddings(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->dimension(), world.embeddings.dimension());
+  ASSERT_EQ(loaded->num_entities(), world.embeddings.num_entities());
+  ASSERT_EQ(loaded->num_predicates(), world.embeddings.num_predicates());
+  for (EntityId e = 0; e < loaded->num_entities(); ++e) {
+    std::span<const float> va =
+        world.embeddings.Vector(ConceptRef::Entity(e));
+    std::span<const float> vb = loaded->Vector(ConceptRef::Entity(e));
+    for (int d = 0; d < loaded->dimension(); ++d) {
+      EXPECT_EQ(va[d], vb[d]);  // bit-exact
+    }
+  }
+  // Cosines agree exactly as well.
+  EXPECT_DOUBLE_EQ(
+      world.embeddings.Cosine(ConceptRef::Entity(0), ConceptRef::Entity(1)),
+      loaded->Cosine(ConceptRef::Entity(0), ConceptRef::Entity(1)));
+}
+
+TEST(KbIoTest, EmbeddingsLoadRejectsTruncation) {
+  datasets::SyntheticWorld world = datasets::BuildWorld({
+      .kb = {.num_domains = 2, .entities_per_domain = 5,
+             .num_predicates = 3},
+      .embeddings = {},
+      .seed = 100,
+  });
+  std::string path = TempPath("embeddings_trunc.tenetemb");
+  ASSERT_TRUE(SaveEmbeddings(world.embeddings, path).ok());
+  // Truncate the file to half.
+  std::ifstream in(path, std::ios::binary);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  {
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  EXPECT_FALSE(LoadEmbeddings(path).ok());
+}
+
+TEST(KbIoTest, DeriveGazetteerCoversAliasSurfaces) {
+  Rng rng(62);
+  SyntheticKbOptions options;
+  options.num_domains = 3;
+  options.entities_per_domain = 15;
+  options.num_predicates = 8;
+  SyntheticKb world = SyntheticKbGenerator(options).Generate(rng);
+
+  text::Gazetteer derived = DeriveGazetteer(world.kb);
+  for (EntityId id = 0; id < world.kb.num_entities(); ++id) {
+    for (const std::string& surface : world.entity_surfaces[id]) {
+      EXPECT_TRUE(derived.Contains(surface)) << surface;
+    }
+    // Topic labels (lowercase) stay spottable in lowercase text.
+    if (world.kb.entity(id).type == EntityType::kTopic) {
+      EXPECT_TRUE(derived.IsLowercaseMention(world.kb.entity(id).label));
+    }
+  }
+}
+
+TEST(KbIoTest, ReloadedWorldLinksIdentically) {
+  // Full persistence round trip through the pipeline: save + load the KB
+  // and embeddings, derive the gazetteer, and verify identical linking.
+  datasets::SyntheticWorld world = datasets::BuildWorld();
+  std::string kb_path = TempPath("roundtrip_world.tenetkb");
+  std::string emb_path = TempPath("roundtrip_world.tenetemb");
+  ASSERT_TRUE(SaveKnowledgeBase(world.kb(), kb_path).ok());
+  ASSERT_TRUE(SaveEmbeddings(world.embeddings, emb_path).ok());
+  Result<KnowledgeBase> kb2 = LoadKnowledgeBase(kb_path);
+  Result<embedding::EmbeddingStore> emb2 = LoadEmbeddings(emb_path);
+  ASSERT_TRUE(kb2.ok());
+  ASSERT_TRUE(emb2.ok());
+  text::Gazetteer gazetteer2 = DeriveGazetteer(*kb2);
+
+  core::TenetPipeline original(&world.kb(), &world.embeddings,
+                               &world.gazetteer());
+  core::TenetPipeline reloaded(&kb2.value(), &emb2.value(), &gazetteer2);
+
+  datasets::CorpusGenerator gen(&world.kb_world);
+  Rng rng(63);
+  datasets::DatasetSpec spec = datasets::NewsSpec();
+  spec.num_docs = 4;
+  datasets::Dataset ds = gen.Generate(spec, rng);
+  for (const datasets::Document& doc : ds.documents) {
+    Result<core::LinkingResult> a = original.LinkDocument(doc.text);
+    Result<core::LinkingResult> b = reloaded.LinkDocument(doc.text);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->links.size(), b->links.size());
+    for (size_t i = 0; i < a->links.size(); ++i) {
+      EXPECT_EQ(a->links[i].surface, b->links[i].surface);
+      EXPECT_EQ(a->links[i].concept_ref, b->links[i].concept_ref);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kb
+}  // namespace tenet

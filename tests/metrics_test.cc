@@ -1,0 +1,187 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace tenet {
+namespace eval {
+namespace {
+
+datasets::Document MakeGold() {
+  datasets::Document doc;
+  doc.gold_entities.push_back({"Brooklyn", 0, 7});
+  doc.gold_entities.push_back({"The Storm on the Sea of Galilee", 0, 9});
+  doc.gold_entities.push_back({"Zorvex Trust", 1, kb::kInvalidEntity});
+  doc.gold_predicates.push_back({"paint", 0, 3});
+  doc.gold_predicates.push_back({"explore", 1, kb::kInvalidPredicate});
+  return doc;
+}
+
+TEST(PrfTest, Arithmetic) {
+  PRF prf;
+  prf.tp = 3;
+  prf.fp = 1;
+  prf.fn = 2;
+  EXPECT_DOUBLE_EQ(prf.Precision(), 0.75);
+  EXPECT_DOUBLE_EQ(prf.Recall(), 0.6);
+  EXPECT_NEAR(prf.F1(), 2 * 0.75 * 0.6 / (0.75 + 0.6), 1e-12);
+
+  PRF zero;
+  EXPECT_DOUBLE_EQ(zero.Precision(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.Recall(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.F1(), 0.0);
+
+  PRF sum;
+  sum.Add(prf);
+  sum.Add(prf);
+  EXPECT_EQ(sum.tp, 6);
+  EXPECT_EQ(sum.fn, 4);
+}
+
+TEST(TokenContainmentTest, Basics) {
+  EXPECT_TRUE(TokenContainment("sea", "the storm on the sea of galilee"));
+  EXPECT_TRUE(TokenContainment("the storm on the sea of galilee", "sea"));
+  EXPECT_TRUE(TokenContainment("Brooklyn", "brooklyn"));
+  EXPECT_FALSE(TokenContainment("seattle", "the sea"));  // word-level only
+  EXPECT_FALSE(TokenContainment("brooklyn", "queens"));
+  EXPECT_TRUE(TokenContainment("storm on", "the storm on the sea"));
+}
+
+TEST(ScoreEntityLinkingTest, ExactCorrectAndWrong) {
+  datasets::Document gold = MakeGold();
+  SystemPrediction pred;
+  pred.entity_links = {{"brooklyn", 7},  // correct
+                       {"the storm on the sea of galilee", 1}};  // wrong id
+  PRF prf = ScoreEntityLinking(gold, pred);
+  EXPECT_EQ(prf.tp, 1);
+  EXPECT_EQ(prf.fp, 1);
+  EXPECT_EQ(prf.fn, 1);  // the composite gold was never correctly linked
+}
+
+TEST(ScoreEntityLinkingTest, WrongSegmentationIsFalsePositive) {
+  datasets::Document gold = MakeGold();
+  SystemPrediction pred;
+  pred.entity_links = {{"sea", 12}, {"galilee", 13}, {"brooklyn", 7}};
+  PRF prf = ScoreEntityLinking(gold, pred);
+  EXPECT_EQ(prf.tp, 1);   // brooklyn
+  EXPECT_EQ(prf.fp, 2);   // the two fragments overlap the composite gold
+  EXPECT_EQ(prf.fn, 1);
+}
+
+TEST(ScoreEntityLinkingTest, LinkingNonLinkableIsFalsePositive) {
+  datasets::Document gold = MakeGold();
+  SystemPrediction pred;
+  pred.entity_links = {{"zorvex trust", 55}};
+  PRF prf = ScoreEntityLinking(gold, pred);
+  EXPECT_EQ(prf.tp, 0);
+  EXPECT_EQ(prf.fp, 1);
+}
+
+TEST(ScoreEntityLinkingTest, OutsideGoldIgnored) {
+  datasets::Document gold = MakeGold();
+  SystemPrediction pred;
+  pred.entity_links = {{"completely unrelated", 99}};
+  PRF prf = ScoreEntityLinking(gold, pred);
+  EXPECT_EQ(prf.tp, 0);
+  EXPECT_EQ(prf.fp, 0);
+  EXPECT_EQ(prf.fn, 2);  // both linkable golds unmatched
+}
+
+TEST(ScoreEntityLinkingTest, DuplicatePredictionsCountOnce) {
+  datasets::Document gold = MakeGold();
+  SystemPrediction pred;
+  pred.entity_links = {{"brooklyn", 7}, {"brooklyn", 7}};
+  PRF prf = ScoreEntityLinking(gold, pred);
+  EXPECT_EQ(prf.tp, 1);
+  EXPECT_EQ(prf.fp, 0);
+}
+
+TEST(ScoreRelationLinkingTest, Basics) {
+  datasets::Document gold = MakeGold();
+  SystemPrediction pred;
+  pred.predicate_links = {{"paint", 3},     // correct
+                          {"explore", 8},   // linked a non-linkable lemma
+                          {"fly", 1}};      // outside gold: ignored
+  PRF prf = ScoreRelationLinking(gold, pred);
+  EXPECT_EQ(prf.tp, 1);
+  EXPECT_EQ(prf.fp, 1);
+  EXPECT_EQ(prf.fn, 0);
+}
+
+TEST(ScoreMentionDetectionTest, ExactSurfaceMatching) {
+  datasets::Document gold = MakeGold();
+  SystemPrediction pred;
+  pred.selected_noun_surfaces = {"brooklyn", "sea", "zorvex trust"};
+  PRF prf = ScoreMentionDetection(gold, pred);
+  EXPECT_EQ(prf.tp, 2);  // brooklyn + zorvex trust
+  EXPECT_EQ(prf.fp, 1);  // sea is a wrong segmentation
+  EXPECT_EQ(prf.fn, 1);  // the composite
+}
+
+TEST(ScoreIsolatedDetectionTest, PrecisionSemantics) {
+  datasets::Document gold = MakeGold();
+  SystemPrediction pred;
+  pred.isolated_noun_surfaces = {"zorvex trust",  // true NIL
+                                 "brooklyn"};     // linkable: FP
+  PRF prf = ScoreIsolatedDetection(gold, pred);
+  EXPECT_EQ(prf.tp, 1);
+  EXPECT_EQ(prf.fp, 1);
+  EXPECT_EQ(prf.fn, 0);
+  EXPECT_DOUBLE_EQ(prf.Precision(), 0.5);
+}
+
+TEST(MentionSetFromGoldTest, SingletonGroups) {
+  datasets::Document gold = MakeGold();
+  text::Gazetteer gazetteer;
+  gazetteer.AddSurface("Brooklyn", kb::EntityType::kLocation);
+  core::MentionSet set = MentionSetFromGold(gold, gazetteer);
+  ASSERT_EQ(set.num_mentions(), 3);
+  ASSERT_EQ(set.num_groups(), 3);
+  for (const core::MentionGroup& g : set.groups) {
+    EXPECT_EQ(g.members.size(), 1u);
+    EXPECT_EQ(g.canopies.size(), 1u);
+  }
+  EXPECT_EQ(set.mention(0).surface, "Brooklyn");
+  EXPECT_EQ(set.mention(0).type, kb::EntityType::kLocation);
+  EXPECT_FALSE(set.mention(1).type.has_value());
+}
+
+TEST(FromLinkingResultTest, SplitsByKindAndLowercases) {
+  core::LinkingResult result;
+  core::Mention noun;
+  noun.kind = core::Mention::Kind::kNoun;
+  noun.surface = "Brooklyn";
+  noun.group = 0;
+  result.mentions.mentions.push_back(noun);
+  core::Mention isolated;
+  isolated.kind = core::Mention::Kind::kNoun;
+  isolated.surface = "Zorvex Trust";
+  isolated.group = 1;
+  result.mentions.mentions.push_back(isolated);
+
+  core::LinkedConcept link;
+  link.mention_id = 0;
+  link.surface = "Brooklyn";
+  link.kind = core::Mention::Kind::kNoun;
+  link.concept_ref = kb::ConceptRef::Entity(7);
+  result.links.push_back(link);
+  core::LinkedConcept rel;
+  rel.mention_id = 5;
+  rel.surface = "Paint";
+  rel.kind = core::Mention::Kind::kRelational;
+  rel.concept_ref = kb::ConceptRef::Predicate(3);
+  result.links.push_back(rel);
+  result.isolated_mentions = {1};
+
+  SystemPrediction pred = FromLinkingResult(result);
+  ASSERT_EQ(pred.entity_links.size(), 1u);
+  EXPECT_EQ(pred.entity_links[0].first, "brooklyn");
+  ASSERT_EQ(pred.predicate_links.size(), 1u);
+  EXPECT_EQ(pred.predicate_links[0].first, "paint");
+  ASSERT_EQ(pred.selected_noun_surfaces.size(), 2u);
+  ASSERT_EQ(pred.isolated_noun_surfaces.size(), 1u);
+  EXPECT_EQ(pred.isolated_noun_surfaces[0], "zorvex trust");
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace tenet

@@ -1,0 +1,68 @@
+#include "common/result.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tenet {
+namespace {
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = ParsePositive(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = ParsePositive(-1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallsBack) {
+  EXPECT_EQ(ParsePositive(3).value_or(42), 3);
+  EXPECT_EQ(ParsePositive(-3).value_or(42), 42);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(ResultTest, ArrowOperatorAccessesMembers) {
+  Result<std::string> r = std::string("hello");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);
+}
+
+Result<int> Doubled(int x) {
+  TENET_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  Result<int> good = Doubled(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good.value(), 8);
+
+  Result<int> bad = Doubled(0);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultDeathTest, ValueOnErrorAborts) {
+  Result<int> r = Status::Internal("nope");
+  EXPECT_DEATH({ (void)r.value(); }, "Result::value on error");
+}
+
+}  // namespace
+}  // namespace tenet

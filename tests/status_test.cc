@@ -1,0 +1,78 @@
+#include "common/status.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tenet {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryFunctionsProduceMatchingCodes) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::BoundTooSmall("x").code(), StatusCode::kBoundTooSmall);
+}
+
+TEST(StatusTest, MessageIsPreserved) {
+  Status s = Status::NotFound("no such entity");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "no such entity");
+  EXPECT_EQ(s.ToString(), "not_found: no such entity");
+}
+
+TEST(StatusTest, BoundTooSmallPredicate) {
+  EXPECT_TRUE(Status::BoundTooSmall("B < B*").IsBoundTooSmall());
+  EXPECT_FALSE(Status::Internal("x").IsBoundTooSmall());
+  EXPECT_FALSE(Status().IsBoundTooSmall());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusTest, StreamOperatorMatchesToString) {
+  std::ostringstream os;
+  os << Status::OutOfRange("idx");
+  EXPECT_EQ(os.str(), "out_of_range: idx");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = [] { return Status::Internal("boom"); };
+  auto wrapper = [&]() -> Status {
+    TENET_RETURN_IF_ERROR(fails());
+    return Status::Ok();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kInternal);
+
+  auto succeeds = [] { return Status::Ok(); };
+  auto wrapper_ok = [&]() -> Status {
+    TENET_RETURN_IF_ERROR(succeeds());
+    return Status::NotFound("after");
+  };
+  EXPECT_EQ(wrapper_ok().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusCodeTest, AllCodesHaveNames) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kBoundTooSmall),
+            "bound_too_small");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "unimplemented");
+}
+
+}  // namespace
+}  // namespace tenet

@@ -1,0 +1,74 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace tenet {
+namespace {
+
+TEST(StringUtilTest, AsciiToLower) {
+  EXPECT_EQ(AsciiToLower("Michael Jordan"), "michael jordan");
+  EXPECT_EQ(AsciiToLower("AAAS"), "aaas");
+  EXPECT_EQ(AsciiToLower(""), "");
+  EXPECT_EQ(AsciiToLower("a1-B2"), "a1-b2");
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Brooklyn", "brooklyn"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("Brooklyn", "Brookly"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+}
+
+TEST(StringUtilTest, SplitDropsEmptyPieces) {
+  EXPECT_EQ(SplitString("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(SplitString("", ','), std::vector<std::string>{});
+  EXPECT_EQ(SplitString(",,", ','), std::vector<std::string>{});
+  EXPECT_EQ(SplitString("single", ','),
+            std::vector<std::string>{"single"});
+}
+
+TEST(StringUtilTest, JoinStrings) {
+  EXPECT_EQ(JoinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(JoinStrings({}, ", "), "");
+  EXPECT_EQ(JoinStrings({"only"}, "-"), "only");
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  std::string original = "the storm on the sea";
+  EXPECT_EQ(JoinStrings(SplitString(original, ' '), " "), original);
+}
+
+TEST(StringUtilTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t x\n"), "x");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("no-op"), "no-op");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("prefix_rest", "prefix"));
+  EXPECT_FALSE(StartsWith("pre", "prefix"));
+  EXPECT_TRUE(EndsWith("file.cc", ".cc"));
+  EXPECT_FALSE(EndsWith(".cc", "file.cc"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(StringUtilTest, IsAsciiNumber) {
+  EXPECT_TRUE(IsAsciiNumber("11"));
+  EXPECT_TRUE(IsAsciiNumber("0"));
+  EXPECT_FALSE(IsAsciiNumber(""));
+  EXPECT_FALSE(IsAsciiNumber("1a"));
+  EXPECT_FALSE(IsAsciiNumber("-1"));
+}
+
+TEST(StringUtilTest, IsCapitalized) {
+  EXPECT_TRUE(IsCapitalized("Galilee"));
+  EXPECT_FALSE(IsCapitalized("galilee"));
+  EXPECT_FALSE(IsCapitalized(""));
+  EXPECT_FALSE(IsCapitalized("1st"));
+}
+
+}  // namespace
+}  // namespace tenet

@@ -1,0 +1,215 @@
+// Tests for the NLP substrate: tokenizer, lemmatizer, features, gazetteer.
+#include <gtest/gtest.h>
+
+#include "text/features.h"
+#include "text/gazetteer.h"
+#include "text/lemmatizer.h"
+#include "text/tokenizer.h"
+#include "text/wordlists.h"
+
+namespace tenet {
+namespace text {
+namespace {
+
+// ---- Tokenizer ------------------------------------------------------------
+
+TEST(TokenizerTest, SplitsWordsAndPunctuation) {
+  TokenizedDocument doc = Tokenize("Rembrandt painted The Storm.");
+  ASSERT_EQ(doc.tokens.size(), 5u);
+  EXPECT_EQ(doc.tokens[0].t, "Rembrandt");
+  EXPECT_EQ(doc.tokens[3].t, "Storm");
+  EXPECT_EQ(doc.tokens[4].t, ".");
+  EXPECT_TRUE(doc.tokens[4].is_punct);
+  EXPECT_EQ(doc.num_sentences(), 1);
+}
+
+TEST(TokenizerTest, SentenceBoundaries) {
+  TokenizedDocument doc = Tokenize("He left. She stayed! Done?");
+  EXPECT_EQ(doc.num_sentences(), 3);
+  EXPECT_EQ(doc.sentence_begin[0], 0);
+  EXPECT_EQ(doc.tokens[doc.sentence_begin[1]].t, "She");
+  EXPECT_EQ(doc.tokens[doc.sentence_begin[2]].t, "Done");
+  // Every token's sentence field is consistent with boundaries.
+  for (int s = 0; s < doc.num_sentences(); ++s) {
+    for (int i = doc.sentence_begin[s]; i < doc.SentenceEnd(s); ++i) {
+      EXPECT_EQ(doc.tokens[i].sentence, s);
+    }
+  }
+}
+
+TEST(TokenizerTest, ColonIsPunctuationButNotSentenceEnd) {
+  TokenizedDocument doc = Tokenize("Winter Crown: Harvest Elegy is good.");
+  EXPECT_EQ(doc.num_sentences(), 1);
+  EXPECT_EQ(doc.tokens[2].t, ":");
+  EXPECT_TRUE(doc.tokens[2].is_punct);
+}
+
+TEST(TokenizerTest, IntraWordHyphenKept) {
+  TokenizedDocument doc = Tokenize("A co-author spoke - loudly.");
+  bool found = false;
+  for (const Token& t : doc.tokens) {
+    if (t.t == "co-author") found = true;
+  }
+  EXPECT_TRUE(found);
+  // Free-standing hyphen is punctuation.
+  int hyphens = 0;
+  for (const Token& t : doc.tokens) {
+    if (t.t == "-" && t.is_punct) ++hyphens;
+  }
+  EXPECT_EQ(hyphens, 1);
+}
+
+TEST(TokenizerTest, EmptyAndWhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("").tokens.empty());
+  EXPECT_TRUE(Tokenize("   \n\t ").tokens.empty());
+  EXPECT_EQ(Tokenize("").num_sentences(), 0);
+}
+
+TEST(TokenizerTest, NumbersAreTokens) {
+  TokenizedDocument doc = Tokenize("Apollo 11 mission");
+  ASSERT_EQ(doc.tokens.size(), 3u);
+  EXPECT_EQ(doc.tokens[1].t, "11");
+  EXPECT_FALSE(doc.tokens[1].is_punct);
+}
+
+// ---- Lemmatizer -----------------------------------------------------------
+
+TEST(LemmatizerTest, IrregularVerbsFromTable) {
+  EXPECT_EQ(LemmatizeVerb("wrote"), "write");
+  EXPECT_EQ(LemmatizeVerb("taught"), "teach");
+  EXPECT_EQ(LemmatizeVerb("won"), "win");
+  EXPECT_EQ(LemmatizeVerb("led"), "lead");
+  EXPECT_EQ(LemmatizeVerb("bought"), "buy");
+}
+
+TEST(LemmatizerTest, RegularInflections) {
+  EXPECT_EQ(LemmatizeVerb("visited"), "visit");
+  EXPECT_EQ(LemmatizeVerb("studies"), "study");
+  EXPECT_EQ(LemmatizeVerb("studied"), "study");
+  EXPECT_EQ(LemmatizeVerb("paints"), "paint");
+  EXPECT_EQ(LemmatizeVerb("painting"), "paint");
+  EXPECT_EQ(LemmatizeVerb("starred"), "star");
+}
+
+TEST(LemmatizerTest, CaseInsensitive) {
+  EXPECT_EQ(LemmatizeVerb("Visited"), "visit");
+  EXPECT_EQ(LemmatizeVerb("WROTE"), "write");
+}
+
+TEST(LemmatizerTest, LemmaIsFixpoint) {
+  for (const VerbForms& v : Verbs()) {
+    EXPECT_EQ(LemmatizeVerb(v.lemma), v.lemma);
+    EXPECT_EQ(LemmatizeVerb(v.past), v.lemma);
+    EXPECT_EQ(LemmatizeVerb(v.third), v.lemma);
+    EXPECT_EQ(LemmatizeVerb(v.gerund), v.lemma);
+  }
+}
+
+TEST(LemmatizerTest, RelationalPhraseKeepsParticle) {
+  EXPECT_EQ(LemmatizeRelationalPhrase("worked at"), "work at");
+  EXPECT_EQ(LemmatizeRelationalPhrase("lives in"), "live in");
+  EXPECT_EQ(LemmatizeRelationalPhrase("visited"), "visit");
+  EXPECT_EQ(LemmatizeRelationalPhrase(""), "");
+}
+
+TEST(LemmatizerTest, KnownVerbForms) {
+  EXPECT_TRUE(IsKnownVerbForm("painted"));
+  EXPECT_TRUE(IsKnownVerbForm("Paints"));
+  EXPECT_FALSE(IsKnownVerbForm("Rembrandt"));
+  EXPECT_FALSE(IsKnownVerbForm("the"));
+}
+
+// ---- Connector features (Sec. 5.1) ----------------------------------------
+
+TEST(FeaturesTest, ConjunctionConnector) {
+  auto c = ClassifyConnector({"and"});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->kind, ConnectorKind::kConjunction);
+  EXPECT_EQ(c->joining_text, "and");
+}
+
+TEST(FeaturesTest, PrepositionConnectors) {
+  auto c1 = ClassifyConnector({"of"});
+  ASSERT_TRUE(c1.has_value());
+  EXPECT_EQ(c1->kind, ConnectorKind::kPreposition);
+
+  auto c2 = ClassifyConnector({"on", "the"});
+  ASSERT_TRUE(c2.has_value());
+  EXPECT_EQ(c2->kind, ConnectorKind::kPreposition);
+  EXPECT_EQ(c2->joining_text, "on the");
+
+  auto c3 = ClassifyConnector({"Of", "The"});
+  ASSERT_TRUE(c3.has_value());
+  EXPECT_EQ(c3->joining_text, "of the");
+}
+
+TEST(FeaturesTest, NumberConnector) {
+  auto c = ClassifyConnector({"11"});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->kind, ConnectorKind::kNumber);
+  EXPECT_EQ(c->joining_text, "11");
+}
+
+TEST(FeaturesTest, PunctuationConnector) {
+  auto c = ClassifyConnector({":"});
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->kind, ConnectorKind::kPunctuation);
+}
+
+TEST(FeaturesTest, NonConnectors) {
+  EXPECT_FALSE(ClassifyConnector({}).has_value());
+  EXPECT_FALSE(ClassifyConnector({"painted"}).has_value());
+  EXPECT_FALSE(ClassifyConnector({"quickly"}).has_value());
+  EXPECT_FALSE(ClassifyConnector({"of", "quickly"}).has_value());
+  EXPECT_FALSE(ClassifyConnector({"the", "of"}).has_value());
+  EXPECT_FALSE(ClassifyConnector({"of", "the", "new"}).has_value());
+  EXPECT_FALSE(ClassifyConnector({","}).has_value());
+}
+
+// ---- Gazetteer --------------------------------------------------------------
+
+TEST(GazetteerTest, TypeLookupCaseInsensitive) {
+  Gazetteer g;
+  g.AddSurface("Brooklyn", kb::EntityType::kLocation);
+  EXPECT_EQ(g.LookupType("brooklyn"), kb::EntityType::kLocation);
+  EXPECT_EQ(g.LookupType("BROOKLYN"), kb::EntityType::kLocation);
+  EXPECT_FALSE(g.LookupType("Queens").has_value());
+  EXPECT_TRUE(g.Contains("Brooklyn"));
+  EXPECT_FALSE(g.Contains("Queens"));
+}
+
+TEST(GazetteerTest, LowercaseMentionFlag) {
+  Gazetteer g;
+  g.AddSurface("machine learning", kb::EntityType::kTopic,
+               /*lowercase_mention=*/true);
+  g.AddSurface("Brooklyn", kb::EntityType::kLocation);
+  EXPECT_TRUE(g.IsLowercaseMention("machine learning"));
+  EXPECT_FALSE(g.IsLowercaseMention("Brooklyn"));
+  EXPECT_EQ(g.max_lowercase_tokens(), 2);
+}
+
+TEST(GazetteerTest, FirstTypeWinsButLowercaseFlagAccumulates) {
+  Gazetteer g;
+  g.AddSurface("jordan", kb::EntityType::kPerson);
+  g.AddSurface("jordan", kb::EntityType::kLocation, true);
+  EXPECT_EQ(g.LookupType("jordan"), kb::EntityType::kPerson);
+  EXPECT_TRUE(g.IsLowercaseMention("jordan"));
+}
+
+// The predicate verb pool and non-KB verb pool must be disjoint and both
+// subsets of the lemmatizer table — the corpus generator relies on it.
+TEST(WordlistsTest, VerbPoolsAreConsistent) {
+  for (std::string_view lemma : PredicateVerbLemmas()) {
+    EXPECT_NE(FindVerbByLemma(lemma), nullptr) << lemma;
+  }
+  for (std::string_view lemma : NonKbVerbLemmas()) {
+    EXPECT_NE(FindVerbByLemma(lemma), nullptr) << lemma;
+    for (std::string_view kb_lemma : PredicateVerbLemmas()) {
+      EXPECT_NE(lemma, kb_lemma);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace text
+}  // namespace tenet

@@ -1,0 +1,153 @@
+#include "graph/tree.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tenet {
+namespace graph {
+namespace {
+
+using UndirectedEdges = std::vector<std::pair<std::pair<int, int>, double>>;
+
+TEST(RootedTreeTest, SingletonTree) {
+  RootedTree t = RootedTree::Singleton(42);
+  EXPECT_EQ(t.root(), 42);
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_EQ(t.num_edges(), 0);
+  EXPECT_TRUE(t.empty_of_edges());
+  EXPECT_DOUBLE_EQ(t.TotalWeight(), 0.0);
+  EXPECT_TRUE(t.Contains(42));
+  EXPECT_FALSE(t.Contains(0));
+  EXPECT_EQ(t.Parent(42), -1);
+  EXPECT_EQ(t.PostOrderNodes(), std::vector<int>{42});
+}
+
+TEST(RootedTreeTest, FromUndirectedEdgesOrientsAwayFromRoot) {
+  // 5 is root; edges given in arbitrary orientation.
+  UndirectedEdges edges = {
+      {{7, 5}, 1.0},  // root child
+      {{9, 7}, 2.0},
+      {{5, 3}, 0.5},
+  };
+  Result<RootedTree> result = RootedTree::FromEdges(5, edges);
+  ASSERT_TRUE(result.ok()) << result.status();
+  const RootedTree& t = result.value();
+  EXPECT_EQ(t.root(), 5);
+  EXPECT_EQ(t.num_nodes(), 4);
+  EXPECT_EQ(t.Parent(7), 5);
+  EXPECT_EQ(t.Parent(9), 7);
+  EXPECT_EQ(t.Parent(3), 5);
+  EXPECT_DOUBLE_EQ(t.TotalWeight(), 3.5);
+}
+
+TEST(RootedTreeTest, RejectsCycle) {
+  UndirectedEdges edges = {{{0, 1}, 1.0}, {{1, 2}, 1.0}, {{2, 0}, 1.0}};
+  EXPECT_FALSE(RootedTree::FromEdges(0, edges).ok());
+}
+
+TEST(RootedTreeTest, RejectsDisconnected) {
+  UndirectedEdges edges = {{{0, 1}, 1.0}, {{2, 3}, 1.0}};
+  EXPECT_FALSE(RootedTree::FromEdges(0, edges).ok());
+}
+
+TEST(RootedTreeTest, RejectsEdgesNotContainingRoot) {
+  UndirectedEdges edges = {{{1, 2}, 1.0}};
+  EXPECT_FALSE(RootedTree::FromEdges(0, edges).ok());
+}
+
+TEST(RootedTreeTest, PostOrderVisitsChildrenBeforeParents) {
+  UndirectedEdges edges = {
+      {{0, 1}, 1.0}, {{0, 2}, 1.0}, {{1, 3}, 1.0}, {{1, 4}, 1.0}};
+  RootedTree t = RootedTree::FromEdges(0, edges).value();
+  std::vector<int> order = t.PostOrderNodes();
+  ASSERT_EQ(order.size(), 5u);
+  EXPECT_EQ(order.back(), 0);  // root last
+  auto position = [&](int node) {
+    return std::find(order.begin(), order.end(), node) - order.begin();
+  };
+  EXPECT_LT(position(3), position(1));
+  EXPECT_LT(position(4), position(1));
+  EXPECT_LT(position(1), position(0));
+  EXPECT_LT(position(2), position(0));
+}
+
+TEST(RootedTreeTest, SubtreeWeightAndExtraction) {
+  UndirectedEdges edges = {
+      {{0, 1}, 1.0}, {{1, 2}, 2.0}, {{1, 3}, 3.0}, {{0, 4}, 4.0}};
+  RootedTree t = RootedTree::FromEdges(0, edges).value();
+  EXPECT_DOUBLE_EQ(t.SubtreeWeight(1), 5.0);
+  EXPECT_DOUBLE_EQ(t.SubtreeWeight(0), 10.0);
+  EXPECT_DOUBLE_EQ(t.SubtreeWeight(4), 0.0);
+
+  RootedTree sub = t.Subtree(1);
+  EXPECT_EQ(sub.root(), 1);
+  EXPECT_EQ(sub.num_nodes(), 3);
+  EXPECT_TRUE(sub.Contains(2));
+  EXPECT_TRUE(sub.Contains(3));
+  EXPECT_FALSE(sub.Contains(0));
+  EXPECT_DOUBLE_EQ(sub.TotalWeight(), 5.0);
+}
+
+TEST(RootedTreeTest, ChildrenListsAreAccurate) {
+  UndirectedEdges edges = {{{10, 20}, 1.0}, {{10, 30}, 2.0}};
+  RootedTree t = RootedTree::FromEdges(10, edges).value();
+  const auto& children = t.Children(10);
+  ASSERT_EQ(children.size(), 2u);
+  std::set<int> ids;
+  for (const auto& [child, weight] : children) {
+    ids.insert(child);
+    EXPECT_GT(weight, 0.0);
+  }
+  EXPECT_EQ(ids, (std::set<int>{20, 30}));
+  EXPECT_TRUE(t.Children(20).empty());
+}
+
+// Property: on random trees, nodes() has no duplicates, TotalWeight equals
+// the sum of SubtreeWeight over the root, post-order is a permutation, and
+// Subtree(root) reproduces the whole tree.
+class TreePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TreePropertyTest, RandomTreeInvariants) {
+  Rng rng(GetParam());
+  const int n = 2 + static_cast<int>(rng.NextUint64(40));
+  UndirectedEdges edges;
+  double expected_weight = 0.0;
+  // Random recursive tree: node i attaches to a random earlier node.
+  for (int i = 1; i < n; ++i) {
+    int parent = static_cast<int>(rng.NextUint64(i));
+    double weight = rng.NextDouble(0.1, 1.0);
+    expected_weight += weight;
+    edges.push_back({{parent, i}, weight});
+  }
+  RootedTree t = RootedTree::FromEdges(0, edges).value();
+  EXPECT_EQ(t.num_nodes(), n);
+  EXPECT_NEAR(t.TotalWeight(), expected_weight, 1e-9);
+  EXPECT_NEAR(t.SubtreeWeight(0), expected_weight, 1e-9);
+
+  std::vector<int> post = t.PostOrderNodes();
+  std::set<int> unique(post.begin(), post.end());
+  EXPECT_EQ(unique.size(), static_cast<size_t>(n));
+
+  RootedTree clone = t.Subtree(0);
+  EXPECT_EQ(clone.num_nodes(), n);
+  EXPECT_NEAR(clone.TotalWeight(), expected_weight, 1e-9);
+
+  // Parent/child relations are mutually consistent.
+  for (int node : t.nodes()) {
+    for (const auto& [child, weight] : t.Children(node)) {
+      (void)weight;
+      EXPECT_EQ(t.Parent(child), node);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TreePropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace graph
+}  // namespace tenet

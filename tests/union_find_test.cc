@@ -1,0 +1,100 @@
+#include "graph/union_find.h"
+
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tenet {
+namespace graph {
+namespace {
+
+TEST(UnionFindTest, StartsAsSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_sets(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1);
+  }
+}
+
+TEST(UnionFindTest, UnionMerges) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.num_sets(), 3);
+  EXPECT_EQ(uf.SetSize(0), 2);
+  EXPECT_EQ(uf.SetSize(1), 2);
+}
+
+TEST(UnionFindTest, RepeatedUnionReturnsFalse) {
+  UnionFind uf(3);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_FALSE(uf.Union(0, 1));
+  EXPECT_EQ(uf.num_sets(), 2);
+}
+
+TEST(UnionFindTest, TransitivityViaChain) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(1, 2);
+  uf.Union(3, 4);
+  EXPECT_TRUE(uf.Connected(0, 2));
+  EXPECT_FALSE(uf.Connected(2, 3));
+  uf.Union(2, 3);
+  EXPECT_TRUE(uf.Connected(0, 4));
+  EXPECT_FALSE(uf.Connected(0, 5));
+  EXPECT_EQ(uf.SetSize(4), 5);
+}
+
+TEST(UnionFindTest, ZeroElements) {
+  UnionFind uf(0);
+  EXPECT_EQ(uf.num_sets(), 0);
+  EXPECT_EQ(uf.size(), 0);
+}
+
+// Property: num_sets + (number of successful unions) == n, and SetSize sums
+// to n, for a random union sequence.
+class UnionFindPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnionFindPropertyTest, InvariantsHoldUnderRandomUnions) {
+  Rng rng(GetParam());
+  const int n = 60;
+  UnionFind uf(n);
+  int successful = 0;
+  for (int step = 0; step < 200; ++step) {
+    int a = static_cast<int>(rng.NextUint64(n));
+    int b = static_cast<int>(rng.NextUint64(n));
+    bool was_connected = uf.Connected(a, b);
+    bool merged = uf.Union(a, b);
+    // Union succeeds exactly when the two were previously disconnected.
+    EXPECT_EQ(merged, !was_connected);
+    if (merged) ++successful;
+    EXPECT_TRUE(uf.Connected(a, b));
+  }
+  EXPECT_EQ(uf.num_sets(), n - successful);
+
+  // Set sizes partition the universe: summing SetSize over one
+  // representative per set gives n.
+  std::vector<bool> seen_root(n, false);
+  int total = 0;
+  for (int i = 0; i < n; ++i) {
+    int root = uf.Find(i);
+    if (!seen_root[root]) {
+      seen_root[root] = true;
+      total += uf.SetSize(root);
+    }
+  }
+  EXPECT_EQ(total, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace graph
+}  // namespace tenet

@@ -1,0 +1,225 @@
+// tenet_cli — command-line front-end of the TENET library.
+//
+//   tenet_cli build-world [--seed N] [--kb PATH] [--emb PATH]
+//       Generates the synthetic world and persists the KB + embeddings.
+//
+//   tenet_cli link --kb PATH --emb PATH [--text "..."] [--candidates K]
+//       Links a document (from --text or stdin) against a persisted world
+//       and prints the linked concepts and emerging entities.
+//
+//   tenet_cli demo [--seed N]
+//       One-shot: builds the world in memory and links stdin.
+//
+//   tenet_cli dump-corpora [--seed N]
+//       Generates the four evaluation corpora and writes them as
+//       News.tenetds, T-REx42.tenetds, KORE50.tenetds, MSNBC19.tenetds.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "core/pipeline.h"
+#include "datasets/world.h"
+#include "datasets/corpus_generator.h"
+#include "datasets/io.h"
+#include "kb/io.h"
+
+using namespace tenet;
+
+namespace {
+
+struct Args {
+  std::string command;
+  uint64_t seed = 2021;
+  std::string kb_path = "world.tenetkb";
+  std::string emb_path = "world.tenetemb";
+  std::optional<std::string> document_text;
+  int candidates = 4;
+};
+
+std::optional<Args> Parse(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (flag == "--seed") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.seed = std::strtoull(v, nullptr, 10);
+    } else if (flag == "--kb") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.kb_path = v;
+    } else if (flag == "--emb") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.emb_path = v;
+    } else if (flag == "--text") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.document_text = std::string(v);
+    } else if (flag == "--candidates") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.candidates = std::atoi(v);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
+void PrintUsage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  tenet_cli build-world [--seed N] [--kb PATH] [--emb PATH]\n"
+      "  tenet_cli link --kb PATH --emb PATH [--text \"...\"] "
+      "[--candidates K]\n"
+      "  tenet_cli demo [--seed N]\n"
+      "  tenet_cli dump-corpora [--seed N]\n");
+}
+
+std::string ReadStdin() {
+  std::string text;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    text += line;
+    text += ' ';
+  }
+  return text;
+}
+
+int LinkAndPrint(const kb::KnowledgeBase& knowledge_base,
+                 const embedding::EmbeddingStore& embeddings,
+                 const text::Gazetteer& gazetteer, const Args& args) {
+  core::TenetOptions options;
+  options.graph.max_candidates_per_mention = args.candidates;
+  core::TenetPipeline tenet(&knowledge_base, &embeddings, &gazetteer,
+                            options);
+  std::string document =
+      args.document_text.has_value() ? *args.document_text : ReadStdin();
+  Result<core::LinkingResult> result = tenet.LinkDocument(document);
+  if (!result.ok()) {
+    std::fprintf(stderr, "linking failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  for (const core::LinkedConcept& link : result->links) {
+    if (link.kind == core::Mention::Kind::kNoun) {
+      std::printf("entity\t%s\t%s\t%.3f\n", link.surface.c_str(),
+                  knowledge_base.entity(link.concept_ref.id).label.c_str(),
+                  link.prior);
+    } else {
+      std::printf(
+          "predicate\t%s\t%s\t%.3f\n", link.surface.c_str(),
+          knowledge_base.predicate(link.concept_ref.id).label.c_str(),
+          link.prior);
+    }
+  }
+  for (int m : result->isolated_mentions) {
+    std::printf("emerging\t%s\t-\t-\n",
+                result->mentions.mention(m).surface.c_str());
+  }
+  std::fprintf(stderr,
+               "linked %zu mentions (%zu emerging) in %.2f ms "
+               "(extract %.2f, graph %.2f, cover %.2f, disambiguate %.2f)\n",
+               result->links.size(), result->isolated_mentions.size(),
+               result->timings.TotalMs(), result->timings.extract_ms,
+               result->timings.graph_ms, result->timings.cover_ms,
+               result->timings.disambiguate_ms);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<Args> args = Parse(argc, argv);
+  if (!args.has_value()) {
+    PrintUsage();
+    return 2;
+  }
+
+  if (args->command == "build-world") {
+    datasets::WorldOptions options;
+    options.seed = args->seed;
+    datasets::SyntheticWorld world = datasets::BuildWorld(options);
+    Status kb_status = kb::SaveKnowledgeBase(world.kb(), args->kb_path);
+    if (!kb_status.ok()) {
+      std::fprintf(stderr, "%s\n", kb_status.ToString().c_str());
+      return 1;
+    }
+    Status emb_status = kb::SaveEmbeddings(world.embeddings, args->emb_path);
+    if (!emb_status.ok()) {
+      std::fprintf(stderr, "%s\n", emb_status.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%d entities, %d predicates, %d facts) and %s\n",
+                args->kb_path.c_str(), world.kb().num_entities(),
+                world.kb().num_predicates(), world.kb().num_facts(),
+                args->emb_path.c_str());
+    return 0;
+  }
+
+  if (args->command == "link") {
+    Result<kb::KnowledgeBase> knowledge_base =
+        kb::LoadKnowledgeBase(args->kb_path);
+    if (!knowledge_base.ok()) {
+      std::fprintf(stderr, "%s\n",
+                   knowledge_base.status().ToString().c_str());
+      return 1;
+    }
+    Result<embedding::EmbeddingStore> embeddings =
+        kb::LoadEmbeddings(args->emb_path);
+    if (!embeddings.ok()) {
+      std::fprintf(stderr, "%s\n", embeddings.status().ToString().c_str());
+      return 1;
+    }
+    if (embeddings->num_entities() != knowledge_base->num_entities() ||
+        embeddings->num_predicates() != knowledge_base->num_predicates()) {
+      std::fprintf(stderr, "KB and embeddings disagree on concept counts\n");
+      return 1;
+    }
+    text::Gazetteer gazetteer = kb::DeriveGazetteer(*knowledge_base);
+    return LinkAndPrint(*knowledge_base, *embeddings, gazetteer, *args);
+  }
+
+  if (args->command == "dump-corpora") {
+    datasets::WorldOptions options;
+    options.seed = args->seed;
+    datasets::SyntheticWorld world = datasets::BuildWorld(options);
+    datasets::CorpusGenerator generator(&world.kb_world);
+    Rng rng(77);  // the bench corpus seed
+    for (const datasets::DatasetSpec& spec :
+         {datasets::NewsSpec(), datasets::TRex42Spec(),
+          datasets::Kore50Spec(), datasets::Msnbc19Spec()}) {
+      datasets::Dataset dataset = generator.Generate(spec, rng);
+      std::string path = dataset.name + ".tenetds";
+      Status status = datasets::SaveDataset(dataset, path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s\n", status.ToString().c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%zu documents)\n", path.c_str(),
+                  dataset.documents.size());
+    }
+    return 0;
+  }
+
+  if (args->command == "demo") {
+    datasets::WorldOptions options;
+    options.seed = args->seed;
+    datasets::SyntheticWorld world = datasets::BuildWorld(options);
+    return LinkAndPrint(world.kb(), world.embeddings, world.gazetteer(),
+                        *args);
+  }
+
+  PrintUsage();
+  return 2;
+}
