@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bound.dir/bench/ablation_bound.cc.o"
+  "CMakeFiles/ablation_bound.dir/bench/ablation_bound.cc.o.d"
+  "bench/ablation_bound"
+  "bench/ablation_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_canopy.dir/bench/ablation_canopy.cc.o"
+  "CMakeFiles/ablation_canopy.dir/bench/ablation_canopy.cc.o.d"
+  "bench/ablation_canopy"
+  "bench/ablation_canopy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_canopy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_disambiguation.dir/bench/ablation_disambiguation.cc.o"
+  "CMakeFiles/ablation_disambiguation.dir/bench/ablation_disambiguation.cc.o.d"
+  "bench/ablation_disambiguation"
+  "bench/ablation_disambiguation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_disambiguation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

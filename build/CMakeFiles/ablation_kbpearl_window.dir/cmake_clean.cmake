@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_kbpearl_window.dir/bench/ablation_kbpearl_window.cc.o"
+  "CMakeFiles/ablation_kbpearl_window.dir/bench/ablation_kbpearl_window.cc.o.d"
+  "bench/ablation_kbpearl_window"
+  "bench/ablation_kbpearl_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_kbpearl_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure4_entity_sparsity.dir/bench/figure4_entity_sparsity.cc.o"
+  "CMakeFiles/figure4_entity_sparsity.dir/bench/figure4_entity_sparsity.cc.o.d"
+  "bench/figure4_entity_sparsity"
+  "bench/figure4_entity_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure4_entity_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure4_entity_sparsity.
+# This may be replaced when dependencies are built.

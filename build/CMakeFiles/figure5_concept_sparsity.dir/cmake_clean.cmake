@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure5_concept_sparsity.dir/bench/figure5_concept_sparsity.cc.o"
+  "CMakeFiles/figure5_concept_sparsity.dir/bench/figure5_concept_sparsity.cc.o.d"
+  "bench/figure5_concept_sparsity"
+  "bench/figure5_concept_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure5_concept_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6a_mention_detection.dir/bench/figure6a_mention_detection.cc.o"
+  "CMakeFiles/figure6a_mention_detection.dir/bench/figure6a_mention_detection.cc.o.d"
+  "bench/figure6a_mention_detection"
+  "bench/figure6a_mention_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6a_mention_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6b_disambiguation.dir/bench/figure6b_disambiguation.cc.o"
+  "CMakeFiles/figure6b_disambiguation.dir/bench/figure6b_disambiguation.cc.o.d"
+  "bench/figure6b_disambiguation"
+  "bench/figure6b_disambiguation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6b_disambiguation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

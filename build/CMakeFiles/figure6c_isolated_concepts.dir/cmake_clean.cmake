@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6c_isolated_concepts.dir/bench/figure6c_isolated_concepts.cc.o"
+  "CMakeFiles/figure6c_isolated_concepts.dir/bench/figure6c_isolated_concepts.cc.o.d"
+  "bench/figure6c_isolated_concepts"
+  "bench/figure6c_isolated_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6c_isolated_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure6d_candidate_sensitivity.dir/bench/figure6d_candidate_sensitivity.cc.o"
+  "CMakeFiles/figure6d_candidate_sensitivity.dir/bench/figure6d_candidate_sensitivity.cc.o.d"
+  "bench/figure6d_candidate_sensitivity"
+  "bench/figure6d_candidate_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure6d_candidate_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure6d_candidate_sensitivity.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7a_runtime_words.dir/bench/figure7a_runtime_words.cc.o"
+  "CMakeFiles/figure7a_runtime_words.dir/bench/figure7a_runtime_words.cc.o.d"
+  "bench/figure7a_runtime_words"
+  "bench/figure7a_runtime_words.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7a_runtime_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for figure7a_runtime_words.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7b_runtime_mentions.dir/bench/figure7b_runtime_mentions.cc.o"
+  "CMakeFiles/figure7b_runtime_mentions.dir/bench/figure7b_runtime_mentions.cc.o.d"
+  "bench/figure7b_runtime_mentions"
+  "bench/figure7b_runtime_mentions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7b_runtime_mentions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

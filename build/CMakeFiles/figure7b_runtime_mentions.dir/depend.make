@@ -1,0 +1,2 @@
+# Empty dependencies file for figure7b_runtime_mentions.
+# This may be replaced when dependencies are built.

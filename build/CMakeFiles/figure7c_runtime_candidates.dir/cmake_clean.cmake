@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7c_runtime_candidates.dir/bench/figure7c_runtime_candidates.cc.o"
+  "CMakeFiles/figure7c_runtime_candidates.dir/bench/figure7c_runtime_candidates.cc.o.d"
+  "bench/figure7c_runtime_candidates"
+  "bench/figure7c_runtime_candidates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7c_runtime_candidates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure7c_runtime_candidates.
+# This may be replaced when dependencies are built.

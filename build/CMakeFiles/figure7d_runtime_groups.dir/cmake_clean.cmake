@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7d_runtime_groups.dir/bench/figure7d_runtime_groups.cc.o"
+  "CMakeFiles/figure7d_runtime_groups.dir/bench/figure7d_runtime_groups.cc.o.d"
+  "bench/figure7d_runtime_groups"
+  "bench/figure7d_runtime_groups.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7d_runtime_groups.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

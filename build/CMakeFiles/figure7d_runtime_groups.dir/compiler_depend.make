@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure7d_runtime_groups.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/figure7e_runtime_tree_size.dir/bench/figure7e_runtime_tree_size.cc.o"
+  "CMakeFiles/figure7e_runtime_tree_size.dir/bench/figure7e_runtime_tree_size.cc.o.d"
+  "bench/figure7e_runtime_tree_size"
+  "bench/figure7e_runtime_tree_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/figure7e_runtime_tree_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

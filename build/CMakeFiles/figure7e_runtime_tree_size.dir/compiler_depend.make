@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for figure7e_runtime_tree_size.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_nonlinkable.dir/bench/table2_nonlinkable.cc.o"
+  "CMakeFiles/table2_nonlinkable.dir/bench/table2_nonlinkable.cc.o.d"
+  "bench/table2_nonlinkable"
+  "bench/table2_nonlinkable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_nonlinkable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_entity_linking.dir/bench/table3_entity_linking.cc.o"
+  "CMakeFiles/table3_entity_linking.dir/bench/table3_entity_linking.cc.o.d"
+  "bench/table3_entity_linking"
+  "bench/table3_entity_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_entity_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_relation_linking.dir/bench/table4_relation_linking.cc.o"
+  "CMakeFiles/table4_relation_linking.dir/bench/table4_relation_linking.cc.o.d"
+  "bench/table4_relation_linking"
+  "bench/table4_relation_linking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_relation_linking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isolated_concepts.dir/isolated_concepts.cpp.o"
+  "CMakeFiles/isolated_concepts.dir/isolated_concepts.cpp.o.d"
+  "isolated_concepts"
+  "isolated_concepts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isolated_concepts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/question_answering.dir/question_answering.cpp.o"
+  "CMakeFiles/question_answering.dir/question_answering.cpp.o.d"
+  "question_answering"
+  "question_answering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/question_answering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/common.cc" "src/CMakeFiles/tenet.dir/baselines/common.cc.o" "gcc" "src/CMakeFiles/tenet.dir/baselines/common.cc.o.d"
+  "/root/repo/src/baselines/earl_like.cc" "src/CMakeFiles/tenet.dir/baselines/earl_like.cc.o" "gcc" "src/CMakeFiles/tenet.dir/baselines/earl_like.cc.o.d"
+  "/root/repo/src/baselines/falcon_like.cc" "src/CMakeFiles/tenet.dir/baselines/falcon_like.cc.o" "gcc" "src/CMakeFiles/tenet.dir/baselines/falcon_like.cc.o.d"
+  "/root/repo/src/baselines/kbpearl_like.cc" "src/CMakeFiles/tenet.dir/baselines/kbpearl_like.cc.o" "gcc" "src/CMakeFiles/tenet.dir/baselines/kbpearl_like.cc.o.d"
+  "/root/repo/src/baselines/mintree_like.cc" "src/CMakeFiles/tenet.dir/baselines/mintree_like.cc.o" "gcc" "src/CMakeFiles/tenet.dir/baselines/mintree_like.cc.o.d"
+  "/root/repo/src/baselines/qkbfly_like.cc" "src/CMakeFiles/tenet.dir/baselines/qkbfly_like.cc.o" "gcc" "src/CMakeFiles/tenet.dir/baselines/qkbfly_like.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/tenet.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/tenet.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/tenet.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/tenet.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/tenet.dir/common/status.cc.o" "gcc" "src/CMakeFiles/tenet.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/tenet.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/tenet.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/canopy.cc" "src/CMakeFiles/tenet.dir/core/canopy.cc.o" "gcc" "src/CMakeFiles/tenet.dir/core/canopy.cc.o.d"
+  "/root/repo/src/core/coherence_graph.cc" "src/CMakeFiles/tenet.dir/core/coherence_graph.cc.o" "gcc" "src/CMakeFiles/tenet.dir/core/coherence_graph.cc.o.d"
+  "/root/repo/src/core/disambiguator.cc" "src/CMakeFiles/tenet.dir/core/disambiguator.cc.o" "gcc" "src/CMakeFiles/tenet.dir/core/disambiguator.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "src/CMakeFiles/tenet.dir/core/pipeline.cc.o" "gcc" "src/CMakeFiles/tenet.dir/core/pipeline.cc.o.d"
+  "/root/repo/src/core/population.cc" "src/CMakeFiles/tenet.dir/core/population.cc.o" "gcc" "src/CMakeFiles/tenet.dir/core/population.cc.o.d"
+  "/root/repo/src/core/tree_cover.cc" "src/CMakeFiles/tenet.dir/core/tree_cover.cc.o" "gcc" "src/CMakeFiles/tenet.dir/core/tree_cover.cc.o.d"
+  "/root/repo/src/core/tree_split.cc" "src/CMakeFiles/tenet.dir/core/tree_split.cc.o" "gcc" "src/CMakeFiles/tenet.dir/core/tree_split.cc.o.d"
+  "/root/repo/src/datasets/corpus_generator.cc" "src/CMakeFiles/tenet.dir/datasets/corpus_generator.cc.o" "gcc" "src/CMakeFiles/tenet.dir/datasets/corpus_generator.cc.o.d"
+  "/root/repo/src/datasets/io.cc" "src/CMakeFiles/tenet.dir/datasets/io.cc.o" "gcc" "src/CMakeFiles/tenet.dir/datasets/io.cc.o.d"
+  "/root/repo/src/datasets/spec.cc" "src/CMakeFiles/tenet.dir/datasets/spec.cc.o" "gcc" "src/CMakeFiles/tenet.dir/datasets/spec.cc.o.d"
+  "/root/repo/src/datasets/world.cc" "src/CMakeFiles/tenet.dir/datasets/world.cc.o" "gcc" "src/CMakeFiles/tenet.dir/datasets/world.cc.o.d"
+  "/root/repo/src/embedding/embedding_store.cc" "src/CMakeFiles/tenet.dir/embedding/embedding_store.cc.o" "gcc" "src/CMakeFiles/tenet.dir/embedding/embedding_store.cc.o.d"
+  "/root/repo/src/embedding/trainer.cc" "src/CMakeFiles/tenet.dir/embedding/trainer.cc.o" "gcc" "src/CMakeFiles/tenet.dir/embedding/trainer.cc.o.d"
+  "/root/repo/src/eval/harness.cc" "src/CMakeFiles/tenet.dir/eval/harness.cc.o" "gcc" "src/CMakeFiles/tenet.dir/eval/harness.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/tenet.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/tenet.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/sparsity.cc" "src/CMakeFiles/tenet.dir/eval/sparsity.cc.o" "gcc" "src/CMakeFiles/tenet.dir/eval/sparsity.cc.o.d"
+  "/root/repo/src/graph/dijkstra.cc" "src/CMakeFiles/tenet.dir/graph/dijkstra.cc.o" "gcc" "src/CMakeFiles/tenet.dir/graph/dijkstra.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/tenet.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/tenet.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/hopcroft_karp.cc" "src/CMakeFiles/tenet.dir/graph/hopcroft_karp.cc.o" "gcc" "src/CMakeFiles/tenet.dir/graph/hopcroft_karp.cc.o.d"
+  "/root/repo/src/graph/mst.cc" "src/CMakeFiles/tenet.dir/graph/mst.cc.o" "gcc" "src/CMakeFiles/tenet.dir/graph/mst.cc.o.d"
+  "/root/repo/src/graph/tree.cc" "src/CMakeFiles/tenet.dir/graph/tree.cc.o" "gcc" "src/CMakeFiles/tenet.dir/graph/tree.cc.o.d"
+  "/root/repo/src/graph/union_find.cc" "src/CMakeFiles/tenet.dir/graph/union_find.cc.o" "gcc" "src/CMakeFiles/tenet.dir/graph/union_find.cc.o.d"
+  "/root/repo/src/kb/alias_index.cc" "src/CMakeFiles/tenet.dir/kb/alias_index.cc.o" "gcc" "src/CMakeFiles/tenet.dir/kb/alias_index.cc.o.d"
+  "/root/repo/src/kb/io.cc" "src/CMakeFiles/tenet.dir/kb/io.cc.o" "gcc" "src/CMakeFiles/tenet.dir/kb/io.cc.o.d"
+  "/root/repo/src/kb/knowledge_base.cc" "src/CMakeFiles/tenet.dir/kb/knowledge_base.cc.o" "gcc" "src/CMakeFiles/tenet.dir/kb/knowledge_base.cc.o.d"
+  "/root/repo/src/kb/synthetic_kb.cc" "src/CMakeFiles/tenet.dir/kb/synthetic_kb.cc.o" "gcc" "src/CMakeFiles/tenet.dir/kb/synthetic_kb.cc.o.d"
+  "/root/repo/src/kb/types.cc" "src/CMakeFiles/tenet.dir/kb/types.cc.o" "gcc" "src/CMakeFiles/tenet.dir/kb/types.cc.o.d"
+  "/root/repo/src/text/extraction.cc" "src/CMakeFiles/tenet.dir/text/extraction.cc.o" "gcc" "src/CMakeFiles/tenet.dir/text/extraction.cc.o.d"
+  "/root/repo/src/text/features.cc" "src/CMakeFiles/tenet.dir/text/features.cc.o" "gcc" "src/CMakeFiles/tenet.dir/text/features.cc.o.d"
+  "/root/repo/src/text/gazetteer.cc" "src/CMakeFiles/tenet.dir/text/gazetteer.cc.o" "gcc" "src/CMakeFiles/tenet.dir/text/gazetteer.cc.o.d"
+  "/root/repo/src/text/lemmatizer.cc" "src/CMakeFiles/tenet.dir/text/lemmatizer.cc.o" "gcc" "src/CMakeFiles/tenet.dir/text/lemmatizer.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/CMakeFiles/tenet.dir/text/tokenizer.cc.o" "gcc" "src/CMakeFiles/tenet.dir/text/tokenizer.cc.o.d"
+  "/root/repo/src/text/wordlists.cc" "src/CMakeFiles/tenet.dir/text/wordlists.cc.o" "gcc" "src/CMakeFiles/tenet.dir/text/wordlists.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

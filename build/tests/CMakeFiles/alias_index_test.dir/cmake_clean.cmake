@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alias_index_test.dir/alias_index_test.cc.o"
+  "CMakeFiles/alias_index_test.dir/alias_index_test.cc.o.d"
+  "alias_index_test"
+  "alias_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alias_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datasets_io_test.dir/datasets_io_test.cc.o"
+  "CMakeFiles/datasets_io_test.dir/datasets_io_test.cc.o.d"
+  "datasets_io_test"
+  "datasets_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datasets_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

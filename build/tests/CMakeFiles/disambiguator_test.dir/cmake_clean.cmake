@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disambiguator_test.dir/disambiguator_test.cc.o"
+  "CMakeFiles/disambiguator_test.dir/disambiguator_test.cc.o.d"
+  "disambiguator_test"
+  "disambiguator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disambiguator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

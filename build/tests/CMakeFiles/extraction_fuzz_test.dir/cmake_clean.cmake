@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extraction_fuzz_test.dir/extraction_fuzz_test.cc.o"
+  "CMakeFiles/extraction_fuzz_test.dir/extraction_fuzz_test.cc.o.d"
+  "extraction_fuzz_test"
+  "extraction_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extraction_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

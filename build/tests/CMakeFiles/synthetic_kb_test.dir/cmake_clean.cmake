@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synthetic_kb_test.dir/synthetic_kb_test.cc.o"
+  "CMakeFiles/synthetic_kb_test.dir/synthetic_kb_test.cc.o.d"
+  "synthetic_kb_test"
+  "synthetic_kb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synthetic_kb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_cover_walkthrough_test.dir/tree_cover_walkthrough_test.cc.o"
+  "CMakeFiles/tree_cover_walkthrough_test.dir/tree_cover_walkthrough_test.cc.o.d"
+  "tree_cover_walkthrough_test"
+  "tree_cover_walkthrough_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_cover_walkthrough_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_split_test.dir/tree_split_test.cc.o"
+  "CMakeFiles/tree_split_test.dir/tree_split_test.cc.o.d"
+  "tree_split_test"
+  "tree_split_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_split_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

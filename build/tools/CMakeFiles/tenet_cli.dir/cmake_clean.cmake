@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tenet_cli.dir/tenet_cli.cc.o"
+  "CMakeFiles/tenet_cli.dir/tenet_cli.cc.o.d"
+  "tenet_cli"
+  "tenet_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tenet_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
