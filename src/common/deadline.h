@@ -1,0 +1,121 @@
+#ifndef TENET_COMMON_DEADLINE_H_
+#define TENET_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+#include <string>
+
+#include "common/status.h"
+
+namespace tenet {
+
+// A monotonic compute budget: a point on the steady clock after which work
+// should stop.  Deadlines are cheap value types, passed by copy down the
+// pipeline so every stage can poll the same budget.  An infinite deadline
+// (the default) never expires; `Deadline::Expired()` is already past, which
+// tests use to force the degraded path deterministically.
+class Deadline {
+ public:
+  /// Never expires (the default for offline evaluation).
+  Deadline() : infinite_(true) {}
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now.  Non-positive budgets are already
+  /// expired; an infinite budget yields an infinite deadline.
+  static Deadline AfterMillis(double ms) {
+    if (ms == std::numeric_limits<double>::infinity()) return Infinite();
+    Deadline d;
+    d.infinite_ = false;
+    d.when_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                 std::chrono::duration<double, std::milli>(
+                                     ms > 0.0 ? ms : 0.0));
+    return d;
+  }
+
+  /// A deadline that has already passed.
+  static Deadline Expired() { return AfterMillis(0.0); }
+
+  bool infinite() const { return infinite_; }
+
+  bool expired() const {
+    return !infinite_ && Clock::now() >= when_;
+  }
+
+  /// Milliseconds left before expiry: +infinity when infinite, clamped to
+  /// zero once past.
+  double RemainingMillis() const {
+    if (infinite_) return std::numeric_limits<double>::infinity();
+    double left = std::chrono::duration<double, std::milli>(
+                      when_ - Clock::now())
+                      .count();
+    return left > 0.0 ? left : 0.0;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool infinite_ = true;
+  Clock::time_point when_{};
+};
+
+// Capped exponential backoff over a scalar budget (the tree-cost bound B,
+// a batch size, a wait) — the reusable form of the pipeline's former ad-hoc
+// bound-doubling loop.
+struct RetryPolicy {
+  /// Retries after the initial attempt (total attempts = max_retries + 1).
+  int max_retries = 6;
+  /// Growth factor applied to the value on every retry (>= 1).
+  double multiplier = 2.0;
+  /// Upper cap on the grown value.
+  double max_value = std::numeric_limits<double>::infinity();
+};
+
+// Iterates the attempts of one RetryPolicy:
+//
+//   RetrySchedule schedule(policy, initial_bound);
+//   do {
+//     if (TrySolve(schedule.value())) break;
+//   } while (schedule.Next());
+class RetrySchedule {
+ public:
+  RetrySchedule(const RetryPolicy& policy, double initial_value)
+      : policy_(policy), value_(initial_value) {}
+
+  /// The value to use for the current attempt.
+  double value() const { return value_; }
+
+  /// Zero-based index of the current attempt.
+  int attempt() const { return attempt_; }
+
+  /// True once every retry has been consumed.
+  bool exhausted() const { return attempt_ >= policy_.max_retries; }
+
+  /// Advances to the next attempt, growing value().  Returns false (and
+  /// leaves the state unchanged) when the policy is exhausted.
+  bool Next() {
+    if (exhausted()) return false;
+    ++attempt_;
+    value_ = value_ * policy_.multiplier;
+    if (value_ > policy_.max_value) value_ = policy_.max_value;
+    return true;
+  }
+
+ private:
+  RetryPolicy policy_;
+  double value_;
+  int attempt_ = 0;
+};
+
+}  // namespace tenet
+
+// Propagates kDeadlineExceeded when `deadline` has expired; `what` names
+// the stage that was about to run (for the status message).
+#define TENET_RETURN_IF_EXPIRED(deadline, what)             \
+  do {                                                      \
+    if ((deadline).expired()) {                             \
+      return ::tenet::Status::DeadlineExceeded(             \
+          std::string("deadline expired before ") + (what)); \
+    }                                                       \
+  } while (false)
+
+#endif  // TENET_COMMON_DEADLINE_H_

@@ -1,0 +1,127 @@
+#include "common/fault_injection.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace {
+
+std::atomic<FaultInjector*> g_active_injector{nullptr};
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Fnv1a(std::string_view s) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+double ToUnitDouble(uint64_t bits) {
+  // 53 high bits -> [0, 1), the standard uniform-double construction.
+  return static_cast<double>(bits >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(uint64_t seed) : seed_(seed) {
+  FaultInjector* expected = nullptr;
+  TENET_CHECK(g_active_injector.compare_exchange_strong(
+      expected, this, std::memory_order_acq_rel))
+      << "a FaultInjector is already installed; injectors are scoped and "
+         "must not nest";
+}
+
+FaultInjector::~FaultInjector() {
+  g_active_injector.store(nullptr, std::memory_order_release);
+}
+
+FaultInjector::PointState& FaultInjector::StateLocked(
+    std::string_view point) {
+  auto it = points_.find(std::string(point));
+  if (it == points_.end()) {
+    it = points_.emplace(std::string(point), PointState{}).first;
+  }
+  return it->second;
+}
+
+void FaultInjector::Arm(std::string_view point, double probability) {
+  if (probability < 0.0) probability = 0.0;
+  if (probability > 1.0) probability = 1.0;
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = StateLocked(point);
+  state.mode = Mode::kProbability;
+  state.probability = probability;
+}
+
+void FaultInjector::ArmNth(std::string_view point, int nth) {
+  TENET_CHECK_GE(nth, 1) << "ArmNth takes a 1-based hit index";
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = StateLocked(point);
+  state.mode = Mode::kNth;
+  state.nth = nth;
+}
+
+void FaultInjector::Disarm(std::string_view point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  StateLocked(point).mode = Mode::kDisarmed;
+}
+
+int FaultInjector::HitCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+int FaultInjector::FireCount(std::string_view point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(std::string(point));
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+bool FaultInjector::Fires(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = StateLocked(point);
+  ++state.hits;
+  bool fires = false;
+  switch (state.mode) {
+    case Mode::kDisarmed:
+      break;
+    case Mode::kProbability: {
+      if (!state.rng_seeded) {
+        state.rng_state = seed_ ^ Fnv1a(point);
+        state.rng_seeded = true;
+      }
+      // One draw per hit, armed or not firing: the schedule of hit k is a
+      // pure function of (seed, point, k).
+      fires = ToUnitDouble(SplitMix64(state.rng_state)) < state.probability;
+      break;
+    }
+    case Mode::kNth:
+      fires = state.hits == state.nth;
+      break;
+  }
+  if (fires) ++state.fires;
+  return fires;
+}
+
+bool FaultInjectionArmed() {
+  return g_active_injector.load(std::memory_order_acquire) != nullptr;
+}
+
+bool FaultPointFires(const char* point) {
+  FaultInjector* injector =
+      g_active_injector.load(std::memory_order_acquire);
+  if (injector == nullptr) return false;
+  return injector->Fires(point);
+}
+
+}  // namespace tenet

@@ -1,0 +1,109 @@
+#ifndef TENET_COMMON_FAULT_INJECTION_H_
+#define TENET_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace tenet {
+
+// Deterministic fault injection, in the style of LevelDB/RocksDB fault
+// environments: production code marks its failure-prone operations with
+// TENET_FAULT_POINT("area/operation"), and tests arm those points through a
+// scoped FaultInjector.  With no injector installed the macro is a single
+// relaxed atomic load; with TENET_DISABLE_FAULT_INJECTION defined it
+// compiles to `false` outright.
+//
+// Schedules are seed-reproducible: each point draws from its own splitmix64
+// stream keyed by (seed, point name), so whether the k-th hit of a point
+// fires depends only on the seed and k — never on how hits of different
+// points interleave (including across threads).
+//
+// Usage in production code (the fault point decides only *whether* to fail;
+// the call site decides *how*, using its normal error path):
+//
+//   if (TENET_FAULT_POINT("kb/alias_lookup")) return {};  // lookup failed
+//
+// Usage in tests:
+//
+//   FaultInjector faults(/*seed=*/7);
+//   faults.Arm("kb/alias_lookup", /*probability=*/0.3);
+//   faults.ArmNth("core/cover_solve", /*nth=*/2);  // fail the 2nd call only
+//   ... exercise the system ...
+//   EXPECT_GT(faults.FireCount("kb/alias_lookup"), 0);
+class FaultInjector {
+ public:
+  /// Installs this injector as the process-wide active one.  At most one
+  /// injector may be live at a time (they are meant to be scoped to a test).
+  explicit FaultInjector(uint64_t seed);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Arms `point` to fire independently on each hit with `probability`
+  /// (clamped to [0, 1]), drawn from the point's deterministic stream.
+  void Arm(std::string_view point, double probability);
+
+  /// Arms `point` to fire on exactly its `nth` hit (1-based) and never
+  /// again.  `nth` must be >= 1.
+  void ArmNth(std::string_view point, int nth);
+
+  /// Disarms `point`; its hit/fire counters are preserved.
+  void Disarm(std::string_view point);
+
+  /// Times the point was reached while this injector was installed
+  /// (armed or not).
+  int HitCount(std::string_view point) const;
+
+  /// Times the point actually fired.
+  int FireCount(std::string_view point) const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  friend bool FaultPointFires(const char* point);
+
+  enum class Mode { kDisarmed, kProbability, kNth };
+
+  struct PointState {
+    Mode mode = Mode::kDisarmed;
+    double probability = 0.0;
+    int nth = 0;
+    int hits = 0;
+    int fires = 0;
+    uint64_t rng_state = 0;  // lazily seeded from (seed_, point name)
+    bool rng_seeded = false;
+  };
+
+  bool Fires(const char* point);
+  PointState& StateLocked(std::string_view point);
+
+  const uint64_t seed_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, PointState> points_;
+};
+
+/// True when a FaultInjector is currently installed.  One relaxed-ish
+/// atomic load; the not-under-test fast path of TENET_FAULT_POINT.
+bool FaultInjectionArmed();
+
+/// Records a hit on `point` against the installed injector and returns
+/// whether this hit fires.  Returns false when no injector is installed.
+/// Call through TENET_FAULT_POINT, not directly.
+bool FaultPointFires(const char* point);
+
+}  // namespace tenet
+
+// Evaluates to true when the named fault point should simulate a failure
+// at this call site.  `point` must be a string literal ("area/operation").
+#ifdef TENET_DISABLE_FAULT_INJECTION
+#define TENET_FAULT_POINT(point) (false)
+#else
+#define TENET_FAULT_POINT(point) \
+  (::tenet::FaultInjectionArmed() && ::tenet::FaultPointFires(point))
+#endif
+
+#endif  // TENET_COMMON_FAULT_INJECTION_H_

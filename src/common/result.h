@@ -65,6 +65,12 @@ class Result {
 // Assigns the value of a Result-returning expression to `lhs`, or propagates
 // the error.  `lhs` may declare a new variable:
 //   TENET_ASSIGN_OR_RETURN(auto cover, solver.Solve(graph, bound));
+//
+// Propagation is code-preserving: the returned Status carries the original
+// StatusCode and message untouched, so domain-specific codes
+// (kBoundTooSmall, kDeadlineExceeded, kDataLoss) survive any number of
+// macro hops and remain actionable at the top of the pipeline.  `expr` is
+// evaluated exactly once and its value is moved, never copied.
 #define TENET_ASSIGN_OR_RETURN(lhs, expr)                     \
   TENET_ASSIGN_OR_RETURN_IMPL_(                               \
       TENET_RESULT_CONCAT_(_tenet_result, __LINE__), lhs, expr)

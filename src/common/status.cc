@@ -22,6 +22,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "unimplemented";
     case StatusCode::kBoundTooSmall:
       return "bound_too_small";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
+    case StatusCode::kDataLoss:
+      return "data_loss";
   }
   return "unknown";
 }

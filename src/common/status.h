@@ -24,6 +24,13 @@ enum class StatusCode {
   // bound B is too small (the graph disconnects or matching fails).  We give
   // that condition its own code so callers can retry with a larger bound.
   kBoundTooSmall,
+  // A compute budget (Deadline) ran out before the operation finished.
+  // Retrying without a larger budget cannot help; callers degrade instead
+  // (see the pipeline's degradation ladder).
+  kDeadlineExceeded,
+  // Unrecoverable corruption or loss of persisted data (truncated or
+  // malformed KB/embedding files, non-finite payloads).
+  kDataLoss,
 };
 
 /// Returns the canonical lower_snake_case name of `code` (e.g. "not_found").
@@ -69,6 +76,12 @@ class Status {
   static Status BoundTooSmall(std::string msg) {
     return Status(StatusCode::kBoundTooSmall, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +93,10 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
 
   /// Renders "ok" or "<code>: <message>" for logs and test output.
   std::string ToString() const;

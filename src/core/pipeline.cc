@@ -1,12 +1,86 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "common/logging.h"
 #include "common/timer.h"
 
 namespace tenet {
 namespace core {
+namespace {
+
+using TopCandidate = std::optional<std::pair<kb::ConceptRef, double>>;
+
+// Shared assembly of the prior-only fallback: per mention group, keep the
+// canopy whose mentions are collectively most confident under the priors
+// (the degraded stand-in for coherence-driven canopy resolution), then link
+// every mention of the winning canopy to its top-prior candidate.  Mentions
+// without candidates are reported isolated, exactly like the full path.
+// `top(mention_id)` yields the best candidate or nullopt.
+template <typename TopFn>
+LinkingResult AssemblePriorOnly(const MentionSet& universe, TopFn&& top) {
+  LinkingResult result;
+  for (int g = 0; g < universe.num_groups(); ++g) {
+    const MentionGroup& group = universe.groups[g];
+    int winning = 0;
+    double best_score = -1.0;
+    size_t best_size = 0;
+    for (size_t k = 0; k < group.canopies.size(); ++k) {
+      double score = 0.0;
+      for (int m : group.canopies[k].mentions) {
+        if (TopCandidate c = top(m)) score += c->second;
+      }
+      // Equal prior mass over fewer mentions means longer spans — prefer
+      // them, mirroring the extractor's maximal-span readings.
+      size_t size = group.canopies[k].mentions.size();
+      if (score > best_score ||
+          (score == best_score && size < best_size)) {
+        best_score = score;
+        best_size = size;
+        winning = static_cast<int>(k);
+      }
+    }
+    const std::vector<int>& reading = group.canopies.empty()
+                                          ? group.short_mentions
+                                          : group.canopies[winning].mentions;
+    for (int m : reading) {
+      result.selected_mentions.push_back(m);
+      TopCandidate c = top(m);
+      if (!c.has_value()) {
+        result.isolated_mentions.push_back(m);
+        continue;
+      }
+      LinkedConcept link;
+      link.mention_id = m;
+      link.surface = universe.mention(m).surface;
+      link.kind = universe.mention(m).kind;
+      link.concept_ref = c->first;
+      link.prior = c->second;
+      result.links.push_back(std::move(link));
+    }
+  }
+  std::sort(result.links.begin(), result.links.end(),
+            [](const LinkedConcept& a, const LinkedConcept& b) {
+              return a.mention_id < b.mention_id;
+            });
+  std::sort(result.selected_mentions.begin(), result.selected_mentions.end());
+  std::sort(result.isolated_mentions.begin(), result.isolated_mentions.end());
+  return result;
+}
+
+}  // namespace
+
+std::string_view DegradationModeToString(DegradationInfo::Mode mode) {
+  switch (mode) {
+    case DegradationInfo::Mode::kFull:
+      return "full";
+    case DegradationInfo::Mode::kPriorOnly:
+      return "prior_only";
+  }
+  return "unknown";
+}
 
 TenetPipeline::TenetPipeline(const kb::KnowledgeBase* kb,
                              const embedding::EmbeddingStore* embeddings,
@@ -20,56 +94,120 @@ TenetPipeline::TenetPipeline(const kb::KnowledgeBase* kb,
       disambiguator_(options.disambiguator) {
   TENET_CHECK(gazetteer != nullptr);
   TENET_CHECK_GT(options_.bound_factor, 0.0);
+  TENET_CHECK_GE(options_.bound_retry.max_retries, 0);
+  TENET_CHECK_GE(options_.bound_retry.multiplier, 1.0);
+}
+
+Deadline TenetPipeline::DefaultDeadline() const {
+  return Deadline::AfterMillis(options_.deadline_ms);
 }
 
 Result<LinkingResult> TenetPipeline::LinkDocument(
     std::string_view document_text) const {
+  return LinkDocument(document_text, DefaultDeadline());
+}
+
+Result<LinkingResult> TenetPipeline::LinkDocument(
+    std::string_view document_text, Deadline deadline) const {
+  // Extraction always runs: even a fully degraded answer needs the mention
+  // universe, and the stage is cheap relative to the coherence machinery.
   WallTimer timer;
   text::Extractor extractor(gazetteer_);
   text::ExtractionResult extraction =
       extractor.ExtractFromText(document_text);
   double extract_ms = timer.ElapsedMillis();
 
-  TENET_ASSIGN_OR_RETURN(LinkingResult result, LinkExtraction(extraction));
+  TENET_ASSIGN_OR_RETURN(LinkingResult result,
+                         LinkExtraction(extraction, deadline));
   result.timings.extract_ms = extract_ms;
   return result;
 }
 
 Result<LinkingResult> TenetPipeline::LinkExtraction(
     const text::ExtractionResult& extraction) const {
+  return LinkExtraction(extraction, DefaultDeadline());
+}
+
+Result<LinkingResult> TenetPipeline::LinkExtraction(
+    const text::ExtractionResult& extraction, Deadline deadline) const {
   MentionSet mentions =
       BuildMentionSet(extraction, gazetteer_, options_.canopy);
-  return LinkMentionSet(std::move(mentions));
+  return LinkMentionSet(std::move(mentions), deadline);
 }
 
 Result<LinkingResult> TenetPipeline::LinkMentionSet(
     MentionSet mentions) const {
+  return LinkMentionSet(std::move(mentions), DefaultDeadline());
+}
+
+Result<LinkingResult> TenetPipeline::LinkMentionSet(MentionSet mentions,
+                                                    Deadline deadline) const {
   LinkingResult result;
   if (mentions.num_mentions() == 0) {
     result.mentions = std::move(mentions);
     return result;
   }
+  PipelineTimings timings;
+
+  // ---- Rung 0: budget gone before the coherence stage --------------------
+  if (deadline.expired()) {
+    if (!options_.degrade_to_prior) {
+      return Status::DeadlineExceeded(
+          "deadline expired before the coherence stage");
+    }
+    return PriorOnlyFromMentions(std::move(mentions),
+                                 "deadline expired before the coherence stage",
+                                 /*stages_degraded=*/3, timings);
+  }
 
   WallTimer timer;
   CoherenceGraph cg = graph_builder_.Build(std::move(mentions));
-  result.timings.graph_ms = timer.ElapsedMillis();
+  timings.graph_ms = timer.ElapsedMillis();
 
-  // B = bound_factor * |M| (Sec. 6.1), doubling on the failure warning.
+  // ---- Tree cover: B = bound_factor * |M| (Sec. 6.1), growing on the
+  // failure warning per the retry policy, under the deadline ---------------
   timer.Restart();
-  double bound = options_.bound_factor * cg.num_mentions();
+  RetrySchedule schedule(options_.bound_retry,
+                         options_.bound_factor * cg.num_mentions());
   Result<TreeCover> cover = Status::Internal("unsolved");
-  for (int attempt = 0; attempt <= options_.max_bound_retries; ++attempt) {
-    cover = solver_.Solve(cg, bound, &result.cover_stats);
+  TreeCoverStats cover_stats;
+  Status interrupted;  // non-OK when the deadline cut the search short
+  do {
+    if (deadline.expired()) {
+      interrupted = Status::DeadlineExceeded(
+          "deadline expired during the tree-cover search");
+      break;
+    }
+    cover = solver_.Solve(cg, schedule.value(), &cover_stats);
     if (cover.ok() || !cover.status().IsBoundTooSmall()) break;
-    bound *= 2.0;
+  } while (schedule.Next());
+  timings.cover_ms = timer.ElapsedMillis();
+
+  // ---- Rung 1: cover unavailable (deadline, retry exhaustion, or solver
+  // fault) -> serve priors from the already-built graph --------------------
+  if (!interrupted.ok() || !cover.ok()) {
+    Status cause = !interrupted.ok() ? interrupted : cover.status();
+    if (!options_.degrade_to_prior) return cause;
+    return PriorOnlyFromGraph(cg, cause.ToString(), /*stages_degraded=*/2,
+                              timings);
   }
-  if (!cover.ok()) return cover.status();
-  result.used_bound = bound;
-  result.timings.cover_ms = timer.ElapsedMillis();
+
+  // ---- Rung 2: cover done but budget gone -> degrade the last stage ------
+  if (deadline.expired()) {
+    if (!options_.degrade_to_prior) {
+      return Status::DeadlineExceeded(
+          "deadline expired before disambiguation");
+    }
+    return PriorOnlyFromGraph(cg, "deadline expired before disambiguation",
+                              /*stages_degraded=*/1, timings);
+  }
+
+  result.used_bound = schedule.value();
+  result.cover_stats = cover_stats;
 
   timer.Restart();
   DisambiguationResult gamma = disambiguator_.Run(cg, cover.value());
-  result.timings.disambiguate_ms = timer.ElapsedMillis();
+  timings.disambiguate_ms = timer.ElapsedMillis();
 
   // ---- Assemble the output -------------------------------------------------
   const MentionSet& universe = cg.mentions();
@@ -110,6 +248,65 @@ Result<LinkingResult> TenetPipeline::LinkMentionSet(
             result.isolated_mentions.end());
 
   result.mentions = cg.mentions();  // copy out the universe
+  result.timings = timings;
+  return result;
+}
+
+Result<LinkingResult> TenetPipeline::PriorOnlyFromMentions(
+    MentionSet mentions, std::string reason, int stages_degraded,
+    PipelineTimings timings) const {
+  WallTimer timer;
+  const MentionSet& universe = mentions;
+  // Same candidate budget as the coherence graph, so the degraded path sees
+  // the identical renormalized top-k prior distribution per mention.
+  const int top_k = options_.graph.max_candidates_per_mention;
+  auto top = [this, &universe, top_k](int m) -> TopCandidate {
+    const Mention& mention = universe.mention(m);
+    if (mention.is_noun()) {
+      std::vector<kb::EntityCandidate> candidates =
+          kb_->CandidateEntities(mention.surface, mention.type, top_k);
+      if (candidates.empty()) return std::nullopt;
+      return std::make_pair(kb::ConceptRef::Entity(candidates.front().entity),
+                            candidates.front().prior);
+    }
+    std::vector<kb::PredicateCandidate> candidates =
+        kb_->CandidatePredicates(mention.surface, top_k);
+    if (candidates.empty()) return std::nullopt;
+    return std::make_pair(
+        kb::ConceptRef::Predicate(candidates.front().predicate),
+        candidates.front().prior);
+  };
+  LinkingResult result = AssemblePriorOnly(universe, top);
+  result.mentions = std::move(mentions);
+  timings.disambiguate_ms = timer.ElapsedMillis();
+  result.timings = timings;
+  result.degradation.mode = DegradationInfo::Mode::kPriorOnly;
+  result.degradation.reason = std::move(reason);
+  result.degradation.stages_degraded = stages_degraded;
+  return result;
+}
+
+Result<LinkingResult> TenetPipeline::PriorOnlyFromGraph(
+    const CoherenceGraph& cg, std::string reason, int stages_degraded,
+    PipelineTimings timings) const {
+  WallTimer timer;
+  auto top = [&cg](int m) -> TopCandidate {
+    const std::vector<int>& nodes = cg.ConceptNodesOfMention(m);
+    const CoherenceGraph::ConceptNode* best = nullptr;
+    for (int node : nodes) {
+      const CoherenceGraph::ConceptNode& cn = cg.concept_node(node);
+      if (best == nullptr || cn.prior > best->prior) best = &cn;
+    }
+    if (best == nullptr) return std::nullopt;
+    return std::make_pair(best->ref, best->prior);
+  };
+  LinkingResult result = AssemblePriorOnly(cg.mentions(), top);
+  result.mentions = cg.mentions();  // copy out the universe
+  timings.disambiguate_ms = timer.ElapsedMillis();
+  result.timings = timings;
+  result.degradation.mode = DegradationInfo::Mode::kPriorOnly;
+  result.degradation.reason = std::move(reason);
+  result.degradation.stages_degraded = stages_degraded;
   return result;
 }
 

@@ -1,10 +1,12 @@
 #ifndef TENET_CORE_PIPELINE_H_
 #define TENET_CORE_PIPELINE_H_
 
+#include <limits>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "core/canopy.h"
 #include "core/coherence_graph.h"
@@ -26,9 +28,48 @@ struct TenetOptions {
   DisambiguatorOptions disambiguator;
   /// Tree-cost bound B = bound_factor * |M| (the paper sets B to |M|).
   double bound_factor = 1.0;
-  /// On a failure warning (B < B*), B doubles up to this many times.
-  int max_bound_retries = 6;
+  /// On a failure warning (B < B*), B grows per this policy (the paper's
+  /// doubling, capped).  Replaces the former ad-hoc `max_bound_retries`.
+  RetryPolicy bound_retry;
+  /// Per-document wall-clock budget in milliseconds, measured from the
+  /// Link* call.  Infinite (the default) disables the deadline.  An
+  /// explicit Deadline argument to Link* overrides this.
+  double deadline_ms = std::numeric_limits<double>::infinity();
+  /// When true (the default), deadline expiry or bound-retry exhaustion
+  /// degrades to per-canopy prior-only disambiguation instead of failing
+  /// the document.  When false those conditions surface as
+  /// kDeadlineExceeded / the solver's error.
+  bool degrade_to_prior = true;
 };
+
+// How a LinkingResult was produced — the rung of the degradation ladder
+// that served the document.  Attached to every result so the evaluation
+// harness can report degraded-vs-full counts.
+struct DegradationInfo {
+  enum class Mode {
+    /// The full tree-cover pipeline ran to completion.
+    kFull = 0,
+    /// Per-canopy prior-only disambiguation (baseline-quality answer):
+    /// each mention group keeps its most-confident canopy by candidate
+    /// priors, and every mention links to its top-prior candidate.
+    kPriorOnly = 1,
+  };
+
+  Mode mode = Mode::kFull;
+  /// Human-readable cause, e.g. "deadline expired before the coherence
+  /// stage" or the tree-cover solver's terminal status.  Empty when full.
+  std::string reason;
+  /// Number of pipeline stages (graph, cover, disambiguation) that were
+  /// skipped or replaced by the fallback: 0 for a full run, up to 3 when
+  /// the budget was exhausted before the coherence stage.
+  int stages_degraded = 0;
+
+  bool degraded() const { return mode != Mode::kFull; }
+};
+
+/// Canonical lower_snake_case name of a degradation mode ("full",
+/// "prior_only") for logs and harness tables.
+std::string_view DegradationModeToString(DegradationInfo::Mode mode);
 
 // One linked mention of the final output.
 struct LinkedConcept {
@@ -64,10 +105,13 @@ struct LinkingResult {
   std::vector<int> isolated_mentions;
   /// Mention-detection output: ids of linked + isolated mentions.
   std::vector<int> selected_mentions;
-  /// The bound B that produced the cover.
+  /// The bound B that produced the cover (0 when the cover stage was
+  /// degraded away).
   double used_bound = 0.0;
   TreeCoverStats cover_stats;
   PipelineTimings timings;
+  /// Which rung of the degradation ladder produced this result.
+  DegradationInfo degradation;
 };
 
 // TENET: tree-cover based joint entity and relation linking.
@@ -84,21 +128,54 @@ class TenetPipeline {
                 const text::Gazetteer* gazetteer, TenetOptions options = {});
 
   /// Runs the whole stack: extraction -> mention set -> coherence graph ->
-  /// tree cover -> disambiguation.
+  /// tree cover -> disambiguation.  The overloads without a Deadline start
+  /// the budget configured by TenetOptions::deadline_ms at call time.
+  ///
+  /// Degradation ladder (when options().degrade_to_prior): the full
+  /// tree-cover pipeline is attempted first; if the deadline expires or
+  /// the bound retries are exhausted, the document is served by per-canopy
+  /// prior-only disambiguation and the result's DegradationInfo records
+  /// the mode, cause, and how many stages were degraded.  A degraded
+  /// answer is still ok() — graceful degradation is an answer, not an
+  /// error.
   Result<LinkingResult> LinkDocument(std::string_view document_text) const;
+  Result<LinkingResult> LinkDocument(std::string_view document_text,
+                                     Deadline deadline) const;
 
   /// Starts from a ready extraction (used by evaluations that fix the
   /// mention detection stage).
   Result<LinkingResult> LinkExtraction(
       const text::ExtractionResult& extraction) const;
+  Result<LinkingResult> LinkExtraction(
+      const text::ExtractionResult& extraction, Deadline deadline) const;
 
   /// Starts from a ready mention universe (used by the disambiguation-only
   /// evaluation, where gold mentions are given as input).
   Result<LinkingResult> LinkMentionSet(MentionSet mentions) const;
+  Result<LinkingResult> LinkMentionSet(MentionSet mentions,
+                                       Deadline deadline) const;
 
   const TenetOptions& options() const { return options_; }
 
  private:
+  /// The deadline implied by options().deadline_ms, started now.
+  Deadline DefaultDeadline() const;
+
+  /// Serves the document from priors alone, bypassing the coherence graph
+  /// entirely (candidates come straight from the KB alias index).
+  Result<LinkingResult> PriorOnlyFromMentions(MentionSet mentions,
+                                              std::string reason,
+                                              int stages_degraded,
+                                              PipelineTimings timings) const;
+
+  /// Serves the document from priors using the candidates already
+  /// materialized in `cg` (the graph stage completed before the budget ran
+  /// out).
+  Result<LinkingResult> PriorOnlyFromGraph(const CoherenceGraph& cg,
+                                           std::string reason,
+                                           int stages_degraded,
+                                           PipelineTimings timings) const;
+
   const kb::KnowledgeBase* kb_;
   const embedding::EmbeddingStore* embeddings_;
   const text::Gazetteer* gazetteer_;

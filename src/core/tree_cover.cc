@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "core/tree_split.h"
 #include "graph/dijkstra.h"
@@ -71,6 +72,9 @@ int TreeCover::TotalEdges() const {
 Result<TreeCover> TreeCoverSolver::Solve(const CoherenceGraph& cg,
                                          double bound,
                                          TreeCoverStats* stats) const {
+  if (TENET_FAULT_POINT("core/cover_solve")) {
+    return Status::Internal("injected fault: cover solver unavailable");
+  }
   if (bound <= 0.0) {
     return Status::InvalidArgument("tree cover bound must be positive");
   }

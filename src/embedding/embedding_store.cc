@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace tenet {
@@ -57,6 +58,9 @@ void EmbeddingStore::Finalize() {
 
 double EmbeddingStore::Cosine(kb::ConceptRef a, kb::ConceptRef b) const {
   TENET_CHECK(finalized_) << "Cosine before Finalize";
+  // A fired fetch fault behaves like a missing vector: zero similarity,
+  // the same value a genuinely absent (zero-norm) embedding yields.
+  if (TENET_FAULT_POINT("embedding/fetch")) return 0.0;
   size_t ia = NormIndex(a);
   size_t ib = NormIndex(b);
   if (norms_[ia] <= 0.0 || norms_[ib] <= 0.0) return 0.0;

@@ -17,7 +17,13 @@ SystemScores EvaluateEndToEnd(const baselines::Linker& linker,
     Result<core::LinkingResult> result = linker.LinkDocument(doc.text);
     if (!result.ok()) {
       ++scores.failed_documents;
+      scores.failures.push_back(DocumentFailure{doc.id, result.status()});
       continue;
+    }
+    if (result->degradation.degraded()) {
+      ++scores.degraded_documents;
+    } else {
+      ++scores.full_documents;
     }
     SystemPrediction prediction = FromLinkingResult(*result);
     scores.entity_linking.Add(ScoreEntityLinking(doc, prediction));
@@ -44,7 +50,13 @@ SystemScores EvaluateDisambiguation(const baselines::Linker& linker,
         linker.LinkMentionSet(std::move(mentions));
     if (!result.ok()) {
       ++scores.failed_documents;
+      scores.failures.push_back(DocumentFailure{doc.id, result.status()});
       continue;
+    }
+    if (result->degradation.degraded()) {
+      ++scores.degraded_documents;
+    } else {
+      ++scores.full_documents;
     }
     SystemPrediction prediction = FromLinkingResult(*result);
     scores.entity_linking.Add(ScoreEntityLinking(doc, prediction));
@@ -57,6 +69,14 @@ std::string FormatPRF(const PRF& prf) {
   char buffer[64];
   std::snprintf(buffer, sizeof(buffer), "%.3f %.3f %.3f", prf.Precision(),
                 prf.Recall(), prf.F1());
+  return std::string(buffer);
+}
+
+std::string FormatDegradation(const SystemScores& scores) {
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer), "full %d | degraded %d | failed %d",
+                scores.full_documents, scores.degraded_documents,
+                scores.failed_documents);
   return std::string(buffer);
 }
 

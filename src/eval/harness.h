@@ -2,14 +2,24 @@
 #define TENET_EVAL_HARNESS_H_
 
 #include <string>
+#include <vector>
 
 #include "baselines/linker.h"
+#include "common/status.h"
 #include "datasets/document.h"
 #include "eval/metrics.h"
 #include "text/gazetteer.h"
 
 namespace tenet {
 namespace eval {
+
+// One document the system errored on.  Failures are isolated per document:
+// the batch run records them and continues, so one corrupt or pathological
+// document can no longer abort an evaluation.
+struct DocumentFailure {
+  std::string doc_id;
+  Status status;
+};
 
 // Aggregate scores of one system over one dataset.
 struct SystemScores {
@@ -21,6 +31,13 @@ struct SystemScores {
   PRF isolated_detection;   // Figure 6(c)
   double total_ms = 0.0;    // wall-clock over all documents
   int failed_documents = 0; // documents the system errored on
+  /// Documents answered by the full pipeline.
+  int full_documents = 0;
+  /// Documents answered by a degraded mode (ok() with
+  /// DegradationInfo.degraded()); these still count toward the PRF scores.
+  int degraded_documents = 0;
+  /// One record per failed document, in dataset order.
+  std::vector<DocumentFailure> failures;
 };
 
 /// Runs `linker` end-to-end over every document of `dataset` and scores
@@ -36,6 +53,10 @@ SystemScores EvaluateDisambiguation(const baselines::Linker& linker,
 
 /// Formats "P R F" with three decimals for the harness tables.
 std::string FormatPRF(const PRF& prf);
+
+/// Formats the degraded-vs-full accounting, e.g. "full 4 | degraded 1 |
+/// failed 0", for the harness tables.
+std::string FormatDegradation(const SystemScores& scores);
 
 }  // namespace eval
 }  // namespace tenet

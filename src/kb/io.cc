@@ -1,5 +1,6 @@
 #include "kb/io.h"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 #include <iomanip>
@@ -8,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 
 namespace tenet {
@@ -96,6 +98,12 @@ Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path) {
     out << static_cast<int>(rec.type) << '\t' << rec.domain << '\t'
         << rec.popularity << '\t' << rec.label << "\n";
   }
+  // Simulates a crash / full disk mid-write: the file is left truncated
+  // after the entity section, which LoadKnowledgeBase must reject cleanly.
+  if (TENET_FAULT_POINT("kb/io/write_truncation")) {
+    out.flush();
+    return Status::DataLoss("injected fault: write truncated after entities");
+  }
   out << "P\t" << kb.num_predicates() << "\n";
   for (PredicateId id = 0; id < kb.num_predicates(); ++id) {
     const PredicateRecord& rec = kb.predicate(id);
@@ -140,6 +148,9 @@ Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path) {
 }
 
 Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path) {
+  if (TENET_FAULT_POINT("kb/io/load_kb")) {
+    return Status::DataLoss("injected fault: kb load failed: " + path);
+  }
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
 
@@ -272,6 +283,11 @@ Status SaveEmbeddings(const embedding::EmbeddingStore& store,
   int32_t header[3] = {store.dimension(), store.num_entities(),
                        store.num_predicates()};
   out.write(reinterpret_cast<const char*>(header), sizeof(header));
+  // Simulates a crash mid-write: header present, payload missing.
+  if (TENET_FAULT_POINT("kb/io/write_truncation")) {
+    out.flush();
+    return Status::DataLoss("injected fault: write truncated after header");
+  }
   auto dump = [&out, &store](ConceptRef ref) {
     std::span<const float> v = store.Vector(ref);
     out.write(reinterpret_cast<const char*>(v.data()),
@@ -289,6 +305,9 @@ Status SaveEmbeddings(const embedding::EmbeddingStore& store,
 }
 
 Result<embedding::EmbeddingStore> LoadEmbeddings(const std::string& path) {
+  if (TENET_FAULT_POINT("kb/io/load_embeddings")) {
+    return Status::DataLoss("injected fault: embedding load failed: " + path);
+  }
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
   char magic[sizeof(kEmbMagic) - 1];
@@ -302,21 +321,25 @@ Result<embedding::EmbeddingStore> LoadEmbeddings(const std::string& path) {
     return Status::InvalidArgument("bad embedding header");
   }
   embedding::EmbeddingStore store(header[0], header[1], header[2]);
-  auto slurp = [&in, &store](ConceptRef ref) -> bool {
+  // Reject non-finite payloads before Finalize: NaN/Inf vectors would
+  // silently poison every cosine downstream (kDataLoss, not a crash).
+  auto slurp = [&in, &store](ConceptRef ref) -> Status {
     std::span<float> v = store.MutableVector(ref);
     in.read(reinterpret_cast<char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(float)));
-    return static_cast<bool>(in);
+    if (!in) return Status::InvalidArgument("truncated embedding file");
+    for (float x : v) {
+      if (!std::isfinite(x)) {
+        return Status::DataLoss("non-finite embedding payload");
+      }
+    }
+    return Status::Ok();
   };
   for (EntityId e = 0; e < header[1]; ++e) {
-    if (!slurp(ConceptRef::Entity(e))) {
-      return Status::InvalidArgument("truncated embedding file");
-    }
+    TENET_RETURN_IF_ERROR(slurp(ConceptRef::Entity(e)));
   }
   for (PredicateId p = 0; p < header[2]; ++p) {
-    if (!slurp(ConceptRef::Predicate(p))) {
-      return Status::InvalidArgument("truncated embedding file");
-    }
+    TENET_RETURN_IF_ERROR(slurp(ConceptRef::Predicate(p)));
   }
   store.Finalize();
   return store;

@@ -1,0 +1,130 @@
+#include "common/deadline.h"
+
+#include <limits>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace tenet {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline d;
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.RemainingMillis(), std::numeric_limits<double>::infinity());
+}
+
+TEST(DeadlineTest, InfiniteBudgetYieldsInfiniteDeadline) {
+  Deadline d =
+      Deadline::AfterMillis(std::numeric_limits<double>::infinity());
+  EXPECT_TRUE(d.infinite());
+  EXPECT_FALSE(d.expired());
+}
+
+TEST(DeadlineTest, ExpiredIsAlreadyPast) {
+  Deadline d = Deadline::Expired();
+  EXPECT_FALSE(d.infinite());
+  EXPECT_TRUE(d.expired());
+  EXPECT_DOUBLE_EQ(d.RemainingMillis(), 0.0);
+}
+
+TEST(DeadlineTest, NonPositiveBudgetsAreExpired) {
+  EXPECT_TRUE(Deadline::AfterMillis(0.0).expired());
+  EXPECT_TRUE(Deadline::AfterMillis(-5.0).expired());
+}
+
+TEST(DeadlineTest, GenerousBudgetIsNotExpiredYet) {
+  Deadline d = Deadline::AfterMillis(60'000.0);
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.RemainingMillis(), 0.0);
+  EXPECT_LE(d.RemainingMillis(), 60'000.0);
+}
+
+TEST(DeadlineTest, ShortBudgetExpiresAfterSleeping) {
+  Deadline d = Deadline::AfterMillis(1.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(d.expired());
+  EXPECT_DOUBLE_EQ(d.RemainingMillis(), 0.0);
+}
+
+TEST(DeadlineTest, CopiesShareTheSameEpoch) {
+  Deadline a = Deadline::Expired();
+  Deadline b = a;
+  EXPECT_TRUE(b.expired());
+}
+
+Status GuardedStage(Deadline deadline) {
+  TENET_RETURN_IF_EXPIRED(deadline, "the coherence stage");
+  return Status::Ok();
+}
+
+TEST(DeadlineTest, ReturnIfExpiredMacroPropagatesDeadlineExceeded) {
+  EXPECT_TRUE(GuardedStage(Deadline::Infinite()).ok());
+  Status s = GuardedStage(Deadline::Expired());
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+  EXPECT_EQ(s.ToString(),
+            "deadline_exceeded: deadline expired before the coherence stage");
+}
+
+TEST(RetryScheduleTest, GrowsByMultiplierUpToMaxRetries) {
+  RetryPolicy policy;
+  policy.max_retries = 3;
+  policy.multiplier = 2.0;
+  RetrySchedule schedule(policy, 5.0);
+  EXPECT_DOUBLE_EQ(schedule.value(), 5.0);
+  EXPECT_EQ(schedule.attempt(), 0);
+  EXPECT_FALSE(schedule.exhausted());
+
+  ASSERT_TRUE(schedule.Next());
+  EXPECT_DOUBLE_EQ(schedule.value(), 10.0);
+  ASSERT_TRUE(schedule.Next());
+  EXPECT_DOUBLE_EQ(schedule.value(), 20.0);
+  ASSERT_TRUE(schedule.Next());
+  EXPECT_DOUBLE_EQ(schedule.value(), 40.0);
+  EXPECT_EQ(schedule.attempt(), 3);
+  EXPECT_TRUE(schedule.exhausted());
+
+  // Exhausted: no further growth, Next keeps returning false.
+  EXPECT_FALSE(schedule.Next());
+  EXPECT_DOUBLE_EQ(schedule.value(), 40.0);
+  EXPECT_EQ(schedule.attempt(), 3);
+}
+
+TEST(RetryScheduleTest, ValueIsCappedAtMaxValue) {
+  RetryPolicy policy;
+  policy.max_retries = 10;
+  policy.multiplier = 10.0;
+  policy.max_value = 250.0;
+  RetrySchedule schedule(policy, 1.0);
+  ASSERT_TRUE(schedule.Next());
+  EXPECT_DOUBLE_EQ(schedule.value(), 10.0);
+  ASSERT_TRUE(schedule.Next());
+  EXPECT_DOUBLE_EQ(schedule.value(), 100.0);
+  ASSERT_TRUE(schedule.Next());
+  EXPECT_DOUBLE_EQ(schedule.value(), 250.0);  // capped
+  ASSERT_TRUE(schedule.Next());
+  EXPECT_DOUBLE_EQ(schedule.value(), 250.0);  // stays capped
+}
+
+TEST(RetryScheduleTest, ZeroRetriesMeansSingleAttempt) {
+  RetryPolicy policy;
+  policy.max_retries = 0;
+  RetrySchedule schedule(policy, 7.0);
+  EXPECT_TRUE(schedule.exhausted());
+  EXPECT_FALSE(schedule.Next());
+  EXPECT_DOUBLE_EQ(schedule.value(), 7.0);
+}
+
+TEST(RetryScheduleTest, DefaultPolicyMatchesFormerBoundDoublingLoop) {
+  // The pipeline's former ad-hoc loop: initial attempt + 6 doublings.
+  RetryPolicy policy;
+  RetrySchedule schedule(policy, 1.0);
+  int attempts = 1;
+  while (schedule.Next()) ++attempts;
+  EXPECT_EQ(attempts, 7);
+  EXPECT_DOUBLE_EQ(schedule.value(), 64.0);
+}
+
+}  // namespace
+}  // namespace tenet

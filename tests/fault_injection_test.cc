@@ -1,0 +1,163 @@
+#include "common/fault_injection.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tenet {
+namespace {
+
+TEST(FaultInjectionTest, NoInjectorMeansNoFires) {
+  EXPECT_FALSE(FaultInjectionArmed());
+  EXPECT_FALSE(TENET_FAULT_POINT("test/unarmed"));
+}
+
+TEST(FaultInjectionTest, InstallAndUninstallIsScoped) {
+  {
+    FaultInjector faults(1);
+    EXPECT_TRUE(FaultInjectionArmed());
+  }
+  EXPECT_FALSE(FaultInjectionArmed());
+}
+
+TEST(FaultInjectionTest, UnarmedPointsCountHitsButNeverFire) {
+  FaultInjector faults(2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(TENET_FAULT_POINT("test/counted"));
+  }
+  EXPECT_EQ(faults.HitCount("test/counted"), 10);
+  EXPECT_EQ(faults.FireCount("test/counted"), 0);
+  EXPECT_EQ(faults.HitCount("test/never_reached"), 0);
+}
+
+TEST(FaultInjectionTest, ProbabilityOneFiresEveryHit) {
+  FaultInjector faults(3);
+  faults.Arm("test/always", 1.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(TENET_FAULT_POINT("test/always"));
+  }
+  EXPECT_EQ(faults.FireCount("test/always"), 5);
+}
+
+TEST(FaultInjectionTest, ProbabilityZeroNeverFires) {
+  FaultInjector faults(4);
+  faults.Arm("test/never", 0.0);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(TENET_FAULT_POINT("test/never"));
+  }
+  EXPECT_EQ(faults.FireCount("test/never"), 0);
+  EXPECT_EQ(faults.HitCount("test/never"), 5);
+}
+
+TEST(FaultInjectionTest, SameSeedReproducesTheExactSchedule) {
+  std::vector<bool> first;
+  {
+    FaultInjector faults(99);
+    faults.Arm("test/schedule", 0.3);
+    for (int i = 0; i < 200; ++i) {
+      first.push_back(TENET_FAULT_POINT("test/schedule"));
+    }
+  }
+  std::vector<bool> second;
+  {
+    FaultInjector faults(99);
+    faults.Arm("test/schedule", 0.3);
+    for (int i = 0; i < 200; ++i) {
+      second.push_back(TENET_FAULT_POINT("test/schedule"));
+    }
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjectionTest, DifferentSeedsProduceDifferentSchedules) {
+  auto schedule_of = [](uint64_t seed) {
+    std::vector<bool> fires;
+    FaultInjector faults(seed);
+    faults.Arm("test/seeded", 0.5);
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(TENET_FAULT_POINT("test/seeded"));
+    }
+    return fires;
+  };
+  EXPECT_NE(schedule_of(1), schedule_of(2));
+}
+
+TEST(FaultInjectionTest, ScheduleIsIndependentOfOtherPoints) {
+  // The schedule of point A must not depend on how hits of point B
+  // interleave — each point draws from its own stream.
+  std::vector<bool> alone;
+  {
+    FaultInjector faults(7);
+    faults.Arm("test/a", 0.4);
+    for (int i = 0; i < 50; ++i) alone.push_back(TENET_FAULT_POINT("test/a"));
+  }
+  std::vector<bool> interleaved;
+  {
+    FaultInjector faults(7);
+    faults.Arm("test/a", 0.4);
+    faults.Arm("test/b", 0.9);
+    for (int i = 0; i < 50; ++i) {
+      (void)TENET_FAULT_POINT("test/b");
+      interleaved.push_back(TENET_FAULT_POINT("test/a"));
+      (void)TENET_FAULT_POINT("test/b");
+    }
+  }
+  EXPECT_EQ(alone, interleaved);
+}
+
+TEST(FaultInjectionTest, ProbabilityConvergesRoughlyToRate) {
+  FaultInjector faults(11);
+  faults.Arm("test/rate", 0.3);
+  int fires = 0;
+  const int hits = 2000;
+  for (int i = 0; i < hits; ++i) {
+    if (TENET_FAULT_POINT("test/rate")) ++fires;
+  }
+  EXPECT_EQ(fires, faults.FireCount("test/rate"));
+  double rate = static_cast<double>(fires) / hits;
+  EXPECT_GT(rate, 0.25);
+  EXPECT_LT(rate, 0.35);
+}
+
+TEST(FaultInjectionTest, NthHitFiresExactlyOnce) {
+  FaultInjector faults(5);
+  faults.ArmNth("test/nth", 3);
+  std::vector<bool> fires;
+  for (int i = 0; i < 6; ++i) fires.push_back(TENET_FAULT_POINT("test/nth"));
+  EXPECT_EQ(fires, (std::vector<bool>{false, false, true, false, false,
+                                      false}));
+  EXPECT_EQ(faults.FireCount("test/nth"), 1);
+}
+
+TEST(FaultInjectionTest, DisarmStopsFiringButKeepsCounters) {
+  FaultInjector faults(6);
+  faults.Arm("test/disarm", 1.0);
+  EXPECT_TRUE(TENET_FAULT_POINT("test/disarm"));
+  faults.Disarm("test/disarm");
+  EXPECT_FALSE(TENET_FAULT_POINT("test/disarm"));
+  EXPECT_EQ(faults.HitCount("test/disarm"), 2);
+  EXPECT_EQ(faults.FireCount("test/disarm"), 1);
+}
+
+TEST(FaultInjectionTest, ConcurrentHitsAreCountedExactly) {
+  FaultInjector faults(8);
+  faults.Arm("test/threads", 0.5);
+  constexpr int kThreads = 4;
+  constexpr int kHitsPerThread = 500;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kHitsPerThread; ++i) {
+        (void)TENET_FAULT_POINT("test/threads");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(faults.HitCount("test/threads"), kThreads * kHitsPerThread);
+  EXPECT_GT(faults.FireCount("test/threads"), 0);
+  EXPECT_LT(faults.FireCount("test/threads"), kThreads * kHitsPerThread);
+}
+
+}  // namespace
+}  // namespace tenet

@@ -1,10 +1,13 @@
 #include "kb/io.h"
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "core/pipeline.h"
 #include "datasets/corpus_generator.h"
@@ -230,6 +233,158 @@ TEST(KbIoTest, ReloadedWorldLinksIdentically) {
       EXPECT_EQ(a->links[i].concept_ref, b->links[i].concept_ref);
     }
   }
+}
+
+// --- Corruption robustness -------------------------------------------------
+// Every malformed input below must come back as a clean InvalidArgument or
+// DataLoss — never a crash, never a partially-finalized substrate.
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  ASSERT_TRUE(out.is_open());
+  out << content;
+}
+
+KnowledgeBase TinyKb() {
+  KnowledgeBase kb;
+  kb.AddEntity("Brooklyn", EntityType::kLocation, /*domain=*/0,
+               /*popularity=*/1.0);
+  kb.AddPredicate("visited", /*domain=*/0, /*popularity=*/1.0);
+  kb.Finalize();
+  return kb;
+}
+
+TEST(KbIoCorruptionTest, WrongMagicIsRejected) {
+  std::string path = TempPath("wrong_magic.tenetkb");
+  WriteFile(path, "NOTAKB v1\nE\t0\nP\t0\nA\t0\nF\t0\n");
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KbIoCorruptionTest, WrongVersionLineIsRejected) {
+  // A future (or corrupted) version stamp must not be parsed as v1.
+  std::string path = TempPath("wrong_version.tenetkb");
+  WriteFile(path, "TENETKB v9\nE\t0\nP\t0\nA\t0\nF\t0\n");
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KbIoCorruptionTest, TruncatedKbFileIsRejected) {
+  std::string full_path = TempPath("truncate_source.tenetkb");
+  ASSERT_TRUE(SaveKnowledgeBase(TinyKb(), full_path).ok());
+  std::ifstream in(full_path, std::ios::binary);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  // Chop at every prefix length: none of them may crash, and any prefix
+  // short of the full file must be rejected.
+  for (size_t cut = 0; cut + 1 < content.size(); cut += 7) {
+    std::string path = TempPath("truncated.tenetkb");
+    WriteFile(path, content.substr(0, cut));
+    Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(KbIoCorruptionTest, AliasWithOutOfRangeEntityIdIsRejected) {
+  std::string path = TempPath("bad_alias_id.tenetkb");
+  WriteFile(path,
+            "TENETKB v1\n"
+            "E\t1\n0\t0\t1\tBrooklyn\n"
+            "P\t0\n"
+            "A\t1\nE\t7\t1\tKings County\n"  // entity 7 does not exist
+            "F\t0\n");
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("unknown entity"),
+            std::string::npos);
+}
+
+TEST(KbIoCorruptionTest, FactWithOutOfRangeConceptIdsIsRejected) {
+  std::string path = TempPath("bad_fact_id.tenetkb");
+  WriteFile(path,
+            "TENETKB v1\n"
+            "E\t1\n0\t0\t1\tBrooklyn\n"
+            "P\t1\n0\t1\tvisited\n"
+            "A\t0\n"
+            "F\t1\n0\t0\tE\t42\n");  // object entity 42 does not exist
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KbIoCorruptionTest, NaNEmbeddingPayloadIsDataLoss) {
+  // Header says 1 entity, dim 2 — payload carries a NaN, which would
+  // silently poison every cosine if it reached Finalize.
+  std::string path = TempPath("nan_payload.tenetemb");
+  std::string content = "TENETEMB1";
+  int32_t header[3] = {2, 1, 0};
+  content.append(reinterpret_cast<const char*>(header), sizeof(header));
+  float payload[2] = {1.0f, std::numeric_limits<float>::quiet_NaN()};
+  content.append(reinterpret_cast<const char*>(payload), sizeof(payload));
+  WriteFile(path, content);
+  Result<embedding::EmbeddingStore> loaded = LoadEmbeddings(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsDataLoss());
+}
+
+TEST(KbIoCorruptionTest, TruncatedEmbeddingPayloadIsRejected) {
+  std::string path = TempPath("short_payload.tenetemb");
+  std::string content = "TENETEMB1";
+  int32_t header[3] = {4, 2, 0};  // promises 2 vectors of dim 4
+  content.append(reinterpret_cast<const char*>(header), sizeof(header));
+  float payload[3] = {0.1f, 0.2f, 0.3f};  // delivers less than one
+  content.append(reinterpret_cast<const char*>(payload), sizeof(payload));
+  WriteFile(path, content);
+  Result<embedding::EmbeddingStore> loaded = LoadEmbeddings(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KbIoCorruptionTest, InjectedWriteTruncationIsReportedAndRejectedOnLoad) {
+  // The fault point simulates a crash / full disk mid-write: the save
+  // reports DataLoss, and the half-written file on disk must then be
+  // rejected by the loader — this is the end-to-end torn-write story.
+  std::string path = TempPath("torn_write.tenetkb");
+  {
+    FaultInjector faults(41);
+    faults.Arm("kb/io/write_truncation", 1.0);
+    Status save = SaveKnowledgeBase(TinyKb(), path);
+    ASSERT_FALSE(save.ok());
+    EXPECT_TRUE(save.IsDataLoss());
+    EXPECT_EQ(faults.FireCount("kb/io/write_truncation"), 1);
+  }
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KbIoCorruptionTest, InjectedEmbeddingTruncationIsRejectedOnLoad) {
+  datasets::SyntheticWorld world = datasets::BuildWorld();
+  std::string path = TempPath("torn_write.tenetemb");
+  {
+    FaultInjector faults(42);
+    faults.Arm("kb/io/write_truncation", 1.0);
+    Status save = SaveEmbeddings(world.embeddings, path);
+    ASSERT_FALSE(save.ok());
+    EXPECT_TRUE(save.IsDataLoss());
+  }
+  Result<embedding::EmbeddingStore> loaded = LoadEmbeddings(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KbIoCorruptionTest, LoaderFaultPointsSurfaceAsDataLoss) {
+  std::string kb_path = TempPath("loader_fault.tenetkb");
+  ASSERT_TRUE(SaveKnowledgeBase(TinyKb(), kb_path).ok());
+  FaultInjector faults(43);
+  faults.Arm("kb/io/load_kb", 1.0);
+  faults.Arm("kb/io/load_embeddings", 1.0);
+  EXPECT_TRUE(LoadKnowledgeBase(kb_path).status().IsDataLoss());
+  EXPECT_TRUE(LoadEmbeddings("unused.tenetemb").status().IsDataLoss());
 }
 
 }  // namespace

@@ -59,6 +59,36 @@ TEST(ResultTest, AssignOrReturnUnwraps) {
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ResultTest, MacrosPreserveSentinelCodes) {
+  // The degradation ladder keys on exact codes after several propagation
+  // hops; TENET_ASSIGN_OR_RETURN / TENET_RETURN_IF_ERROR must never
+  // collapse them into a generic error.
+  auto hop = [](StatusCode code) -> Result<int> {
+    auto inner = [code]() -> Result<int> {
+      return Status(code, "sentinel");
+    };
+    auto middle = [&inner]() -> Result<int> {
+      TENET_ASSIGN_OR_RETURN(int v, inner());
+      return v;
+    };
+    auto outer = [&middle]() -> Status {
+      TENET_ASSIGN_OR_RETURN(int v, middle());
+      (void)v;
+      return Status::Ok();
+    };
+    Status s = outer();
+    TENET_RETURN_IF_ERROR(s);
+    return 0;
+  };
+  EXPECT_EQ(hop(StatusCode::kBoundTooSmall).status().code(),
+            StatusCode::kBoundTooSmall);
+  EXPECT_EQ(hop(StatusCode::kDeadlineExceeded).status().code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(hop(StatusCode::kDataLoss).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(hop(StatusCode::kDataLoss).status().message(), "sentinel");
+}
+
 TEST(ResultDeathTest, ValueOnErrorAborts) {
   Result<int> r = Status::Internal("nope");
   EXPECT_DEATH({ (void)r.value(); }, "Result::value on error");

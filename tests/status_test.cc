@@ -24,6 +24,9 @@ TEST(StatusTest, FactoryFunctionsProduceMatchingCodes) {
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::BoundTooSmall("x").code(), StatusCode::kBoundTooSmall);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
 }
 
 TEST(StatusTest, MessageIsPreserved) {
@@ -37,6 +40,18 @@ TEST(StatusTest, BoundTooSmallPredicate) {
   EXPECT_TRUE(Status::BoundTooSmall("B < B*").IsBoundTooSmall());
   EXPECT_FALSE(Status::Internal("x").IsBoundTooSmall());
   EXPECT_FALSE(Status().IsBoundTooSmall());
+}
+
+TEST(StatusTest, DeadlineExceededPredicate) {
+  EXPECT_TRUE(Status::DeadlineExceeded("late").IsDeadlineExceeded());
+  EXPECT_FALSE(Status::Internal("x").IsDeadlineExceeded());
+  EXPECT_FALSE(Status().IsDeadlineExceeded());
+}
+
+TEST(StatusTest, DataLossPredicate) {
+  EXPECT_TRUE(Status::DataLoss("torn write").IsDataLoss());
+  EXPECT_FALSE(Status::InvalidArgument("x").IsDataLoss());
+  EXPECT_FALSE(Status().IsDataLoss());
 }
 
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
@@ -72,6 +87,9 @@ TEST(StatusCodeTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kBoundTooSmall),
             "bound_too_small");
   EXPECT_EQ(StatusCodeToString(StatusCode::kUnimplemented), "unimplemented");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
+            "deadline_exceeded");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "data_loss");
 }
 
 }  // namespace

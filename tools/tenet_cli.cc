@@ -4,8 +4,11 @@
 //       Generates the synthetic world and persists the KB + embeddings.
 //
 //   tenet_cli link --kb PATH --emb PATH [--text "..."] [--candidates K]
+//             [--deadline-ms MS]
 //       Links a document (from --text or stdin) against a persisted world
-//       and prints the linked concepts and emerging entities.
+//       and prints the linked concepts and emerging entities.  With a
+//       deadline, an over-budget document degrades to prior-only linking
+//       (reported on stderr) instead of failing.
 //
 //   tenet_cli demo [--seed N]
 //       One-shot: builds the world in memory and links stdin.
@@ -14,8 +17,10 @@
 //       Generates the four evaluation corpora and writes them as
 //       News.tenetds, T-REx42.tenetds, KORE50.tenetds, MSNBC19.tenetds.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -36,6 +41,7 @@ struct Args {
   std::string emb_path = "world.tenetemb";
   std::optional<std::string> document_text;
   int candidates = 4;
+  double deadline_ms = std::numeric_limits<double>::infinity();
 };
 
 std::optional<Args> Parse(int argc, char** argv) {
@@ -67,6 +73,15 @@ std::optional<Args> Parse(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       args.candidates = std::atoi(v);
+    } else if (flag == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      char* end = nullptr;
+      args.deadline_ms = std::strtod(v, &end);
+      if (end == v || *end != '\0') {
+        std::fprintf(stderr, "--deadline-ms expects a number, got: %s\n", v);
+        return std::nullopt;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return std::nullopt;
@@ -81,7 +96,7 @@ void PrintUsage() {
       "usage:\n"
       "  tenet_cli build-world [--seed N] [--kb PATH] [--emb PATH]\n"
       "  tenet_cli link --kb PATH --emb PATH [--text \"...\"] "
-      "[--candidates K]\n"
+      "[--candidates K] [--deadline-ms MS]\n"
       "  tenet_cli demo [--seed N]\n"
       "  tenet_cli dump-corpora [--seed N]\n");
 }
@@ -101,6 +116,7 @@ int LinkAndPrint(const kb::KnowledgeBase& knowledge_base,
                  const text::Gazetteer& gazetteer, const Args& args) {
   core::TenetOptions options;
   options.graph.max_candidates_per_mention = args.candidates;
+  options.deadline_ms = args.deadline_ms;
   core::TenetPipeline tenet(&knowledge_base, &embeddings, &gazetteer,
                             options);
   std::string document =
@@ -134,6 +150,14 @@ int LinkAndPrint(const kb::KnowledgeBase& knowledge_base,
                result->timings.TotalMs(), result->timings.extract_ms,
                result->timings.graph_ms, result->timings.cover_ms,
                result->timings.disambiguate_ms);
+  if (result->degradation.degraded()) {
+    std::fprintf(stderr, "degraded to %s (%d stages skipped): %s\n",
+                 std::string(
+                     core::DegradationModeToString(result->degradation.mode))
+                     .c_str(),
+                 result->degradation.stages_degraded,
+                 result->degradation.reason.c_str());
+  }
   return 0;
 }
 
