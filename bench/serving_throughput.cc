@@ -1,0 +1,50 @@
+// Serving-layer scaling: end-to-end evaluation throughput of TENET as the
+// BatchLinkingService worker count grows, on the four evaluation corpora.
+// The PRF columns double as a determinism check — they must not move with
+// the thread count (the harness merges results in dataset order).
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace tenet {
+namespace bench {
+namespace {
+
+void Run() {
+  const Environment& env = GetEnvironment();
+  baselines::TenetLinker tenet(MakeSubstrate(env));
+
+  std::printf("Serving throughput: TENET end-to-end, by worker threads\n");
+  PrintRule();
+  std::printf("%-10s %8s %12s %12s %10s  %s\n", "dataset", "threads",
+              "total_ms", "wall_ms", "docs/s", "entity P/R/F");
+  PrintRule();
+  for (const datasets::Dataset& dataset : env.datasets) {
+    for (int threads : {1, 2, 4, 8}) {
+      eval::EvalOptions options;
+      options.num_threads = threads;
+      eval::SystemScores scores =
+          eval::EvaluateEndToEnd(tenet, dataset, options);
+      double docs_per_s = scores.wall_ms > 0.0
+                              ? 1000.0 * dataset.documents.size() /
+                                    scores.wall_ms
+                              : 0.0;
+      std::printf("%-10s %8d %12.1f %12.1f %10.1f  %s\n",
+                  dataset.name.c_str(), threads, scores.total_ms,
+                  scores.wall_ms, docs_per_s,
+                  eval::FormatPRF(scores.entity_linking).c_str());
+    }
+  }
+  PrintRule();
+  std::printf("total_ms sums per-document latencies (comparable across "
+              "thread counts);\nwall_ms is the end-to-end clock.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tenet
+
+int main() {
+  tenet::bench::Run();
+  return 0;
+}

@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "core/mention.h"
 #include "core/pipeline.h"
@@ -32,6 +33,17 @@ class Linker {
   /// End-to-end linking of a raw document.
   virtual Result<core::LinkingResult> LinkDocument(
       std::string_view document_text) const = 0;
+
+  /// End-to-end linking under an explicit compute budget.  The serving
+  /// layer uses this both for per-request deadlines and to route requests
+  /// straight down the degradation ladder (an already-expired deadline).
+  /// Systems without budget support — the paper's baselines — ignore the
+  /// deadline and run normally, which is exactly their published behaviour.
+  virtual Result<core::LinkingResult> LinkDocument(
+      std::string_view document_text, Deadline deadline) const {
+    (void)deadline;
+    return LinkDocument(document_text);
+  }
 
   /// Disambiguation with the mention universe given (Figure 6(b)).
   virtual Result<core::LinkingResult> LinkMentionSet(

@@ -26,6 +26,11 @@ class TenetLinker : public Linker {
     return pipeline_.LinkDocument(document_text);
   }
 
+  Result<core::LinkingResult> LinkDocument(std::string_view document_text,
+                                           Deadline deadline) const override {
+    return pipeline_.LinkDocument(document_text, deadline);
+  }
+
   Result<core::LinkingResult> LinkMentionSet(
       core::MentionSet mentions) const override {
     return pipeline_.LinkMentionSet(std::move(mentions));

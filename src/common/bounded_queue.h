@@ -1,0 +1,130 @@
+#ifndef TENET_COMMON_BOUNDED_QUEUE_H_
+#define TENET_COMMON_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace tenet {
+
+// What Push does when the queue is at capacity.
+enum class QueueOverflowPolicy {
+  /// Wait until a consumer makes room (backpressure onto the producer).
+  kBlock,
+  /// Fail fast with kResourceExhausted (load shedding at the door).
+  kReject,
+};
+
+// A fixed-capacity multi-producer / multi-consumer queue, the buffering
+// element between the serving layer's admission door and its worker pool.
+// The capacity is a hard bound on buffered work: with kBlock producers
+// stall, with kReject they are told to shed.  Close() ends the stream:
+// further pushes fail, consumers drain what is left and then see Pop()
+// return false.
+template <typename T>
+class BoundedQueue {
+ public:
+  BoundedQueue(size_t capacity, QueueOverflowPolicy policy)
+      : capacity_(capacity), policy_(policy) {
+    TENET_CHECK_GT(capacity, 0u) << "BoundedQueue needs a positive capacity";
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues `item`.  kResourceExhausted when full under kReject,
+  /// kFailedPrecondition once closed (under either policy).
+  Status Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (policy_ == QueueOverflowPolicy::kReject) {
+      if (closed_) return Status::FailedPrecondition("queue is closed");
+      if (items_.size() >= capacity_) {
+        return Status::ResourceExhausted("queue full");
+      }
+    } else {
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return Status::FailedPrecondition("queue is closed");
+    }
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained;
+  /// returns false only in the latter case.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking Pop; false when nothing is queued right now.
+  bool TryPop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Ends the stream: no further pushes, consumers drain then stop.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  /// Drops every queued item (cooperative cancellation) and returns how
+  /// many were dropped.  Consumers already past Pop() are unaffected.
+  size_t Clear() {
+    std::unique_lock<std::mutex> lock(mu_);
+    size_t dropped = items_.size();
+    items_.clear();
+    lock.unlock();
+    not_full_.notify_all();
+    return dropped;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t capacity() const { return capacity_; }
+  QueueOverflowPolicy policy() const { return policy_; }
+
+ private:
+  const size_t capacity_;
+  const QueueOverflowPolicy policy_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tenet
+
+#endif  // TENET_COMMON_BOUNDED_QUEUE_H_

@@ -1,0 +1,38 @@
+#include "common/dependency_health.h"
+
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace {
+
+std::atomic<DependencyObserver*> g_observer{nullptr};
+
+}  // namespace
+
+ScopedDependencyObserver::ScopedDependencyObserver(
+    DependencyObserver* observer) {
+  TENET_CHECK(observer != nullptr);
+  DependencyObserver* expected = nullptr;
+  TENET_CHECK(g_observer.compare_exchange_strong(expected, observer,
+                                                 std::memory_order_acq_rel))
+      << "a DependencyObserver is already installed; observers are scoped "
+         "and must not nest";
+}
+
+ScopedDependencyObserver::~ScopedDependencyObserver() {
+  g_observer.store(nullptr, std::memory_order_release);
+}
+
+bool DependencyObserverInstalled() {
+  return g_observer.load(std::memory_order_acquire) != nullptr;
+}
+
+void ReportDependencyOutcome(const char* dependency, bool ok) {
+  DependencyObserver* observer = g_observer.load(std::memory_order_acquire);
+  if (observer == nullptr) return;
+  observer->ObserveDependency(dependency, ok);
+}
+
+}  // namespace tenet

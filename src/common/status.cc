@@ -26,6 +26,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "deadline_exceeded";
     case StatusCode::kDataLoss:
       return "data_loss";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
   }
   return "unknown";
 }

@@ -31,6 +31,10 @@ enum class StatusCode {
   // Unrecoverable corruption or loss of persisted data (truncated or
   // malformed KB/embedding files, non-finite payloads).
   kDataLoss,
+  // A shared capacity limit is exhausted (serving queue full, admission
+  // shed, retry budget drained).  The work was refused before it ran, so
+  // the caller may safely resubmit once load subsides.
+  kResourceExhausted,
 };
 
 /// Returns the canonical lower_snake_case name of `code` (e.g. "not_found").
@@ -82,6 +86,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -97,6 +104,9 @@ class Status {
     return code_ == StatusCode::kDeadlineExceeded;
   }
   bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
 
   /// Renders "ok" or "<code>: <message>" for logs and test output.
   std::string ToString() const;

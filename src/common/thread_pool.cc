@@ -1,0 +1,49 @@
+#include "common/thread_pool.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace tenet {
+
+ThreadPool::ThreadPool(Options options)
+    : queue_(options.queue_capacity, options.overflow) {
+  TENET_CHECK_GT(options.num_threads, 0);
+  workers_.reserve(options.num_threads);
+  for (int i = 0; i < options.num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+Status ThreadPool::Submit(std::function<void()> task) {
+  TENET_CHECK(task != nullptr) << "ThreadPool::Submit with empty task";
+  return queue_.Push(std::move(task));
+}
+
+void ThreadPool::WorkerLoop() {
+  std::function<void()> task;
+  while (queue_.Pop(&task)) {
+    task();
+    task = nullptr;  // release captures before blocking on the next Pop
+  }
+}
+
+void ThreadPool::Shutdown() {
+  queue_.Close();
+  if (joined_.exchange(true)) return;
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ThreadPool::Cancel() {
+  cancel_requested_.store(true, std::memory_order_release);
+  queue_.Close();
+  size_t dropped = queue_.Clear();
+  if (!joined_.exchange(true)) {
+    for (std::thread& worker : workers_) worker.join();
+  }
+  return dropped;
+}
+
+}  // namespace tenet

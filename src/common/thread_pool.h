@@ -1,0 +1,70 @@
+#ifndef TENET_COMMON_THREAD_POOL_H_
+#define TENET_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/bounded_queue.h"
+#include "common/status.h"
+
+namespace tenet {
+
+// A fixed-size worker pool over a BoundedQueue, with cooperative
+// cancellation.  The queue policy is part of the pool's contract: kBlock
+// turns Submit into backpressure, kReject turns it into load shedding
+// (kResourceExhausted), which is exactly the knob the serving layer's
+// admission control needs.
+//
+// Cancellation is cooperative: Cancel() drops queued tasks and raises
+// cancel_requested(); a running task that wants to stop early polls that
+// flag.  Shutdown() instead drains everything already queued.  Both join
+// the workers; the destructor is a Shutdown().
+class ThreadPool {
+ public:
+  struct Options {
+    int num_threads = 4;
+    size_t queue_capacity = 1024;
+    QueueOverflowPolicy overflow = QueueOverflowPolicy::kBlock;
+  };
+
+  explicit ThreadPool(Options options);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues `task`.  kResourceExhausted when the queue is full under
+  /// kReject; kFailedPrecondition after Shutdown/Cancel.
+  Status Submit(std::function<void()> task);
+
+  /// Stops accepting work, drains the queue, joins the workers.  Idempotent.
+  void Shutdown();
+
+  /// Stops accepting work, drops queued (never-started) tasks, raises the
+  /// cancellation flag for running tasks, joins the workers.  Returns the
+  /// number of tasks that were dropped without running.
+  size_t Cancel();
+
+  /// True once Cancel() was called — running tasks poll this to stop early.
+  bool cancel_requested() const {
+    return cancel_requested_.load(std::memory_order_acquire);
+  }
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  BoundedQueue<std::function<void()>> queue_;
+  std::atomic<bool> cancel_requested_{false};
+  std::vector<std::thread> workers_;
+  std::atomic<bool> joined_{false};
+};
+
+}  // namespace tenet
+
+#endif  // TENET_COMMON_THREAD_POOL_H_

@@ -120,6 +120,13 @@ struct LinkingResult {
 //   TenetPipeline tenet(&world.kb, &embeddings, &world.gazetteer);
 //   auto result = tenet.LinkDocument("Michael Jordan studies ...");
 //   for (const LinkedConcept& link : result->links) ...
+//
+// Thread safety: a constructed pipeline is immutable — options and the
+// per-stage components are fixed at construction, the KB / embedding /
+// gazetteer substrate is read-only, and every Link* call works on its own
+// stack state.  Concurrent Link* calls on one pipeline are therefore safe
+// (the serving layer's workers share a single instance); the substrate
+// must simply not be mutated while linking is in flight.
 class TenetPipeline {
  public:
   /// All pointers must be non-null, finalized, and outlive the pipeline.

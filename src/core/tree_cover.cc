@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/dependency_health.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "core/tree_split.h"
@@ -72,7 +73,12 @@ int TreeCover::TotalEdges() const {
 Result<TreeCover> TreeCoverSolver::Solve(const CoherenceGraph& cg,
                                          double bound,
                                          TreeCoverStats* stats) const {
-  if (TENET_FAULT_POINT("core/cover_solve")) {
+  const bool faulted = TENET_FAULT_POINT("core/cover_solve");
+  // Only the fault (the stand-in for an unavailable solver backend) is a
+  // dependency failure; kBoundTooSmall below is an expected, retryable
+  // outcome of Algorithm 1 and must not trip a breaker.
+  TENET_OBSERVE_DEPENDENCY("core/cover_solve", !faulted);
+  if (faulted) {
     return Status::Internal("injected fault: cover solver unavailable");
   }
   if (bound <= 0.0) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/dependency_health.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
 
@@ -60,7 +61,9 @@ double EmbeddingStore::Cosine(kb::ConceptRef a, kb::ConceptRef b) const {
   TENET_CHECK(finalized_) << "Cosine before Finalize";
   // A fired fetch fault behaves like a missing vector: zero similarity,
   // the same value a genuinely absent (zero-norm) embedding yields.
-  if (TENET_FAULT_POINT("embedding/fetch")) return 0.0;
+  const bool faulted = TENET_FAULT_POINT("embedding/fetch");
+  TENET_OBSERVE_DEPENDENCY("embedding/fetch", !faulted);
+  if (faulted) return 0.0;
   size_t ia = NormIndex(a);
   size_t ib = NormIndex(b);
   if (norms_[ia] <= 0.0 || norms_[ib] <= 0.0) return 0.0;

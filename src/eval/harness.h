@@ -29,7 +29,12 @@ struct SystemScores {
   PRF relation_linking;     // Table 4
   PRF mention_detection;    // Figure 6(a)
   PRF isolated_detection;   // Figure 6(c)
-  double total_ms = 0.0;    // wall-clock over all documents
+  /// Sum of per-document linking latencies.  Identical in meaning whether
+  /// the run was serial or parallel, so runtime tables stay comparable.
+  double total_ms = 0.0;
+  /// End-to-end wall clock of the evaluation; ~total_ms for a serial run,
+  /// ~total_ms / num_threads for a well-scaled parallel one.
+  double wall_ms = 0.0;
   int failed_documents = 0; // documents the system errored on
   /// Documents answered by the full pipeline.
   int full_documents = 0;
@@ -40,10 +45,21 @@ struct SystemScores {
   std::vector<DocumentFailure> failures;
 };
 
+struct EvalOptions {
+  /// 1 runs documents serially in the calling thread; > 1 routes them
+  /// through a serving::BatchLinkingService with that many workers.
+  /// Results are merged in dataset order either way, so the scores of a
+  /// fault-free run are identical across thread counts.
+  int num_threads = 1;
+};
+
 /// Runs `linker` end-to-end over every document of `dataset` and scores
 /// all four measures.
 SystemScores EvaluateEndToEnd(const baselines::Linker& linker,
                               const datasets::Dataset& dataset);
+SystemScores EvaluateEndToEnd(const baselines::Linker& linker,
+                              const datasets::Dataset& dataset,
+                              const EvalOptions& options);
 
 /// Disambiguation-only evaluation (Figure 6(b)): gold mentions are handed
 /// to the system as input.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/dependency_health.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -56,8 +57,11 @@ std::vector<AliasPosting> AliasIndex::Lookup(std::string_view surface,
   TENET_CHECK(finalized_) << "AliasIndex::Lookup before Finalize";
   std::vector<AliasPosting> out;
   // A fired lookup fault behaves like an index miss: the mention simply has
-  // no candidates, which downstream stages must tolerate anyway.
-  if (TENET_FAULT_POINT("kb/alias_lookup")) return out;
+  // no candidates, which downstream stages must tolerate anyway.  (A genuine
+  // miss for an unknown surface is a healthy outcome, not a failure.)
+  const bool faulted = TENET_FAULT_POINT("kb/alias_lookup");
+  TENET_OBSERVE_DEPENDENCY("kb/alias_lookup", !faulted);
+  if (faulted) return out;
   auto it = postings_.find(AsciiToLower(surface));
   if (it == postings_.end()) return out;
   for (const AliasPosting& posting : it->second) {

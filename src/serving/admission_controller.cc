@@ -1,0 +1,46 @@
+#include "serving/admission_controller.h"
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace serving {
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {
+  TENET_CHECK_GT(options_.max_pending, 0)
+      << "AdmissionController needs a resolved pending budget";
+  TENET_CHECK_GE(options_.min_deadline_slack_ms, 0.0);
+}
+
+Status AdmissionController::Admit(const Deadline& deadline) {
+  // The deadline check needs no lock; the clock read happens outside it.
+  if (!deadline.infinite() &&
+      deadline.RemainingMillis() <= options_.min_deadline_slack_ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.shed_deadline;
+    return Status::ResourceExhausted(
+        "shed: deadline budget exhausted before admission");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stats_.pending >= options_.max_pending) {
+    ++stats_.shed_capacity;
+    return Status::ResourceExhausted("shed: pending budget exhausted");
+  }
+  ++stats_.admitted;
+  ++stats_.pending;
+  return Status::Ok();
+}
+
+void AdmissionController::Complete() {
+  std::lock_guard<std::mutex> lock(mu_);
+  TENET_CHECK_GT(stats_.pending, 0) << "Complete without a matching Admit";
+  --stats_.pending;
+}
+
+AdmissionController::Stats AdmissionController::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace serving
+}  // namespace tenet

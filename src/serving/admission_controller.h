@@ -1,0 +1,67 @@
+#ifndef TENET_SERVING_ADMISSION_CONTROLLER_H_
+#define TENET_SERVING_ADMISSION_CONTROLLER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/deadline.h"
+#include "common/status.h"
+
+namespace tenet {
+namespace serving {
+
+struct AdmissionOptions {
+  /// Upper bound on requests admitted but not yet completed (queued +
+  /// in-flight).  0 means "derive from the serving options" (queue
+  /// capacity + worker count).
+  int max_pending = 0;
+  /// A request whose deadline has less than this many milliseconds left at
+  /// the door is shed immediately: it would expire in the queue and waste a
+  /// worker slot producing an answer nobody can use.  Infinite deadlines
+  /// always pass this check.
+  double min_deadline_slack_ms = 0.0;
+};
+
+// The serving layer's front door: decides, before any work is queued,
+// whether a request is admitted or shed.  Two budgets are enforced — a
+// pending-capacity budget (admitted-but-uncompleted requests) and a
+// per-request deadline budget (enough slack must remain for the request to
+// plausibly finish).  Shedding is signalled with kResourceExhausted, the
+// caller-retryable "try again later" of this codebase.
+//
+// Thread-safe; Admit() and Complete() are a mutex acquisition plus O(1).
+class AdmissionController {
+ public:
+  struct Stats {
+    int64_t admitted = 0;
+    int64_t shed_capacity = 0;  // pending budget exhausted
+    int64_t shed_deadline = 0;  // deadline budget exhausted at the door
+    int pending = 0;            // admitted and not yet completed
+  };
+
+  explicit AdmissionController(AdmissionOptions options);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Admission decision for one request carrying `deadline`.  On OK the
+  /// request counts against the pending budget until Complete().
+  Status Admit(const Deadline& deadline);
+
+  /// Releases one admitted request's slot (call exactly once per OK
+  /// Admit, whether the request succeeded, degraded, or failed).
+  void Complete();
+
+  Stats stats() const;
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  const AdmissionOptions options_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace serving
+}  // namespace tenet
+
+#endif  // TENET_SERVING_ADMISSION_CONTROLLER_H_

@@ -1,0 +1,227 @@
+#include "serving/batch_service.h"
+
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace tenet {
+namespace serving {
+namespace {
+
+// Request-level retry eligibility: transient producer-side errors only.
+// Deadline expiry can only get worse, invalid input can only repeat.
+bool IsRetryable(const Status& status) {
+  return status.code() == StatusCode::kInternal ||
+         status.code() == StatusCode::kBoundTooSmall;
+}
+
+AdmissionOptions ResolveAdmission(const ServingOptions& options) {
+  AdmissionOptions admission = options.admission;
+  if (admission.max_pending == 0) {
+    admission.max_pending =
+        static_cast<int>(options.queue_capacity) + options.num_threads;
+  }
+  return admission;
+}
+
+ThreadPool::Options PoolOptions(const ServingOptions& options) {
+  ThreadPool::Options pool;
+  pool.num_threads = options.num_threads;
+  pool.queue_capacity = options.queue_capacity;
+  pool.overflow = options.overflow;
+  return pool;
+}
+
+}  // namespace
+
+void BatchLinkingService::BreakerObserver::ObserveDependency(
+    const char* dependency, bool ok) {
+  CircuitBreaker* breaker = service_->MutableBreaker(dependency);
+  if (breaker != nullptr) breaker->RecordOutcome(ok);
+}
+
+BatchLinkingService::BatchLinkingService(const baselines::Linker* linker,
+                                         ServingOptions options)
+    : linker_(linker),
+      options_(options),
+      kb_alias_breaker_(kKbAliasDependency, options.breaker),
+      embedding_breaker_(kEmbeddingDependency, options.breaker),
+      cover_breaker_(kCoverSolveDependency, options.breaker),
+      retry_budget_(options.retry_budget),
+      admission_(ResolveAdmission(options)),
+      observer_(this),
+      observer_scope_(&observer_),
+      pool_(PoolOptions(options)) {
+  TENET_CHECK(linker != nullptr);
+}
+
+BatchLinkingService::~BatchLinkingService() { pool_.Shutdown(); }
+
+CircuitBreaker* BatchLinkingService::MutableBreaker(const char* dependency) {
+  if (std::strcmp(dependency, kKbAliasDependency) == 0) {
+    return &kb_alias_breaker_;
+  }
+  if (std::strcmp(dependency, kEmbeddingDependency) == 0) {
+    return &embedding_breaker_;
+  }
+  if (std::strcmp(dependency, kCoverSolveDependency) == 0) {
+    return &cover_breaker_;
+  }
+  return nullptr;
+}
+
+const CircuitBreaker* BatchLinkingService::breaker(
+    const char* dependency) const {
+  return const_cast<BatchLinkingService*>(this)->MutableBreaker(dependency);
+}
+
+Deadline BatchLinkingService::DefaultDeadline() const {
+  return Deadline::AfterMillis(options_.default_deadline_ms);
+}
+
+Status BatchLinkingService::Submit(std::string text, Callback done) {
+  return Submit(std::move(text), DefaultDeadline(), std::move(done));
+}
+
+Status BatchLinkingService::Submit(std::string text, Deadline deadline,
+                                   Callback done) {
+  TENET_CHECK(done != nullptr) << "Submit needs a completion callback";
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Status admitted = admission_.Admit(deadline);
+  if (!admitted.ok()) {
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    return admitted;
+  }
+  Request request{std::move(text), deadline, std::move(done)};
+  Status queued = pool_.Submit(
+      [this, request = std::move(request)]() mutable {
+        Process(std::move(request));
+      });
+  if (!queued.ok()) {
+    admission_.Complete();
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    // Normalize "queue full" to the admission-shed contract.
+    return Status::ResourceExhausted("shed: " + queued.message());
+  }
+  return Status::Ok();
+}
+
+Result<core::LinkingResult> BatchLinkingService::LinkOnce(
+    const Request& request) const {
+  // An infinite request deadline leaves the linker's own per-document
+  // policy in charge (and keeps the call bit-identical to a plain
+  // LinkDocument, which the offline evaluation relies on).
+  if (request.deadline.infinite()) {
+    return linker_->LinkDocument(request.text);
+  }
+  return linker_->LinkDocument(request.text, request.deadline);
+}
+
+void BatchLinkingService::Process(Request request) {
+  WallTimer timer;
+  // Routing: a request that meets any open breaker goes straight to the
+  // prior-only rung (expired deadline) instead of hammering the sick
+  // dependency with a doomed full-pipeline attempt.
+  const bool kb_allowed = kb_alias_breaker_.Allow();
+  const bool embedding_allowed = embedding_breaker_.Allow();
+  const bool cover_allowed = cover_breaker_.Allow();
+  const bool breaker_bypass =
+      !(kb_allowed && embedding_allowed && cover_allowed);
+
+  Result<core::LinkingResult> result = Status::Internal("not linked");
+  if (breaker_bypass) {
+    // The bypassed request will not touch the dependencies, so any
+    // half-open probes the other breakers just granted must be handed
+    // back — otherwise staggered recoveries starve each other's probes
+    // and breakers wedge in half-open.
+    if (kb_allowed) kb_alias_breaker_.ReturnProbe();
+    if (embedding_allowed) embedding_breaker_.ReturnProbe();
+    if (cover_allowed) cover_breaker_.ReturnProbe();
+    result = linker_->LinkDocument(request.text, Deadline::Expired());
+  } else {
+    RetrySchedule schedule(options_.retry, /*initial_value=*/0.0);
+    for (;;) {
+      result = LinkOnce(request);
+      if (result.ok() || !IsRetryable(result.status())) break;
+      if (request.deadline.expired()) break;
+      if (schedule.exhausted()) break;
+      // The shared budget has the last word: no tokens, no retry —
+      // whatever the per-request policy would still allow.
+      if (!retry_budget_.TryAcquireRetry()) break;
+      schedule.Next();
+      retries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (result.ok()) retry_budget_.RecordSuccess();
+  }
+
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (!result.ok()) {
+    failed_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result->degradation.degraded()) {
+    degraded_.fetch_add(1, std::memory_order_relaxed);
+    if (breaker_bypass) {
+      breaker_degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else {
+    full_.fetch_add(1, std::memory_order_relaxed);
+  }
+  admission_.Complete();
+
+  ServedResult served;
+  served.result = std::move(result);
+  served.latency_ms = timer.ElapsedMillis();
+  served.shed = false;
+  request.done(std::move(served));
+}
+
+std::vector<ServedResult> BatchLinkingService::LinkBatch(
+    const std::vector<std::string>& texts) {
+  std::vector<ServedResult> results(texts.size());
+  std::mutex mu;
+  std::condition_variable all_done;
+  size_t remaining = texts.size();
+
+  for (size_t i = 0; i < texts.size(); ++i) {
+    Status submitted = Submit(
+        texts[i], [&, i](ServedResult served) {
+          std::lock_guard<std::mutex> lock(mu);
+          results[i] = std::move(served);
+          if (--remaining == 0) all_done.notify_one();
+        });
+    if (!submitted.ok()) {
+      std::lock_guard<std::mutex> lock(mu);
+      results[i].result = submitted;
+      results[i].shed = true;
+      if (--remaining == 0) all_done.notify_one();
+    }
+  }
+
+  std::unique_lock<std::mutex> lock(mu);
+  all_done.wait(lock, [&] { return remaining == 0; });
+  return results;
+}
+
+ServiceStats BatchLinkingService::stats() const {
+  ServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.admitted = admission_.stats().admitted;
+  stats.shed = shed_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.full = full_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.breaker_degraded =
+      breaker_degraded_.load(std::memory_order_relaxed);
+  stats.failed = failed_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.kb_alias_breaker = kb_alias_breaker_.state();
+  stats.embedding_breaker = embedding_breaker_.state();
+  stats.cover_breaker = cover_breaker_.state();
+  return stats;
+}
+
+}  // namespace serving
+}  // namespace tenet

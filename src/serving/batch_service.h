@@ -1,0 +1,189 @@
+#ifndef TENET_SERVING_BATCH_SERVICE_H_
+#define TENET_SERVING_BATCH_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/linker.h"
+#include "common/bounded_queue.h"
+#include "common/circuit_breaker.h"
+#include "common/deadline.h"
+#include "common/dependency_health.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "serving/admission_controller.h"
+
+namespace tenet {
+namespace serving {
+
+// The dependencies guarded by per-dependency circuit breakers — the same
+// names as the TENET_FAULT_POINT / TENET_OBSERVE_DEPENDENCY annotations at
+// the corresponding call sites.
+inline constexpr const char* kKbAliasDependency = "kb/alias_lookup";
+inline constexpr const char* kEmbeddingDependency = "embedding/fetch";
+inline constexpr const char* kCoverSolveDependency = "core/cover_solve";
+
+struct ServingOptions {
+  /// Worker threads linking documents.
+  int num_threads = 4;
+  /// Requests buffered between admission and the workers.
+  size_t queue_capacity = 64;
+  /// kReject sheds on a full queue (kResourceExhausted back to the
+  /// caller); kBlock applies backpressure instead — what the offline
+  /// evaluation uses, where shedding would change the scores.
+  QueueOverflowPolicy overflow = QueueOverflowPolicy::kReject;
+  /// Front-door policy; max_pending 0 derives queue_capacity+num_threads.
+  AdmissionOptions admission;
+  /// Deadline attached to requests submitted without one.  Infinite keeps
+  /// the linker's own per-document policy in charge.
+  double default_deadline_ms = std::numeric_limits<double>::infinity();
+  /// Per-dependency breaker tuning (shared by all three breakers).
+  CircuitBreakerOptions breaker;
+  /// Request-level retries on retryable failures (kInternal,
+  /// kBoundTooSmall).  Only max_retries is consulted; every retry must
+  /// also be covered by the shared retry budget below, so retries stop
+  /// fleet-wide during an outage instead of amplifying it.
+  RetryPolicy retry{/*max_retries=*/1, /*multiplier=*/1.0,
+                    /*max_value=*/std::numeric_limits<double>::infinity()};
+  /// The shared retry budget (see RetryBudget).
+  RetryBudget::Options retry_budget;
+};
+
+// One served request's outcome: the linking result (or the error / shed
+// status) plus the worker-side processing latency.  Shed requests never
+// reached a worker; their latency is 0 and `shed` is true.
+struct ServedResult {
+  Result<core::LinkingResult> result = Status::Internal("not served");
+  double latency_ms = 0.0;
+  bool shed = false;
+};
+
+// A point-in-time snapshot of the service's accounting.  Every submitted
+// request resolves to exactly one of shed / full / degraded / failed, so
+// after a drain: submitted == shed + full + degraded + failed and
+// completed == full + degraded + failed.
+struct ServiceStats {
+  int64_t submitted = 0;
+  int64_t admitted = 0;
+  int64_t shed = 0;       // refused at admission or on a full queue
+  int64_t completed = 0;  // reached a worker and resolved
+  int64_t full = 0;       // full-pipeline answers
+  int64_t degraded = 0;   // degraded-mode answers (any rung)
+  int64_t breaker_degraded = 0;  // of `degraded`: routed by an open breaker
+  int64_t failed = 0;     // non-OK results
+  int64_t retries = 0;    // request-level retry attempts
+  BreakerState kb_alias_breaker = BreakerState::kClosed;
+  BreakerState embedding_breaker = BreakerState::kClosed;
+  BreakerState cover_breaker = BreakerState::kClosed;
+};
+
+// The concurrent batch serving layer over one immutable linking substrate.
+//
+// A BatchLinkingService owns a fixed worker pool and wraps a Linker (in
+// production, TenetLinker over one shared KB / embedding / gazetteer
+// snapshot — all immutable after construction, so workers share them
+// without locks).  Each request flows
+//
+//   Submit -> AdmissionController (shed?) -> BoundedQueue (shed/block?)
+//          -> worker: breaker routing -> linker (+ budgeted retries)
+//          -> callback
+//
+// Per-dependency circuit breakers watch the KB alias, embedding-fetch and
+// cover-solver outcome streams (via the process-wide dependency observer
+// installed for the service's lifetime).  A request that meets an open
+// breaker is not failed: it is routed straight to the prior-only rung of
+// the pipeline's degradation ladder by linking under an already-expired
+// deadline — load on the sick dependency drops, answers keep flowing.
+//
+// The service must outlive every callback; the destructor drains queued
+// requests and joins the workers.
+class BatchLinkingService {
+ public:
+  using Callback = std::function<void(ServedResult)>;
+
+  /// `linker` must outlive the service.
+  explicit BatchLinkingService(const baselines::Linker* linker,
+                               ServingOptions options = {});
+  ~BatchLinkingService();
+
+  BatchLinkingService(const BatchLinkingService&) = delete;
+  BatchLinkingService& operator=(const BatchLinkingService&) = delete;
+
+  /// Asynchronous entry point: admission, then enqueue.  On OK, `done` is
+  /// invoked exactly once from a worker thread.  On kResourceExhausted the
+  /// request was shed and `done` is never invoked.
+  Status Submit(std::string text, Callback done);
+  Status Submit(std::string text, Deadline deadline, Callback done);
+
+  /// Synchronous batch entry point with deterministic merging: results[i]
+  /// always corresponds to texts[i], whatever order the workers finished
+  /// in.  Shed requests (possible under kReject overflow) surface as
+  /// entries with shed == true and a kResourceExhausted status.
+  std::vector<ServedResult> LinkBatch(const std::vector<std::string>& texts);
+
+  ServiceStats stats() const;
+
+  /// Breaker watching `dependency` (one of the k*Dependency constants);
+  /// null for unknown names.
+  const CircuitBreaker* breaker(const char* dependency) const;
+
+  const ServingOptions& options() const { return options_; }
+
+ private:
+  struct Request {
+    std::string text;
+    Deadline deadline;
+    Callback done;
+  };
+
+  // Fans the dependency outcome stream out to the service's breakers.
+  class BreakerObserver : public DependencyObserver {
+   public:
+    explicit BreakerObserver(BatchLinkingService* service)
+        : service_(service) {}
+    void ObserveDependency(const char* dependency, bool ok) override;
+
+   private:
+    BatchLinkingService* service_;
+  };
+
+  Deadline DefaultDeadline() const;
+  void Process(Request request);
+  Result<core::LinkingResult> LinkOnce(const Request& request) const;
+  CircuitBreaker* MutableBreaker(const char* dependency);
+
+  const baselines::Linker* linker_;
+  const ServingOptions options_;
+
+  CircuitBreaker kb_alias_breaker_;
+  CircuitBreaker embedding_breaker_;
+  CircuitBreaker cover_breaker_;
+  RetryBudget retry_budget_;
+  AdmissionController admission_;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> full_{0};
+  std::atomic<int64_t> degraded_{0};
+  std::atomic<int64_t> breaker_degraded_{0};
+  std::atomic<int64_t> failed_{0};
+  std::atomic<int64_t> retries_{0};
+
+  // Declaration order is the destruction contract: the pool (last member)
+  // is destroyed first, joining every worker before the observer scope
+  // uninstalls and the breakers die.
+  BreakerObserver observer_;
+  ScopedDependencyObserver observer_scope_;
+  ThreadPool pool_;
+};
+
+}  // namespace serving
+}  // namespace tenet
+
+#endif  // TENET_SERVING_BATCH_SERVICE_H_

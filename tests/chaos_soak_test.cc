@@ -1,0 +1,224 @@
+// Chaos/soak harness for the batch serving layer: multiple driver threads
+// hammer a BatchLinkingService while deterministic fault schedules degrade
+// its dependencies at realistic (5-20%) rates.  The suite asserts the
+// serving contract end to end:
+//
+//   - the service never crashes and never loses a request: every submission
+//     resolves to exactly one of full / degraded / shed;
+//   - under sustained faults each per-dependency breaker opens within its
+//     observation window, routing traffic to the prior-only tier;
+//   - once the fault source clears, breakers re-close via half-open probes
+//     and full-pipeline answers resume — including after a mixed storm that
+//     opens several breakers with staggered cooldowns (the probe-return
+//     path).
+//
+// Registered under the `soak` ctest label and intended to also run under
+// -DTENET_SANITIZE=thread (see CMakePresets.json).
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/tenet_linker.h"
+#include "common/fault_injection.h"
+#include "datasets/corpus_generator.h"
+#include "datasets/world.h"
+#include "serving/batch_service.h"
+
+namespace tenet {
+namespace serving {
+namespace {
+
+constexpr int kDriverThreads = 3;
+constexpr int kDocsPerRound = 12;
+
+// Accumulated outcome classification across every request driven so far.
+struct Tally {
+  std::atomic<int64_t> submitted{0};
+  std::atomic<int64_t> full{0};
+  std::atomic<int64_t> degraded{0};
+  std::atomic<int64_t> shed{0};
+  std::atomic<int64_t> failed{0};
+
+  int64_t resolved() const {
+    return full.load() + degraded.load() + shed.load() + failed.load();
+  }
+};
+
+class ChaosSoakTest : public ::testing::Test {
+ protected:
+  ChaosSoakTest()
+      : world_(datasets::BuildWorld()),
+        linker_(baselines::BaselineSubstrate{
+            &world_.kb(), &world_.embeddings, &world_.gazetteer(), {}}) {
+    datasets::CorpusGenerator generator(&world_.kb_world);
+    Rng rng(4242);
+    datasets::DatasetSpec spec = datasets::TRex42Spec();
+    spec.num_docs = kDocsPerRound;
+    for (const datasets::Document& doc :
+         generator.Generate(spec, rng).documents) {
+      texts_.push_back(doc.text);
+    }
+
+    ServingOptions options;
+    options.num_threads = 4;
+    options.queue_capacity = 16;
+    options.overflow = QueueOverflowPolicy::kReject;
+    // Aggressive breaker so 5-20% fault rates trip it within one window.
+    options.breaker.window_size = 32;
+    options.breaker.min_samples = 8;
+    options.breaker.failure_threshold = 0.04;
+    options.breaker.open_cooldown_ms = 10.0;
+    options.breaker.half_open_probes = 8;
+    options.breaker.half_open_successes = 2;
+    service_ = std::make_unique<BatchLinkingService>(&linker_, options);
+  }
+
+  // One soak round: kDriverThreads threads each push the whole corpus
+  // through LinkBatch concurrently, and every result is classified.  The
+  // classification is total by construction — an unexpected state fails
+  // the test instead of slipping through.
+  void DriveRound() {
+    std::vector<std::thread> drivers;
+    for (int t = 0; t < kDriverThreads; ++t) {
+      drivers.emplace_back([this] {
+        std::vector<ServedResult> served = service_->LinkBatch(texts_);
+        tally_.submitted.fetch_add(static_cast<int64_t>(served.size()));
+        for (const ServedResult& r : served) {
+          if (r.shed) {
+            EXPECT_EQ(r.result.status().code(),
+                      StatusCode::kResourceExhausted);
+            tally_.shed.fetch_add(1);
+          } else if (!r.result.ok()) {
+            tally_.failed.fetch_add(1);
+          } else if (r.result->degradation.degraded()) {
+            tally_.degraded.fetch_add(1);
+          } else {
+            tally_.full.fetch_add(1);
+          }
+        }
+      });
+    }
+    for (std::thread& driver : drivers) driver.join();
+  }
+
+  // Drives rounds until `done` holds, up to `max_rounds`.
+  bool DriveUntil(int max_rounds, const std::function<bool()>& done) {
+    for (int round = 0; round < max_rounds; ++round) {
+      if (done()) return true;
+      DriveRound();
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    return done();
+  }
+
+  bool AllBreakersClosed() const {
+    ServiceStats stats = service_->stats();
+    return stats.kb_alias_breaker == BreakerState::kClosed &&
+           stats.embedding_breaker == BreakerState::kClosed &&
+           stats.cover_breaker == BreakerState::kClosed;
+  }
+
+  // The ledger must balance after every quiescent point: nothing lost,
+  // nothing double-counted.
+  void ExpectAccountingBalances() {
+    ServiceStats stats = service_->stats();
+    EXPECT_EQ(stats.submitted, tally_.submitted.load());
+    EXPECT_EQ(stats.submitted, stats.shed + stats.completed);
+    EXPECT_EQ(stats.completed, stats.full + stats.degraded + stats.failed);
+    EXPECT_EQ(tally_.resolved(), tally_.submitted.load())
+        << "a request vanished without resolving";
+    EXPECT_EQ(stats.shed, tally_.shed.load());
+    EXPECT_EQ(stats.failed, tally_.failed.load());
+  }
+
+  datasets::SyntheticWorld world_;
+  baselines::TenetLinker linker_;
+  std::vector<std::string> texts_;
+  std::unique_ptr<BatchLinkingService> service_;
+  Tally tally_;
+};
+
+TEST_F(ChaosSoakTest, SurvivesFaultStormsAndRecovers) {
+  // ---- Healthy warmup: full answers flow, the ledger balances ----------
+  DriveRound();
+  ExpectAccountingBalances();
+  EXPECT_EQ(tally_.failed.load(), 0);
+  EXPECT_GT(tally_.full.load(), 0);
+  ASSERT_TRUE(AllBreakersClosed());
+
+  // ---- One open/recover cycle per dependency, at 5-20% fault rates -----
+  struct FaultCase {
+    const char* dependency;
+    double rate;
+  };
+  const FaultCase kCases[] = {
+      {kKbAliasDependency, 0.12},
+      {kEmbeddingDependency, 0.08},
+      {kCoverSolveDependency, 0.20},
+  };
+  for (const FaultCase& fault_case : kCases) {
+    SCOPED_TRACE(fault_case.dependency);
+    {
+      FaultInjector faults(20210614);
+      faults.Arm(fault_case.dependency, fault_case.rate);
+      ASSERT_TRUE(DriveUntil(/*max_rounds=*/60, [&] {
+        return service_->breaker(fault_case.dependency)->state() ==
+               BreakerState::kOpen;
+      })) << "breaker never opened under a sustained "
+          << fault_case.rate * 100.0 << "% fault rate";
+      EXPECT_GT(faults.FireCount(fault_case.dependency), 0);
+    }
+    // Fault source cleared: half-open probes must re-close the breaker.
+    EXPECT_TRUE(DriveUntil(/*max_rounds=*/100, [&] {
+      return service_->breaker(fault_case.dependency)->state() ==
+             BreakerState::kClosed;
+    })) << "breaker never re-closed after the faults were disarmed";
+    ExpectAccountingBalances();
+    EXPECT_EQ(tally_.failed.load(), 0);
+  }
+
+  // ---- Mixed storm: all three dependencies degrade at once -------------
+  {
+    FaultInjector faults(987654321);
+    faults.Arm(kKbAliasDependency, 0.12);
+    faults.Arm(kEmbeddingDependency, 0.08);
+    faults.Arm(kCoverSolveDependency, 0.20);
+    for (int round = 0; round < 10; ++round) DriveRound();
+    ServiceStats storm = service_->stats();
+    // Load kept flowing through the storm: requests were answered (full or
+    // degraded), not just shed, and nothing crashed or failed outright.
+    EXPECT_GT(storm.completed, 0);
+    EXPECT_LT(storm.shed, storm.submitted);
+    EXPECT_EQ(tally_.failed.load(), 0);
+  }
+
+  // ---- Recovery from the mixed storm: every breaker re-closes ----------
+  // Several breakers may be open with staggered cooldowns here, which is
+  // exactly the situation where unused half-open probes must be returned
+  // (otherwise recovery wedges).
+  EXPECT_TRUE(DriveUntil(/*max_rounds=*/150, [this] {
+    return AllBreakersClosed();
+  })) << "breakers never all re-closed after the mixed storm";
+
+  // Full-pipeline answers are flowing again.
+  int64_t full_before = tally_.full.load();
+  DriveRound();
+  EXPECT_GT(tally_.full.load(), full_before);
+
+  ExpectAccountingBalances();
+  EXPECT_EQ(tally_.failed.load(), 0);
+  ServiceStats final_stats = service_->stats();
+  EXPECT_GT(final_stats.submitted, 0);
+  // Shedding stayed bounded: the service answered most of the traffic.
+  EXPECT_LT(final_stats.shed, final_stats.submitted / 2);
+}
+
+}  // namespace
+}  // namespace serving
+}  // namespace tenet

@@ -1,0 +1,180 @@
+// CircuitBreaker state machine (closed -> open -> half-open -> closed /
+// re-open) and the shared RetryBudget token bucket.
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/circuit_breaker.h"
+
+namespace tenet {
+namespace {
+
+CircuitBreakerOptions FastOptions() {
+  CircuitBreakerOptions options;
+  options.window_size = 8;
+  options.min_samples = 4;
+  options.failure_threshold = 0.5;
+  options.open_cooldown_ms = 5.0;
+  options.half_open_probes = 2;
+  options.half_open_successes = 2;
+  return options;
+}
+
+void WaitForCooldown(const CircuitBreakerOptions& options) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+      options.open_cooldown_ms + 2.0));
+}
+
+TEST(CircuitBreakerTest, StaysClosedBelowThreshold) {
+  CircuitBreaker breaker("dep", FastOptions());
+  for (int i = 0; i < 50; ++i) {
+    breaker.RecordOutcome(/*ok=*/i % 4 != 0);  // 25% failure rate
+    EXPECT_TRUE(breaker.Allow());
+  }
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().trips, 0);
+}
+
+TEST(CircuitBreakerTest, DoesNotTripBeforeMinSamples) {
+  CircuitBreaker breaker("dep", FastOptions());
+  breaker.RecordOutcome(false);
+  breaker.RecordOutcome(false);
+  breaker.RecordOutcome(false);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordOutcome(false);  // 4th sample reaches min_samples
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, OpenRefusesUntilCooldown) {
+  CircuitBreakerOptions options = FastOptions();
+  options.open_cooldown_ms = 60000.0;  // effectively forever for this test
+  CircuitBreaker breaker("dep", options);
+  for (int i = 0; i < 4; ++i) breaker.RecordOutcome(false);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+  EXPECT_EQ(breaker.stats().rejected, 2);
+}
+
+TEST(CircuitBreakerTest, HalfOpenClosesAfterSuccessStreak) {
+  CircuitBreakerOptions options = FastOptions();
+  CircuitBreaker breaker("dep", options);
+  for (int i = 0; i < 4; ++i) breaker.RecordOutcome(false);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  WaitForCooldown(options);
+  EXPECT_TRUE(breaker.Allow());  // first probe flips open -> half-open
+  EXPECT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordOutcome(true);
+  breaker.RecordOutcome(true);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_EQ(breaker.stats().closes, 1);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopens) {
+  CircuitBreakerOptions options = FastOptions();
+  CircuitBreaker breaker("dep", options);
+  for (int i = 0; i < 4; ++i) breaker.RecordOutcome(false);
+  WaitForCooldown(options);
+  EXPECT_TRUE(breaker.Allow());
+  ASSERT_EQ(breaker.state(), BreakerState::kHalfOpen);
+  breaker.RecordOutcome(false);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+  EXPECT_EQ(breaker.stats().trips, 2);
+  EXPECT_FALSE(breaker.Allow());  // cooldown restarted
+}
+
+TEST(CircuitBreakerTest, HalfOpenLimitsProbesAndReplenishesOnSuccess) {
+  CircuitBreakerOptions options = FastOptions();
+  options.half_open_probes = 1;
+  options.half_open_successes = 3;
+  CircuitBreaker breaker("dep", options);
+  for (int i = 0; i < 4; ++i) breaker.RecordOutcome(false);
+  WaitForCooldown(options);
+  EXPECT_TRUE(breaker.Allow());   // the single probe
+  EXPECT_FALSE(breaker.Allow());  // allowance spent
+  breaker.RecordOutcome(true);    // probe came back healthy
+  EXPECT_TRUE(breaker.Allow());   // allowance replenished
+  breaker.RecordOutcome(true);
+  breaker.RecordOutcome(true);    // streak of 3 closes
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, ReturnProbeRestoresUnusedAllowance) {
+  CircuitBreakerOptions options = FastOptions();
+  options.half_open_probes = 1;
+  CircuitBreaker breaker("dep", options);
+  for (int i = 0; i < 4; ++i) breaker.RecordOutcome(false);
+  WaitForCooldown(options);
+  EXPECT_TRUE(breaker.Allow());   // the single probe
+  EXPECT_FALSE(breaker.Allow());  // allowance spent
+  breaker.ReturnProbe();          // caller never touched the dependency
+  EXPECT_TRUE(breaker.Allow());   // allowance restored
+  breaker.ReturnProbe();
+  breaker.ReturnProbe();  // cannot exceed the configured allowance
+  EXPECT_TRUE(breaker.Allow());
+  EXPECT_FALSE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, ReturnProbeIsANoOpOutsideHalfOpen) {
+  CircuitBreaker breaker("dep", FastOptions());
+  breaker.ReturnProbe();  // closed: nothing to restore
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  EXPECT_TRUE(breaker.Allow());
+}
+
+TEST(CircuitBreakerTest, TripClearsTheWindow) {
+  CircuitBreakerOptions options = FastOptions();
+  CircuitBreaker breaker("dep", options);
+  for (int i = 0; i < 4; ++i) breaker.RecordOutcome(false);
+  ASSERT_EQ(breaker.state(), BreakerState::kOpen);
+  WaitForCooldown(options);
+  ASSERT_TRUE(breaker.Allow());
+  breaker.RecordOutcome(true);
+  breaker.RecordOutcome(true);
+  ASSERT_EQ(breaker.state(), BreakerState::kClosed);
+  // The outage-era failures are gone: it takes min_samples fresh outcomes
+  // (not one) to trip again.
+  breaker.RecordOutcome(false);
+  breaker.RecordOutcome(false);
+  breaker.RecordOutcome(false);
+  EXPECT_EQ(breaker.state(), BreakerState::kClosed);
+  breaker.RecordOutcome(false);
+  EXPECT_EQ(breaker.state(), BreakerState::kOpen);
+}
+
+TEST(CircuitBreakerTest, StateNamesAreStable) {
+  EXPECT_EQ(BreakerStateToString(BreakerState::kClosed), "closed");
+  EXPECT_EQ(BreakerStateToString(BreakerState::kOpen), "open");
+  EXPECT_EQ(BreakerStateToString(BreakerState::kHalfOpen), "half_open");
+}
+
+TEST(RetryBudgetTest, DrainsAndStopsRetries) {
+  RetryBudget::Options options;
+  options.max_tokens = 2.0;
+  options.cost_per_retry = 1.0;
+  options.deposit_per_success = 0.0;
+  RetryBudget budget(options);
+  EXPECT_TRUE(budget.TryAcquireRetry());
+  EXPECT_TRUE(budget.TryAcquireRetry());
+  EXPECT_FALSE(budget.TryAcquireRetry());  // bankrupt: retries stop
+}
+
+TEST(RetryBudgetTest, SuccessesReplenishUpToTheCap) {
+  RetryBudget::Options options;
+  options.max_tokens = 1.0;
+  options.cost_per_retry = 1.0;
+  options.deposit_per_success = 0.5;
+  RetryBudget budget(options);
+  EXPECT_TRUE(budget.TryAcquireRetry());
+  EXPECT_FALSE(budget.TryAcquireRetry());
+  budget.RecordSuccess();
+  EXPECT_FALSE(budget.TryAcquireRetry());  // 0.5 < cost
+  budget.RecordSuccess();
+  EXPECT_TRUE(budget.TryAcquireRetry());  // two deposits cover one retry
+  for (int i = 0; i < 10; ++i) budget.RecordSuccess();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 1.0);  // capped at max_tokens
+}
+
+}  // namespace
+}  // namespace tenet

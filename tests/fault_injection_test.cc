@@ -1,5 +1,7 @@
 #include "common/fault_injection.h"
 
+#include <atomic>
+#include <cstdint>
 #include <thread>
 #include <vector>
 
@@ -157,6 +159,77 @@ TEST(FaultInjectionTest, ConcurrentHitsAreCountedExactly) {
   EXPECT_EQ(faults.HitCount("test/threads"), kThreads * kHitsPerThread);
   EXPECT_GT(faults.FireCount("test/threads"), 0);
   EXPECT_LT(faults.FireCount("test/threads"), kThreads * kHitsPerThread);
+}
+
+TEST(FaultInjectionTest, ArmAndDisarmRaceFreeAgainstConcurrentHits) {
+  // Reconfiguration while traffic flows: worker threads hammer two fault
+  // points while the main thread repeatedly arms, re-arms and disarms
+  // them.  Counters must stay exact and consistent (and the whole dance
+  // TSan-clean — this test is part of the sanitizer tiers).
+  FaultInjector faults(12);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> observed_hits{0};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)TENET_FAULT_POINT("test/race_a");
+        (void)TENET_FAULT_POINT("test/race_b");
+        observed_hits.fetch_add(2, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    faults.Arm("test/race_a", 0.2);
+    faults.ArmNth("test/race_b", round + 1);
+    (void)faults.HitCount("test/race_a");
+    (void)faults.FireCount("test/race_b");
+    faults.Disarm("test/race_a");
+    faults.Disarm("test/race_b");
+  }
+  stop.store(true);
+  for (std::thread& w : workers) w.join();
+
+  // Exactly-once accounting: the injector saw every hit the workers made.
+  EXPECT_EQ(faults.HitCount("test/race_a") + faults.HitCount("test/race_b"),
+            observed_hits.load());
+  // Fires can never exceed hits, per point.
+  EXPECT_LE(faults.FireCount("test/race_a"), faults.HitCount("test/race_a"));
+  EXPECT_LE(faults.FireCount("test/race_b"), faults.HitCount("test/race_b"));
+}
+
+TEST(FaultInjectionTest, ConcurrentHitsKeepPerPointSchedulesDeterministic) {
+  // Interleaving across threads must not perturb a point's per-hit
+  // schedule: the number of fires in N hits depends only on (seed, N).
+  constexpr int kThreads = 4;
+  constexpr int kHitsPerThread = 250;
+  auto fires_with_threads = [](int threads) {
+    FaultInjector faults(13);
+    faults.Arm("test/deterministic", 0.3);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&] {
+        for (int i = 0; i < kHitsPerThread; ++i) {
+          (void)TENET_FAULT_POINT("test/deterministic");
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    // Same total hit count however the threads interleaved.
+    EXPECT_EQ(faults.HitCount("test/deterministic"),
+              threads * kHitsPerThread);
+    return faults.FireCount("test/deterministic");
+  };
+  int concurrent = fires_with_threads(kThreads);
+
+  // Serial reference over the same total number of hits.
+  FaultInjector faults(13);
+  faults.Arm("test/deterministic", 0.3);
+  for (int i = 0; i < kThreads * kHitsPerThread; ++i) {
+    (void)TENET_FAULT_POINT("test/deterministic");
+  }
+  EXPECT_EQ(concurrent, faults.FireCount("test/deterministic"));
 }
 
 }  // namespace

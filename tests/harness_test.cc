@@ -76,6 +76,78 @@ TEST(HarnessTest, DisambiguationModeScoresGoldMentions) {
             end_to_end.entity_linking.Recall());
 }
 
+TEST(HarnessTest, ParallelEvaluationMatchesSerialExactly) {
+  datasets::Dataset ds = TinyDataset(56);
+  baselines::TenetLinker tenet(Substrate());
+  SystemScores serial = EvaluateEndToEnd(tenet, ds);
+
+  EvalOptions parallel_options;
+  parallel_options.num_threads = 4;
+  SystemScores parallel = EvaluateEndToEnd(tenet, ds, parallel_options);
+
+  // A fault-free dataset must score byte-identically across thread counts:
+  // same per-document results, merged in dataset order.
+  auto expect_same_prf = [](const PRF& a, const PRF& b) {
+    EXPECT_EQ(a.tp, b.tp);
+    EXPECT_EQ(a.fp, b.fp);
+    EXPECT_EQ(a.fn, b.fn);
+  };
+  expect_same_prf(serial.entity_linking, parallel.entity_linking);
+  expect_same_prf(serial.relation_linking, parallel.relation_linking);
+  expect_same_prf(serial.mention_detection, parallel.mention_detection);
+  expect_same_prf(serial.isolated_detection, parallel.isolated_detection);
+  EXPECT_EQ(serial.failed_documents, parallel.failed_documents);
+  EXPECT_EQ(serial.full_documents, parallel.full_documents);
+  EXPECT_EQ(serial.degraded_documents, parallel.degraded_documents);
+  EXPECT_TRUE(parallel.failures.empty());
+}
+
+TEST(HarnessTest, ReportsBothSummedLatencyAndWallClock) {
+  datasets::Dataset ds = TinyDataset(57);
+  baselines::TenetLinker tenet(Substrate());
+  SystemScores serial = EvaluateEndToEnd(tenet, ds);
+  // total_ms sums per-document linking latencies; wall_ms is the whole
+  // run.  Both populated, and a serial run's wall clock covers the sum.
+  EXPECT_GT(serial.total_ms, 0.0);
+  EXPECT_GT(serial.wall_ms, 0.0);
+  EXPECT_GE(serial.wall_ms, serial.total_ms * 0.5);
+
+  EvalOptions parallel_options;
+  parallel_options.num_threads = 2;
+  SystemScores parallel = EvaluateEndToEnd(tenet, ds, parallel_options);
+  EXPECT_GT(parallel.total_ms, 0.0);
+  EXPECT_GT(parallel.wall_ms, 0.0);
+}
+
+TEST(HarnessTest, DisambiguationObservesDeadlineExpiryMidStage) {
+  datasets::Dataset ds = TinyDataset(58);
+  // A zero budget expires between mention intake and the coherence stage:
+  // every document must come back prior-only degraded (never failed, never
+  // crashed) and still be scored.
+  core::TenetOptions options;
+  options.deadline_ms = 0.0;
+  baselines::TenetLinker tenet(Substrate(), options);
+  SystemScores scores = EvaluateDisambiguation(tenet, ds, World().gazetteer());
+  EXPECT_EQ(scores.failed_documents, 0);
+  EXPECT_EQ(scores.full_documents, 0);
+  EXPECT_EQ(scores.degraded_documents,
+            static_cast<int>(ds.documents.size()));
+  EXPECT_GT(scores.entity_linking.tp + scores.entity_linking.fn, 0);
+}
+
+TEST(HarnessTest, DisambiguationSurvivesTinyDeadlineBudgets) {
+  datasets::Dataset ds = TinyDataset(59);
+  // A just-barely-nonzero budget lands the expiry inside whichever stage
+  // happens to be running; the accounting must stay total regardless.
+  core::TenetOptions options;
+  options.deadline_ms = 0.05;
+  baselines::TenetLinker tenet(Substrate(), options);
+  SystemScores scores = EvaluateDisambiguation(tenet, ds, World().gazetteer());
+  EXPECT_EQ(scores.failed_documents, 0);
+  EXPECT_EQ(scores.full_documents + scores.degraded_documents,
+            static_cast<int>(ds.documents.size()));
+}
+
 TEST(HarnessTest, FormatPrf) {
   PRF prf;
   prf.tp = 1;

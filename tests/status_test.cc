@@ -27,6 +27,8 @@ TEST(StatusTest, FactoryFunctionsProduceMatchingCodes) {
   EXPECT_EQ(Status::DeadlineExceeded("x").code(),
             StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::DataLoss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(Status::ResourceExhausted("x").code(),
+            StatusCode::kResourceExhausted);
 }
 
 TEST(StatusTest, MessageIsPreserved) {
@@ -46,6 +48,12 @@ TEST(StatusTest, DeadlineExceededPredicate) {
   EXPECT_TRUE(Status::DeadlineExceeded("late").IsDeadlineExceeded());
   EXPECT_FALSE(Status::Internal("x").IsDeadlineExceeded());
   EXPECT_FALSE(Status().IsDeadlineExceeded());
+}
+
+TEST(StatusTest, ResourceExhaustedPredicate) {
+  EXPECT_TRUE(Status::ResourceExhausted("shed").IsResourceExhausted());
+  EXPECT_FALSE(Status::Internal("x").IsResourceExhausted());
+  EXPECT_FALSE(Status().IsResourceExhausted());
 }
 
 TEST(StatusTest, DataLossPredicate) {
@@ -90,6 +98,8 @@ TEST(StatusCodeTest, AllCodesHaveNames) {
   EXPECT_EQ(StatusCodeToString(StatusCode::kDeadlineExceeded),
             "deadline_exceeded");
   EXPECT_EQ(StatusCodeToString(StatusCode::kDataLoss), "data_loss");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kResourceExhausted),
+            "resource_exhausted");
 }
 
 }  // namespace

@@ -16,6 +16,12 @@
 //   tenet_cli dump-corpora [--seed N]
 //       Generates the four evaluation corpora and writes them as
 //       News.tenetds, T-REx42.tenetds, KORE50.tenetds, MSNBC19.tenetds.
+//
+//   tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS]
+//       Builds the synthetic world, generates the evaluation corpora and
+//       scores TENET end-to-end on each.  With --threads N > 1 the batch
+//       is served through the concurrent BatchLinkingService.  Exits
+//       non-zero when any document failed, listing each failure.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,10 +30,12 @@
 #include <optional>
 #include <string>
 
+#include "baselines/tenet_linker.h"
 #include "core/pipeline.h"
 #include "datasets/world.h"
 #include "datasets/corpus_generator.h"
 #include "datasets/io.h"
+#include "eval/harness.h"
 #include "kb/io.h"
 
 using namespace tenet;
@@ -42,6 +50,7 @@ struct Args {
   std::optional<std::string> document_text;
   int candidates = 4;
   double deadline_ms = std::numeric_limits<double>::infinity();
+  int threads = 1;
 };
 
 std::optional<Args> Parse(int argc, char** argv) {
@@ -82,6 +91,15 @@ std::optional<Args> Parse(int argc, char** argv) {
         std::fprintf(stderr, "--deadline-ms expects a number, got: %s\n", v);
         return std::nullopt;
       }
+    } else if (flag == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.threads = std::atoi(v);
+      if (args.threads < 1) {
+        std::fprintf(stderr, "--threads expects a positive count, got: %s\n",
+                     v);
+        return std::nullopt;
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return std::nullopt;
@@ -98,7 +116,8 @@ void PrintUsage() {
       "  tenet_cli link --kb PATH --emb PATH [--text \"...\"] "
       "[--candidates K] [--deadline-ms MS]\n"
       "  tenet_cli demo [--seed N]\n"
-      "  tenet_cli dump-corpora [--seed N]\n");
+      "  tenet_cli dump-corpora [--seed N]\n"
+      "  tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS]\n");
 }
 
 std::string ReadStdin() {
@@ -232,6 +251,50 @@ int main(int argc, char** argv) {
       }
       std::printf("wrote %s (%zu documents)\n", path.c_str(),
                   dataset.documents.size());
+    }
+    return 0;
+  }
+
+  if (args->command == "eval") {
+    datasets::WorldOptions options;
+    options.seed = args->seed;
+    datasets::SyntheticWorld world = datasets::BuildWorld(options);
+    core::TenetOptions tenet_options;
+    tenet_options.deadline_ms = args->deadline_ms;
+    baselines::TenetLinker tenet(
+        baselines::BaselineSubstrate{&world.kb(), &world.embeddings,
+                                     &world.gazetteer(), {}},
+        tenet_options);
+    eval::EvalOptions eval_options;
+    eval_options.num_threads = args->threads;
+
+    datasets::CorpusGenerator generator(&world.kb_world);
+    Rng rng(77);  // the bench corpus seed
+    int total_failed = 0;
+    std::printf("%-10s %-23s %-23s %s\n", "dataset", "entity P/R/F",
+                "relation P/R/F", "documents");
+    for (const datasets::DatasetSpec& spec :
+         {datasets::NewsSpec(), datasets::TRex42Spec(),
+          datasets::Kore50Spec(), datasets::Msnbc19Spec()}) {
+      datasets::Dataset dataset = generator.Generate(spec, rng);
+      eval::SystemScores scores =
+          eval::EvaluateEndToEnd(tenet, dataset, eval_options);
+      std::printf("%-10s %-23s %-23s %s | total %.1f ms | wall %.1f ms\n",
+                  dataset.name.c_str(),
+                  eval::FormatPRF(scores.entity_linking).c_str(),
+                  eval::FormatPRF(scores.relation_linking).c_str(),
+                  eval::FormatDegradation(scores).c_str(), scores.total_ms,
+                  scores.wall_ms);
+      for (const eval::DocumentFailure& failure : scores.failures) {
+        std::fprintf(stderr, "failed document %s: %s\n",
+                     failure.doc_id.c_str(),
+                     failure.status.ToString().c_str());
+      }
+      total_failed += scores.failed_documents;
+    }
+    if (total_failed > 0) {
+      std::fprintf(stderr, "%d document(s) failed\n", total_failed);
+      return 1;
     }
     return 0;
   }
