@@ -9,7 +9,8 @@ namespace tenet {
 namespace baselines {
 
 Result<core::LinkingResult> EarlLike::LinkDocument(
-    std::string_view document_text) const {
+    std::string_view document_text,
+    const core::LinkContext& /*context*/) const {
   WallTimer timer;
   text::Extractor extractor(substrate_.gazetteer);
   text::ExtractionResult extraction =
@@ -22,7 +23,8 @@ Result<core::LinkingResult> EarlLike::LinkDocument(
 }
 
 Result<core::LinkingResult> EarlLike::LinkMentionSet(
-    core::MentionSet mentions) const {
+    core::MentionSet mentions,
+    const core::LinkContext& /*context*/) const {
   WallTimer timer;
   core::CoherenceGraph cg = BuildGraph(substrate_, std::move(mentions));
   double graph_ms = timer.ElapsedMillis();

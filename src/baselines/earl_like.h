@@ -21,10 +21,14 @@ class EarlLike : public Linker {
   std::string_view name() const override { return "EARL"; }
   bool has_disambiguation_stage() const override { return false; }
 
+  using Linker::LinkDocument;
+
   Result<core::LinkingResult> LinkDocument(
-      std::string_view document_text) const override;
+      std::string_view document_text,
+      const core::LinkContext& context = {}) const override;
   Result<core::LinkingResult> LinkMentionSet(
-      core::MentionSet mentions) const override;
+      core::MentionSet mentions,
+      const core::LinkContext& context = {}) const override;
 
  private:
   BaselineSubstrate substrate_;

@@ -7,7 +7,8 @@ namespace tenet {
 namespace baselines {
 
 Result<core::LinkingResult> FalconLike::LinkDocument(
-    std::string_view document_text) const {
+    std::string_view document_text,
+    const core::LinkContext& /*context*/) const {
   WallTimer timer;
   text::Extractor extractor(substrate_.gazetteer);
   text::ExtractionResult extraction =
@@ -26,7 +27,8 @@ Result<core::LinkingResult> FalconLike::LinkDocument(
 }
 
 Result<core::LinkingResult> FalconLike::LinkMentionSet(
-    core::MentionSet mentions) const {
+    core::MentionSet mentions,
+    const core::LinkContext& /*context*/) const {
   WallTimer timer;
   core::CoherenceGraph cg = BuildGraph(substrate_, std::move(mentions));
   double graph_ms = timer.ElapsedMillis();

@@ -10,7 +10,8 @@
 namespace tenet {
 namespace baselines {
 Result<core::LinkingResult> KbPearlLike::LinkDocument(
-    std::string_view document_text) const {
+    std::string_view document_text,
+    const core::LinkContext& /*context*/) const {
   WallTimer timer;
   text::Extractor extractor(substrate_.gazetteer);
   text::ExtractionResult extraction =
@@ -23,7 +24,8 @@ Result<core::LinkingResult> KbPearlLike::LinkDocument(
 }
 
 Result<core::LinkingResult> KbPearlLike::LinkMentionSet(
-    core::MentionSet mentions) const {
+    core::MentionSet mentions,
+    const core::LinkContext& /*context*/) const {
   WallTimer timer;
   core::CoherenceGraph cg = BuildGraph(substrate_, std::move(mentions));
   double graph_ms = timer.ElapsedMillis();

@@ -2,9 +2,11 @@
 #define TENET_BASELINES_LINKER_H_
 
 #include <string_view>
+#include <utility>
 
 #include "common/deadline.h"
 #include "common/result.h"
+#include "core/link_context.h"
 #include "core/mention.h"
 #include "core/pipeline.h"
 
@@ -16,6 +18,11 @@ namespace baselines {
 // (KB, embeddings, gazetteer, extraction); what differs is the mention
 // universe they consider and the disambiguation policy — exactly the
 // quantities Tables 3/4 isolate.
+//
+// Per-request knobs (deadline, trace) travel in the core::LinkContext.
+// Systems without budget support — the paper's baselines — ignore the
+// context's deadline and run normally, which is exactly their published
+// behaviour; TENET honours both the deadline and the trace.
 class Linker {
  public:
   virtual ~Linker() = default;
@@ -30,24 +37,26 @@ class Linker {
   /// (Falcon, EARL), which the paper excludes from Figure 6(b).
   virtual bool has_disambiguation_stage() const { return true; }
 
-  /// End-to-end linking of a raw document.
+  /// End-to-end linking of a raw document.  The serving layer uses the
+  /// context both for per-request deadlines and to route requests straight
+  /// down the degradation ladder (an already-expired deadline).
   virtual Result<core::LinkingResult> LinkDocument(
-      std::string_view document_text) const = 0;
-
-  /// End-to-end linking under an explicit compute budget.  The serving
-  /// layer uses this both for per-request deadlines and to route requests
-  /// straight down the degradation ladder (an already-expired deadline).
-  /// Systems without budget support — the paper's baselines — ignore the
-  /// deadline and run normally, which is exactly their published behaviour.
-  virtual Result<core::LinkingResult> LinkDocument(
-      std::string_view document_text, Deadline deadline) const {
-    (void)deadline;
-    return LinkDocument(document_text);
-  }
+      std::string_view document_text,
+      const core::LinkContext& context = {}) const = 0;
 
   /// Disambiguation with the mention universe given (Figure 6(b)).
   virtual Result<core::LinkingResult> LinkMentionSet(
-      core::MentionSet mentions) const = 0;
+      core::MentionSet mentions,
+      const core::LinkContext& context = {}) const = 0;
+
+  // Deprecated shim of the pre-LinkContext API; new call sites construct
+  // a LinkContext (core::LinkContext::WithDeadline) instead.
+  [[deprecated("pass a core::LinkContext instead of a bare Deadline")]]
+  Result<core::LinkingResult> LinkDocument(std::string_view document_text,
+                                           Deadline deadline) const {
+    return LinkDocument(document_text,
+                        core::LinkContext::WithDeadline(deadline));
+  }
 };
 
 }  // namespace baselines

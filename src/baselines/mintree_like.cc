@@ -10,7 +10,8 @@ namespace tenet {
 namespace baselines {
 
 Result<core::LinkingResult> MintreeLike::LinkDocument(
-    std::string_view document_text) const {
+    std::string_view document_text,
+    const core::LinkContext& /*context*/) const {
   WallTimer timer;
   // The paper feeds MINTREE with TENET's extraction (Sec. 6.1); the short
   // mentions are its input mention set.
@@ -25,7 +26,8 @@ Result<core::LinkingResult> MintreeLike::LinkDocument(
 }
 
 Result<core::LinkingResult> MintreeLike::LinkMentionSet(
-    core::MentionSet mentions) const {
+    core::MentionSet mentions,
+    const core::LinkContext& /*context*/) const {
   WallTimer timer;
   core::CoherenceGraph cg = BuildGraph(substrate_, std::move(mentions));
   double graph_ms = timer.ElapsedMillis();

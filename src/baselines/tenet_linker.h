@@ -19,21 +19,20 @@ class TenetLinker : public Linker {
                     return options;
                   }()) {}
 
+  using Linker::LinkDocument;
+
   std::string_view name() const override { return "TENET"; }
 
   Result<core::LinkingResult> LinkDocument(
-      std::string_view document_text) const override {
-    return pipeline_.LinkDocument(document_text);
-  }
-
-  Result<core::LinkingResult> LinkDocument(std::string_view document_text,
-                                           Deadline deadline) const override {
-    return pipeline_.LinkDocument(document_text, deadline);
+      std::string_view document_text,
+      const core::LinkContext& context = {}) const override {
+    return pipeline_.LinkDocument(document_text, context);
   }
 
   Result<core::LinkingResult> LinkMentionSet(
-      core::MentionSet mentions) const override {
-    return pipeline_.LinkMentionSet(std::move(mentions));
+      core::MentionSet mentions,
+      const core::LinkContext& context = {}) const override {
+    return pipeline_.LinkMentionSet(std::move(mentions), context);
   }
 
   const core::TenetPipeline& pipeline() const { return pipeline_; }

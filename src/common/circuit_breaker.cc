@@ -26,6 +26,30 @@ CircuitBreaker::CircuitBreaker(std::string name, CircuitBreakerOptions options)
   TENET_CHECK_GT(options_.half_open_probes, 0);
   TENET_CHECK_GT(options_.half_open_successes, 0);
   window_.assign(static_cast<size_t>(options_.window_size), 0);
+
+  obs::MetricsRegistry* registry = options_.metrics != nullptr
+                                       ? options_.metrics
+                                       : obs::MetricsRegistry::Default();
+  const std::string dependency = obs::LabelPair("dependency", name_);
+  constexpr const char* kTransitionsHelp =
+      "Circuit breaker state transitions, by dependency and target state.";
+  for (BreakerState to : {BreakerState::kClosed, BreakerState::kOpen,
+                          BreakerState::kHalfOpen}) {
+    transitions_to_[static_cast<int>(to)] = registry->GetCounter(
+        "tenet_breaker_transitions_total", kTransitionsHelp,
+        dependency + "," +
+            obs::LabelPair("to", BreakerStateToString(to)));
+  }
+  state_gauge_ = registry->GetGauge(
+      "tenet_breaker_state",
+      "Current breaker state per dependency (0 closed, 1 open, 2 half_open).",
+      dependency);
+  state_gauge_->Set(static_cast<double>(state_));
+}
+
+void CircuitBreaker::RecordTransitionLocked(BreakerState to) {
+  transitions_to_[static_cast<int>(to)]->Increment();
+  state_gauge_->Set(static_cast<double>(to));
 }
 
 double CircuitBreaker::WindowFailureRateLocked() const {
@@ -38,6 +62,7 @@ void CircuitBreaker::TripLocked() {
   state_ = BreakerState::kOpen;
   opened_at_ = Clock::now();
   ++stats_.trips;
+  RecordTransitionLocked(BreakerState::kOpen);
   // A fresh window for the next closed period: stale outage-era outcomes
   // must not instantly re-trip a breaker that just recovered.
   window_.assign(window_.size(), 0);
@@ -51,6 +76,7 @@ void CircuitBreaker::TripLocked() {
 void CircuitBreaker::CloseLocked() {
   state_ = BreakerState::kClosed;
   ++stats_.closes;
+  RecordTransitionLocked(BreakerState::kClosed);
   probes_left_ = 0;
   success_streak_ = 0;
 }
@@ -69,6 +95,7 @@ bool CircuitBreaker::Allow() {
         return false;
       }
       state_ = BreakerState::kHalfOpen;
+      RecordTransitionLocked(BreakerState::kHalfOpen);
       probes_left_ = options_.half_open_probes;
       success_streak_ = 0;
       [[fallthrough]];
@@ -153,12 +180,21 @@ RetryBudget::RetryBudget(Options options)
   TENET_CHECK_GT(options_.max_tokens, 0.0);
   TENET_CHECK_GT(options_.cost_per_retry, 0.0);
   TENET_CHECK_GE(options_.deposit_per_success, 0.0);
+  obs::MetricsRegistry* registry = options_.metrics != nullptr
+                                       ? options_.metrics
+                                       : obs::MetricsRegistry::Default();
+  tokens_gauge_ = registry->GetGauge(
+      "tenet_retry_budget_tokens",
+      "Tokens left in the shared retry budget; zero means the fleet has "
+      "collectively stopped retrying.");
+  tokens_gauge_->Set(tokens_);
 }
 
 bool RetryBudget::TryAcquireRetry() {
   std::lock_guard<std::mutex> lock(mu_);
   if (tokens_ < options_.cost_per_retry) return false;
   tokens_ -= options_.cost_per_retry;
+  tokens_gauge_->Set(tokens_);
   return true;
 }
 
@@ -166,6 +202,7 @@ void RetryBudget::RecordSuccess() {
   std::lock_guard<std::mutex> lock(mu_);
   tokens_ += options_.deposit_per_success;
   if (tokens_ > options_.max_tokens) tokens_ = options_.max_tokens;
+  tokens_gauge_->Set(tokens_);
 }
 
 double RetryBudget::tokens() const {

@@ -8,6 +8,8 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace tenet {
 
 // State of a CircuitBreaker, with the classic closed -> open -> half-open
@@ -43,6 +45,11 @@ struct CircuitBreakerOptions {
   /// Consecutive successful outcomes, observed while half-open, required
   /// to close the breaker again.
   int half_open_successes = 4;
+  /// Registry receiving the breaker's transition counters and state gauge
+  /// (tenet_breaker_transitions_total{dependency=,to=},
+  /// tenet_breaker_state{dependency=}).  Null publishes to the process-wide
+  /// default registry; tests inject their own for isolated windows.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // A per-dependency circuit breaker driven by a sliding failure-rate
@@ -101,8 +108,17 @@ class CircuitBreaker {
   void CloseLocked();
   double WindowFailureRateLocked() const;
 
+  /// Publishes a state change: the transition counter for `to` and the
+  /// state gauge.  Called under mu_.
+  void RecordTransitionLocked(BreakerState to);
+
   const std::string name_;
   const CircuitBreakerOptions options_;
+
+  // Registry-backed observability (resolved once at construction; the
+  // pointers are stable for the registry's lifetime).
+  obs::Counter* transitions_to_[3] = {nullptr, nullptr, nullptr};
+  obs::Gauge* state_gauge_ = nullptr;
 
   mutable std::mutex mu_;
   BreakerState state_ = BreakerState::kClosed;
@@ -133,6 +149,9 @@ class RetryBudget {
     double deposit_per_success = 0.1;
     /// Cost of one retry.
     double cost_per_retry = 1.0;
+    /// Registry receiving the tenet_retry_budget_tokens gauge.  Null
+    /// publishes to the process-wide default registry.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   RetryBudget();
@@ -149,6 +168,7 @@ class RetryBudget {
 
  private:
   const Options options_;
+  obs::Gauge* tokens_gauge_ = nullptr;
   mutable std::mutex mu_;
   double tokens_;
 };

@@ -6,12 +6,118 @@
 
 #include "common/logging.h"
 #include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace tenet {
 namespace core {
 namespace {
 
 using TopCandidate = std::optional<std::pair<kb::ConceptRef, double>>;
+
+// The pipeline's metric families, resolved once against the default
+// registry and cached (Get* takes a lock; the cached pointers do not).
+// Label values are closed sets — stage names, degradation modes, rung
+// numbers — per the cardinality rules of DESIGN.md §9.
+struct PipelineMetrics {
+  obs::Histogram* stage_extract;
+  obs::Histogram* stage_graph;
+  obs::Histogram* stage_cover;
+  obs::Histogram* stage_disambiguate;
+  obs::Histogram* latency_full;
+  obs::Histogram* latency_prior_only;
+  obs::Counter* documents_full;
+  obs::Counter* documents_prior_only;
+  obs::Counter* degraded_by_rung[4];  // indexed by stages_degraded, 1..3
+  obs::Counter* cover_retries;
+};
+
+const PipelineMetrics& Metrics() {
+  static const PipelineMetrics* metrics = [] {
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+    constexpr const char* kStageHelp =
+        "Per-stage TENET pipeline latency in milliseconds (the Figure 7 "
+        "stage columns); the sum per stage equals the summed "
+        "PipelineTimings fields.";
+    constexpr const char* kLatencyHelp =
+        "End-to-end per-document linking latency in milliseconds, by "
+        "degradation mode.";
+    constexpr const char* kDocumentsHelp =
+        "Documents served, by degradation mode.";
+    constexpr const char* kDegradedHelp =
+        "Documents served degraded, by ladder rung (rung = pipeline stages "
+        "skipped or replaced).";
+    auto* m = new PipelineMetrics;
+    auto stage = [&](const char* name) {
+      return registry->GetHistogram("tenet_stage_latency_ms", kStageHelp,
+                                    obs::LabelPair("stage", name));
+    };
+    m->stage_extract = stage("extract");
+    m->stage_graph = stage("graph");
+    m->stage_cover = stage("cover");
+    m->stage_disambiguate = stage("disambiguate");
+    m->latency_full =
+        registry->GetHistogram("tenet_document_latency_ms", kLatencyHelp,
+                               obs::LabelPair("mode", "full"));
+    m->latency_prior_only =
+        registry->GetHistogram("tenet_document_latency_ms", kLatencyHelp,
+                               obs::LabelPair("mode", "prior_only"));
+    m->documents_full =
+        registry->GetCounter("tenet_documents_total", kDocumentsHelp,
+                             obs::LabelPair("mode", "full"));
+    m->documents_prior_only =
+        registry->GetCounter("tenet_documents_total", kDocumentsHelp,
+                             obs::LabelPair("mode", "prior_only"));
+    m->degraded_by_rung[0] = nullptr;
+    for (int rung = 1; rung <= 3; ++rung) {
+      m->degraded_by_rung[rung] = registry->GetCounter(
+          "tenet_degraded_documents_total", kDegradedHelp,
+          obs::LabelPair("rung", std::string(1, static_cast<char>('0' + rung))));
+    }
+    m->cover_retries = registry->GetCounter(
+        "tenet_cover_retries_total",
+        "Tree-cover bound-doubling retry attempts (the paper's failure "
+        "warning B < B*).");
+    return m;
+  }();
+  return *metrics;
+}
+
+// Measures one pipeline stage and records it everywhere at once: the same
+// number lands in the PipelineTimings field (Figure 7 compatibility), the
+// per-stage latency histogram, and — when the request carries a trace —
+// the stage's span.  One measurement, three sinks, no drift.
+class StageScope {
+ public:
+  StageScope(const LinkContext& context, const char* name,
+             obs::Histogram* histogram)
+      : trace_(context.trace),
+        histogram_(histogram),
+        span_(trace_ != nullptr ? trace_->StartSpan(name) : -1) {}
+
+  /// Span id for parenting retry spans; -1 when untraced.
+  int span_id() const { return span_; }
+
+  /// Stops the stage and returns the elapsed milliseconds.  Call once.
+  double Finish() {
+    double ms = timer_.ElapsedMillis();
+    histogram_->Observe(ms);
+    if (trace_ != nullptr) trace_->EndSpan(span_, ms);
+    return ms;
+  }
+
+ private:
+  obs::Trace* trace_;
+  obs::Histogram* histogram_;
+  int span_;
+  WallTimer timer_;
+};
+
+// Records a completed full-pipeline document against the registry.
+void RecordFullDocument(const PipelineTimings& timings) {
+  const PipelineMetrics& m = Metrics();
+  m.documents_full->Increment();
+  m.latency_full->Observe(timings.TotalMs());
+}
 
 // Shared assembly of the prior-only fallback: per mention group, keep the
 // canopy whose mentions are collectively most confident under the priors
@@ -103,51 +209,45 @@ Deadline TenetPipeline::DefaultDeadline() const {
 }
 
 Result<LinkingResult> TenetPipeline::LinkDocument(
-    std::string_view document_text) const {
-  return LinkDocument(document_text, DefaultDeadline());
-}
-
-Result<LinkingResult> TenetPipeline::LinkDocument(
-    std::string_view document_text, Deadline deadline) const {
+    std::string_view document_text, const LinkContext& context) const {
   // Extraction always runs: even a fully degraded answer needs the mention
   // universe, and the stage is cheap relative to the coherence machinery.
-  WallTimer timer;
+  StageScope extract_scope(context, "extract", Metrics().stage_extract);
   text::Extractor extractor(gazetteer_);
   text::ExtractionResult extraction =
       extractor.ExtractFromText(document_text);
-  double extract_ms = timer.ElapsedMillis();
+  PipelineTimings timings;
+  timings.extract_ms = extract_scope.Finish();
 
-  TENET_ASSIGN_OR_RETURN(LinkingResult result,
-                         LinkExtraction(extraction, deadline));
-  result.timings.extract_ms = extract_ms;
-  return result;
-}
-
-Result<LinkingResult> TenetPipeline::LinkExtraction(
-    const text::ExtractionResult& extraction) const {
-  return LinkExtraction(extraction, DefaultDeadline());
-}
-
-Result<LinkingResult> TenetPipeline::LinkExtraction(
-    const text::ExtractionResult& extraction, Deadline deadline) const {
   MentionSet mentions =
       BuildMentionSet(extraction, gazetteer_, options_.canopy);
-  return LinkMentionSet(std::move(mentions), deadline);
+  return LinkMentionSetWithTimings(std::move(mentions), context, timings);
+}
+
+Result<LinkingResult> TenetPipeline::LinkExtraction(
+    const text::ExtractionResult& extraction,
+    const LinkContext& context) const {
+  MentionSet mentions =
+      BuildMentionSet(extraction, gazetteer_, options_.canopy);
+  return LinkMentionSetWithTimings(std::move(mentions), context, {});
 }
 
 Result<LinkingResult> TenetPipeline::LinkMentionSet(
-    MentionSet mentions) const {
-  return LinkMentionSet(std::move(mentions), DefaultDeadline());
+    MentionSet mentions, const LinkContext& context) const {
+  return LinkMentionSetWithTimings(std::move(mentions), context, {});
 }
 
-Result<LinkingResult> TenetPipeline::LinkMentionSet(MentionSet mentions,
-                                                    Deadline deadline) const {
+Result<LinkingResult> TenetPipeline::LinkMentionSetWithTimings(
+    MentionSet mentions, const LinkContext& context,
+    PipelineTimings timings) const {
+  Deadline deadline = context.deadline_or(DefaultDeadline());
   LinkingResult result;
   if (mentions.num_mentions() == 0) {
     result.mentions = std::move(mentions);
+    result.timings = timings;
+    RecordFullDocument(timings);
     return result;
   }
-  PipelineTimings timings;
 
   // ---- Rung 0: budget gone before the coherence stage --------------------
   if (deadline.expired()) {
@@ -157,31 +257,44 @@ Result<LinkingResult> TenetPipeline::LinkMentionSet(MentionSet mentions,
     }
     return PriorOnlyFromMentions(std::move(mentions),
                                  "deadline expired before the coherence stage",
-                                 /*stages_degraded=*/3, timings);
+                                 /*stages_degraded=*/3, timings, context);
   }
 
-  WallTimer timer;
+  StageScope graph_scope(context, "graph", Metrics().stage_graph);
   CoherenceGraph cg = graph_builder_.Build(std::move(mentions));
-  timings.graph_ms = timer.ElapsedMillis();
+  timings.graph_ms = graph_scope.Finish();
 
   // ---- Tree cover: B = bound_factor * |M| (Sec. 6.1), growing on the
   // failure warning per the retry policy, under the deadline ---------------
-  timer.Restart();
+  StageScope cover_scope(context, "cover", Metrics().stage_cover);
   RetrySchedule schedule(options_.bound_retry,
                          options_.bound_factor * cg.num_mentions());
   Result<TreeCover> cover = Status::Internal("unsolved");
   TreeCoverStats cover_stats;
   Status interrupted;  // non-OK when the deadline cut the search short
+  int attempt = 0;
   do {
     if (deadline.expired()) {
       interrupted = Status::DeadlineExceeded(
           "deadline expired during the tree-cover search");
       break;
     }
+    // Every attempt after the first is a bound-doubling retry: counted,
+    // and traced as a child span of the cover stage.
+    int retry_span = -1;
+    if (attempt > 0) {
+      Metrics().cover_retries->Increment();
+      if (context.trace != nullptr) {
+        retry_span =
+            context.trace->StartSpan("cover_retry", cover_scope.span_id());
+      }
+    }
     cover = solver_.Solve(cg, schedule.value(), &cover_stats);
+    if (retry_span >= 0) context.trace->EndSpan(retry_span);
+    ++attempt;
     if (cover.ok() || !cover.status().IsBoundTooSmall()) break;
   } while (schedule.Next());
-  timings.cover_ms = timer.ElapsedMillis();
+  timings.cover_ms = cover_scope.Finish();
 
   // ---- Rung 1: cover unavailable (deadline, retry exhaustion, or solver
   // fault) -> serve priors from the already-built graph --------------------
@@ -189,7 +302,7 @@ Result<LinkingResult> TenetPipeline::LinkMentionSet(MentionSet mentions,
     Status cause = !interrupted.ok() ? interrupted : cover.status();
     if (!options_.degrade_to_prior) return cause;
     return PriorOnlyFromGraph(cg, cause.ToString(), /*stages_degraded=*/2,
-                              timings);
+                              timings, context);
   }
 
   // ---- Rung 2: cover done but budget gone -> degrade the last stage ------
@@ -199,15 +312,16 @@ Result<LinkingResult> TenetPipeline::LinkMentionSet(MentionSet mentions,
           "deadline expired before disambiguation");
     }
     return PriorOnlyFromGraph(cg, "deadline expired before disambiguation",
-                              /*stages_degraded=*/1, timings);
+                              /*stages_degraded=*/1, timings, context);
   }
 
   result.used_bound = schedule.value();
   result.cover_stats = cover_stats;
 
-  timer.Restart();
+  StageScope disambiguate_scope(context, "disambiguate",
+                                Metrics().stage_disambiguate);
   DisambiguationResult gamma = disambiguator_.Run(cg, cover.value());
-  timings.disambiguate_ms = timer.ElapsedMillis();
+  timings.disambiguate_ms = disambiguate_scope.Finish();
 
   // ---- Assemble the output -------------------------------------------------
   const MentionSet& universe = cg.mentions();
@@ -249,12 +363,44 @@ Result<LinkingResult> TenetPipeline::LinkMentionSet(MentionSet mentions,
 
   result.mentions = cg.mentions();  // copy out the universe
   result.timings = timings;
+  RecordFullDocument(timings);
   return result;
+}
+
+void TenetPipeline::FinishPriorOnly(std::string reason, int stages_degraded,
+                                    PipelineTimings timings,
+                                    const LinkContext& context,
+                                    LinkingResult* result) const {
+  result->timings = timings;
+  result->degradation.mode = DegradationInfo::Mode::kPriorOnly;
+  result->degradation.stages_degraded = stages_degraded;
+
+  const PipelineMetrics& m = Metrics();
+  // The fallback assembly is the document's (degraded) disambiguation
+  // stage: its latency belongs to the same per-stage family the full path
+  // feeds, so stage sums stay equal to summed PipelineTimings either way.
+  m.stage_disambiguate->Observe(timings.disambiguate_ms);
+  m.documents_prior_only->Increment();
+  m.latency_prior_only->Observe(timings.TotalMs());
+  if (stages_degraded >= 1 && stages_degraded <= 3) {
+    m.degraded_by_rung[stages_degraded]->Increment();
+  }
+
+  if (context.trace != nullptr) {
+    int span = context.trace->StartSpan("prior_only");
+    context.trace->EndSpan(span, timings.disambiguate_ms);
+    context.trace->Annotate("degraded_mode", "prior_only");
+    context.trace->Annotate("degraded_reason", reason);
+    context.trace->Annotate("stages_degraded",
+                            std::string(1, static_cast<char>(
+                                               '0' + stages_degraded)));
+  }
+  result->degradation.reason = std::move(reason);
 }
 
 Result<LinkingResult> TenetPipeline::PriorOnlyFromMentions(
     MentionSet mentions, std::string reason, int stages_degraded,
-    PipelineTimings timings) const {
+    PipelineTimings timings, const LinkContext& context) const {
   WallTimer timer;
   const MentionSet& universe = mentions;
   // Same candidate budget as the coherence graph, so the degraded path sees
@@ -279,16 +425,14 @@ Result<LinkingResult> TenetPipeline::PriorOnlyFromMentions(
   LinkingResult result = AssemblePriorOnly(universe, top);
   result.mentions = std::move(mentions);
   timings.disambiguate_ms = timer.ElapsedMillis();
-  result.timings = timings;
-  result.degradation.mode = DegradationInfo::Mode::kPriorOnly;
-  result.degradation.reason = std::move(reason);
-  result.degradation.stages_degraded = stages_degraded;
+  FinishPriorOnly(std::move(reason), stages_degraded, timings, context,
+                  &result);
   return result;
 }
 
 Result<LinkingResult> TenetPipeline::PriorOnlyFromGraph(
     const CoherenceGraph& cg, std::string reason, int stages_degraded,
-    PipelineTimings timings) const {
+    PipelineTimings timings, const LinkContext& context) const {
   WallTimer timer;
   auto top = [&cg](int m) -> TopCandidate {
     const std::vector<int>& nodes = cg.ConceptNodesOfMention(m);
@@ -303,10 +447,8 @@ Result<LinkingResult> TenetPipeline::PriorOnlyFromGraph(
   LinkingResult result = AssemblePriorOnly(cg.mentions(), top);
   result.mentions = cg.mentions();  // copy out the universe
   timings.disambiguate_ms = timer.ElapsedMillis();
-  result.timings = timings;
-  result.degradation.mode = DegradationInfo::Mode::kPriorOnly;
-  result.degradation.reason = std::move(reason);
-  result.degradation.stages_degraded = stages_degraded;
+  FinishPriorOnly(std::move(reason), stages_degraded, timings, context,
+                  &result);
   return result;
 }
 

@@ -9,6 +9,7 @@
 #include "common/deadline.h"
 #include "common/result.h"
 #include "core/canopy.h"
+#include "core/link_context.h"
 #include "core/coherence_graph.h"
 #include "core/disambiguator.h"
 #include "core/mention.h"
@@ -135,8 +136,11 @@ class TenetPipeline {
                 const text::Gazetteer* gazetteer, TenetOptions options = {});
 
   /// Runs the whole stack: extraction -> mention set -> coherence graph ->
-  /// tree cover -> disambiguation.  The overloads without a Deadline start
-  /// the budget configured by TenetOptions::deadline_ms at call time.
+  /// tree cover -> disambiguation.  Per-request knobs travel in the
+  /// LinkContext: a default-constructed context starts the budget
+  /// configured by TenetOptions::deadline_ms at call time; a context
+  /// deadline overrides it; a context trace records the stage spans,
+  /// cover retries and degradation rungs.
   ///
   /// Degradation ladder (when options().degrade_to_prior): the full
   /// tree-cover pipeline is attempted first; if the deadline expires or
@@ -145,22 +149,38 @@ class TenetPipeline {
   /// the mode, cause, and how many stages were degraded.  A degraded
   /// answer is still ok() — graceful degradation is an answer, not an
   /// error.
-  Result<LinkingResult> LinkDocument(std::string_view document_text) const;
   Result<LinkingResult> LinkDocument(std::string_view document_text,
-                                     Deadline deadline) const;
+                                     const LinkContext& context = {}) const;
 
   /// Starts from a ready extraction (used by evaluations that fix the
   /// mention detection stage).
-  Result<LinkingResult> LinkExtraction(
-      const text::ExtractionResult& extraction) const;
-  Result<LinkingResult> LinkExtraction(
-      const text::ExtractionResult& extraction, Deadline deadline) const;
+  Result<LinkingResult> LinkExtraction(const text::ExtractionResult& extraction,
+                                       const LinkContext& context = {}) const;
 
   /// Starts from a ready mention universe (used by the disambiguation-only
   /// evaluation, where gold mentions are given as input).
-  Result<LinkingResult> LinkMentionSet(MentionSet mentions) const;
   Result<LinkingResult> LinkMentionSet(MentionSet mentions,
-                                       Deadline deadline) const;
+                                       const LinkContext& context = {}) const;
+
+  // Deprecated shims of the pre-LinkContext API.  New call sites construct
+  // a LinkContext (LinkContext::WithDeadline) instead of passing a bare
+  // Deadline; these remain only so external embedders migrate at leisure.
+  [[deprecated("pass a LinkContext instead of a bare Deadline")]]
+  Result<LinkingResult> LinkDocument(std::string_view document_text,
+                                     Deadline deadline) const {
+    return LinkDocument(document_text, LinkContext::WithDeadline(deadline));
+  }
+  [[deprecated("pass a LinkContext instead of a bare Deadline")]]
+  Result<LinkingResult> LinkExtraction(const text::ExtractionResult& extraction,
+                                       Deadline deadline) const {
+    return LinkExtraction(extraction, LinkContext::WithDeadline(deadline));
+  }
+  [[deprecated("pass a LinkContext instead of a bare Deadline")]]
+  Result<LinkingResult> LinkMentionSet(MentionSet mentions,
+                                       Deadline deadline) const {
+    return LinkMentionSet(std::move(mentions),
+                          LinkContext::WithDeadline(deadline));
+  }
 
   const TenetOptions& options() const { return options_; }
 
@@ -168,12 +188,20 @@ class TenetPipeline {
   /// The deadline implied by options().deadline_ms, started now.
   Deadline DefaultDeadline() const;
 
+  /// The real pipeline body.  `timings` carries stage timings measured
+  /// before the mention set existed (LinkDocument's extraction stage), so
+  /// every completion path reports the document's full latency.
+  Result<LinkingResult> LinkMentionSetWithTimings(MentionSet mentions,
+                                                  const LinkContext& context,
+                                                  PipelineTimings timings) const;
+
   /// Serves the document from priors alone, bypassing the coherence graph
   /// entirely (candidates come straight from the KB alias index).
   Result<LinkingResult> PriorOnlyFromMentions(MentionSet mentions,
                                               std::string reason,
                                               int stages_degraded,
-                                              PipelineTimings timings) const;
+                                              PipelineTimings timings,
+                                              const LinkContext& context) const;
 
   /// Serves the document from priors using the candidates already
   /// materialized in `cg` (the graph stage completed before the budget ran
@@ -181,7 +209,15 @@ class TenetPipeline {
   Result<LinkingResult> PriorOnlyFromGraph(const CoherenceGraph& cg,
                                            std::string reason,
                                            int stages_degraded,
-                                           PipelineTimings timings) const;
+                                           PipelineTimings timings,
+                                           const LinkContext& context) const;
+
+  /// Shared tail of both prior-only paths: mode bookkeeping, the
+  /// degradation counters and latency observations, and the trace record
+  /// of the rung taken.
+  void FinishPriorOnly(std::string reason, int stages_degraded,
+                       PipelineTimings timings, const LinkContext& context,
+                       LinkingResult* result) const;
 
   const kb::KnowledgeBase* kb_;
   const embedding::EmbeddingStore* embeddings_;

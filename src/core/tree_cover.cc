@@ -14,6 +14,7 @@
 #include "graph/hopcroft_karp.h"
 #include "graph/mst.h"
 #include "graph/tree.h"
+#include "obs/metrics.h"
 
 namespace tenet {
 namespace core {
@@ -78,6 +79,9 @@ Result<TreeCover> TreeCoverSolver::Solve(const CoherenceGraph& cg,
   // dependency failure; kBoundTooSmall below is an expected, retryable
   // outcome of Algorithm 1 and must not trip a breaker.
   TENET_OBSERVE_DEPENDENCY("core/cover_solve", !faulted);
+  static obs::DependencyOpCounters& ops =
+      *new obs::DependencyOpCounters("core/cover_solve");
+  ops.Record(!faulted);
   if (faulted) {
     return Status::Internal("injected fault: cover solver unavailable");
   }

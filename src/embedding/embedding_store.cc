@@ -5,6 +5,7 @@
 #include "common/dependency_health.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace tenet {
 namespace embedding {
@@ -63,6 +64,9 @@ double EmbeddingStore::Cosine(kb::ConceptRef a, kb::ConceptRef b) const {
   // the same value a genuinely absent (zero-norm) embedding yields.
   const bool faulted = TENET_FAULT_POINT("embedding/fetch");
   TENET_OBSERVE_DEPENDENCY("embedding/fetch", !faulted);
+  static obs::DependencyOpCounters& ops =
+      *new obs::DependencyOpCounters("embedding/fetch");
+  ops.Record(!faulted);
   if (faulted) return 0.0;
   size_t ia = NormIndex(a);
   size_t ib = NormIndex(b);

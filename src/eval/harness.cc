@@ -48,10 +48,13 @@ SystemScores EvaluateEndToEndSerial(const baselines::Linker& linker,
   for (const datasets::Document& doc : dataset.documents) {
     WallTimer doc_timer;
     Result<core::LinkingResult> result = linker.LinkDocument(doc.text);
-    scores.total_ms += doc_timer.ElapsedMillis();
+    double doc_ms = doc_timer.ElapsedMillis();
+    scores.total_ms += doc_ms;
+    if (doc_ms > scores.max_doc_ms) scores.max_doc_ms = doc_ms;
     ScoreDocument(linker, dataset, doc, result, &scores);
   }
   scores.wall_ms = wall.ElapsedMillis();
+  scores.metrics = obs::MetricsRegistry::Default()->Snapshot();
   return scores;
 }
 
@@ -84,10 +87,14 @@ SystemScores EvaluateEndToEndParallel(const baselines::Linker& linker,
   // Deterministic merge: dataset order, independent of completion order.
   for (size_t i = 0; i < dataset.documents.size(); ++i) {
     scores.total_ms += served[i].latency_ms;
+    if (served[i].latency_ms > scores.max_doc_ms) {
+      scores.max_doc_ms = served[i].latency_ms;
+    }
     ScoreDocument(linker, dataset, dataset.documents[i], served[i].result,
                   &scores);
   }
   scores.wall_ms = wall.ElapsedMillis();
+  scores.metrics = service.metrics()->Snapshot();
   return scores;
 }
 
@@ -119,7 +126,9 @@ SystemScores EvaluateDisambiguation(const baselines::Linker& linker,
     WallTimer doc_timer;
     Result<core::LinkingResult> result =
         linker.LinkMentionSet(std::move(mentions));
-    scores.total_ms += doc_timer.ElapsedMillis();
+    double doc_ms = doc_timer.ElapsedMillis();
+    scores.total_ms += doc_ms;
+    if (doc_ms > scores.max_doc_ms) scores.max_doc_ms = doc_ms;
     if (!result.ok()) {
       ++scores.failed_documents;
       scores.failures.push_back(DocumentFailure{doc.id, result.status()});
@@ -134,6 +143,7 @@ SystemScores EvaluateDisambiguation(const baselines::Linker& linker,
     scores.entity_linking.Add(ScoreEntityLinking(doc, prediction));
   }
   scores.wall_ms = wall.ElapsedMillis();
+  scores.metrics = obs::MetricsRegistry::Default()->Snapshot();
   return scores;
 }
 

@@ -8,6 +8,7 @@
 #include "common/status.h"
 #include "datasets/document.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 #include "text/gazetteer.h"
 
 namespace tenet {
@@ -35,6 +36,14 @@ struct SystemScores {
   /// End-to-end wall clock of the evaluation; ~total_ms for a serial run,
   /// ~total_ms / num_threads for a well-scaled parallel one.
   double wall_ms = 0.0;
+  /// Largest single-document linking latency of the run.  Whatever the
+  /// thread count, wall_ms >= max_doc_ms: no document can finish after the
+  /// evaluation that contains it.
+  double max_doc_ms = 0.0;
+  /// Snapshot of the metrics registry the run published to, taken after
+  /// the last document resolved (counters are process-cumulative; diff two
+  /// snapshots for a per-run window).
+  std::vector<obs::MetricPoint> metrics;
   int failed_documents = 0; // documents the system errored on
   /// Documents answered by the full pipeline.
   int full_documents = 0;

@@ -6,6 +6,7 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace tenet {
 namespace kb {
@@ -61,6 +62,9 @@ std::vector<AliasPosting> AliasIndex::Lookup(std::string_view surface,
   // miss for an unknown surface is a healthy outcome, not a failure.)
   const bool faulted = TENET_FAULT_POINT("kb/alias_lookup");
   TENET_OBSERVE_DEPENDENCY("kb/alias_lookup", !faulted);
+  static obs::DependencyOpCounters& ops =
+      *new obs::DependencyOpCounters("kb/alias_lookup");
+  ops.Record(!faulted);
   if (faulted) return out;
   auto it = postings_.find(AsciiToLower(surface));
   if (it == postings_.end()) return out;

@@ -1,0 +1,79 @@
+#include "obs/trace.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace tenet {
+namespace obs {
+
+int Trace::StartSpan(std::string name, int parent) {
+  assert(parent >= -1 && parent < static_cast<int>(spans_.size()));
+  TraceSpan span;
+  span.name = std::move(name);
+  span.parent = parent;
+  span.start_ms = ElapsedMs();
+  spans_.push_back(std::move(span));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void Trace::EndSpan(int span) {
+  EndSpan(span, ElapsedMs() - spans_[span].start_ms);
+}
+
+void Trace::EndSpan(int span, double duration_ms) {
+  assert(span >= 0 && span < static_cast<int>(spans_.size()));
+  spans_[span].duration_ms = duration_ms < 0.0 ? 0.0 : duration_ms;
+}
+
+void Trace::Annotate(std::string key, std::string value) {
+  annotations_.emplace_back(std::move(key), std::move(value));
+}
+
+int Trace::FindSpan(std::string_view name) const {
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Trace::CountSpans(std::string_view name) const {
+  int count = 0;
+  for (const TraceSpan& span : spans_) {
+    if (span.name == name) ++count;
+  }
+  return count;
+}
+
+double Trace::ElapsedMs() const {
+  return std::chrono::duration<double, std::milli>(Clock::now() - epoch_)
+      .count();
+}
+
+std::string Trace::Render() const {
+  // Depth via parent chains; spans are append-ordered, so a parent always
+  // precedes its children and one pass suffices.
+  std::vector<int> depth(spans_.size(), 0);
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    if (spans_[i].parent >= 0) depth[i] = depth[spans_[i].parent] + 1;
+  }
+  std::string out;
+  char line[160];
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    std::string indented(static_cast<size_t>(depth[i]) * 2, ' ');
+    indented += spans_[i].name;
+    if (spans_[i].open()) {
+      std::snprintf(line, sizeof(line), "%-28s (open)\n", indented.c_str());
+    } else {
+      std::snprintf(line, sizeof(line), "%-28s %8.3f ms\n", indented.c_str(),
+                    spans_[i].duration_ms);
+    }
+    out += line;
+  }
+  for (const auto& [key, value] : annotations_) {
+    out += "  @" + key + " = " + value + "\n";
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace tenet

@@ -1,0 +1,117 @@
+#ifndef TENET_OBS_TRACE_H_
+#define TENET_OBS_TRACE_H_
+
+#include <chrono>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tenet {
+namespace obs {
+
+// One timed operation inside a request: a pipeline stage, a cover-solve
+// retry attempt, a degradation rung.  Spans form a tree via parent indices
+// into the owning Trace.
+struct TraceSpan {
+  std::string name;
+  /// Index of the parent span in Trace::spans(), -1 for a root span.
+  int parent = -1;
+  /// Start offset from the trace epoch, in milliseconds.
+  double start_ms = 0.0;
+  /// Filled by EndSpan; negative while the span is still open.
+  double duration_ms = -1.0;
+
+  bool open() const { return duration_ms < 0.0; }
+};
+
+// The per-request trace: an append-only list of spans plus free-form
+// key/value annotations (degradation reasons, chosen bounds).  A Trace
+// belongs to exactly one request and is recorded from that request's
+// thread — it is NOT thread-safe by design; that is what keeps recording
+// allocation-light and lock-free.  Pass it down a request via
+// LinkContext::trace; a null trace pointer disables recording at zero cost.
+class Trace {
+ public:
+  Trace() : epoch_(Clock::now()) {}
+
+  /// Opens a span and returns its id (index into spans()).
+  int StartSpan(std::string name, int parent = -1);
+
+  /// Closes `span`, measuring the duration from its start.
+  void EndSpan(int span);
+
+  /// Closes `span` with an externally measured duration — used by callers
+  /// that already timed the operation (the pipeline's stage timers), so the
+  /// span, the timings struct and the latency histogram all carry the
+  /// exact same number.
+  void EndSpan(int span, double duration_ms);
+
+  void Annotate(std::string key, std::string value);
+
+  const std::vector<TraceSpan>& spans() const { return spans_; }
+  const std::vector<std::pair<std::string, std::string>>& annotations()
+      const {
+    return annotations_;
+  }
+
+  /// First span named `name`, or -1.
+  int FindSpan(std::string_view name) const;
+
+  /// Number of spans named `name`.
+  int CountSpans(std::string_view name) const;
+
+  /// Milliseconds elapsed since the trace was constructed.
+  double ElapsedMs() const;
+
+  /// Human-readable tree, one span per line, children indented under their
+  /// parent, annotations at the end:
+  ///
+  ///   extract                 0.12 ms
+  ///   cover                   1.40 ms
+  ///     cover_retry           0.70 ms
+  std::string Render() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  Clock::time_point epoch_;
+  std::vector<TraceSpan> spans_;
+  std::vector<std::pair<std::string, std::string>> annotations_;
+};
+
+// RAII span: opens on construction, closes on destruction unless already
+// closed via Stop().  Null `trace` makes every operation a no-op, so call
+// sites do not branch on whether the request carries a trace.
+class ScopedSpan {
+ public:
+  ScopedSpan(Trace* trace, std::string name, int parent = -1)
+      : trace_(trace),
+        id_(trace ? trace->StartSpan(std::move(name), parent) : -1) {}
+
+  ~ScopedSpan() {
+    if (trace_ != nullptr && trace_->spans()[id_].open()) {
+      trace_->EndSpan(id_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Span id for parenting children; -1 when untraced.
+  int id() const { return id_; }
+
+  /// Closes the span now with an externally measured duration.
+  void Stop(double duration_ms) {
+    if (trace_ != nullptr) trace_->EndSpan(id_, duration_ms);
+  }
+
+ private:
+  Trace* trace_;
+  int id_;
+};
+
+}  // namespace obs
+}  // namespace tenet
+
+#endif  // TENET_OBS_TRACE_H_

@@ -5,11 +5,32 @@
 namespace tenet {
 namespace serving {
 
+namespace {
+
+constexpr const char* kRejectedHelp =
+    "Requests shed at the serving front door, by reason (capacity = "
+    "pending budget, deadline = too little slack, queue_full = the worker "
+    "queue refused).";
+
+}  // namespace
+
 AdmissionController::AdmissionController(AdmissionOptions options)
     : options_(options) {
   TENET_CHECK_GT(options_.max_pending, 0)
       << "AdmissionController needs a resolved pending budget";
   TENET_CHECK_GE(options_.min_deadline_slack_ms, 0.0);
+  obs::MetricsRegistry* registry = options_.metrics != nullptr
+                                       ? options_.metrics
+                                       : obs::MetricsRegistry::Default();
+  rejected_capacity_ =
+      registry->GetCounter("tenet_admission_rejected_total", kRejectedHelp,
+                           obs::LabelPair("reason", "capacity"));
+  rejected_deadline_ =
+      registry->GetCounter("tenet_admission_rejected_total", kRejectedHelp,
+                           obs::LabelPair("reason", "deadline"));
+  pending_gauge_ = registry->GetGauge(
+      "tenet_admission_pending",
+      "Requests admitted and not yet completed (queued + in flight).");
 }
 
 Status AdmissionController::Admit(const Deadline& deadline) {
@@ -18,16 +39,19 @@ Status AdmissionController::Admit(const Deadline& deadline) {
       deadline.RemainingMillis() <= options_.min_deadline_slack_ms) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.shed_deadline;
+    rejected_deadline_->Increment();
     return Status::ResourceExhausted(
         "shed: deadline budget exhausted before admission");
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (stats_.pending >= options_.max_pending) {
     ++stats_.shed_capacity;
+    rejected_capacity_->Increment();
     return Status::ResourceExhausted("shed: pending budget exhausted");
   }
   ++stats_.admitted;
   ++stats_.pending;
+  pending_gauge_->Set(static_cast<double>(stats_.pending));
   return Status::Ok();
 }
 
@@ -35,6 +59,7 @@ void AdmissionController::Complete() {
   std::lock_guard<std::mutex> lock(mu_);
   TENET_CHECK_GT(stats_.pending, 0) << "Complete without a matching Admit";
   --stats_.pending;
+  pending_gauge_->Set(static_cast<double>(stats_.pending));
 }
 
 AdmissionController::Stats AdmissionController::stats() const {

@@ -6,6 +6,7 @@
 
 #include "common/deadline.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 
 namespace tenet {
 namespace serving {
@@ -20,6 +21,10 @@ struct AdmissionOptions {
   /// worker slot producing an answer nobody can use.  Infinite deadlines
   /// always pass this check.
   double min_deadline_slack_ms = 0.0;
+  /// Registry receiving tenet_admission_rejected_total{reason=} and the
+  /// tenet_admission_pending gauge.  Null publishes to the process-wide
+  /// default registry.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // The serving layer's front door: decides, before any work is queued,
@@ -57,6 +62,9 @@ class AdmissionController {
 
  private:
   const AdmissionOptions options_;
+  obs::Counter* rejected_capacity_ = nullptr;
+  obs::Counter* rejected_deadline_ = nullptr;
+  obs::Gauge* pending_gauge_ = nullptr;
   mutable std::mutex mu_;
   Stats stats_;
 };

@@ -19,13 +19,31 @@ bool IsRetryable(const Status& status) {
          status.code() == StatusCode::kBoundTooSmall;
 }
 
+obs::MetricsRegistry* ResolveRegistry(const ServingOptions& options) {
+  return options.metrics != nullptr ? options.metrics
+                                    : obs::MetricsRegistry::Default();
+}
+
 AdmissionOptions ResolveAdmission(const ServingOptions& options) {
   AdmissionOptions admission = options.admission;
   if (admission.max_pending == 0) {
     admission.max_pending =
         static_cast<int>(options.queue_capacity) + options.num_threads;
   }
+  if (admission.metrics == nullptr) admission.metrics = options.metrics;
   return admission;
+}
+
+CircuitBreakerOptions ResolveBreaker(const ServingOptions& options) {
+  CircuitBreakerOptions breaker = options.breaker;
+  if (breaker.metrics == nullptr) breaker.metrics = options.metrics;
+  return breaker;
+}
+
+RetryBudget::Options ResolveRetryBudget(const ServingOptions& options) {
+  RetryBudget::Options budget = options.retry_budget;
+  if (budget.metrics == nullptr) budget.metrics = options.metrics;
+  return budget;
 }
 
 ThreadPool::Options PoolOptions(const ServingOptions& options) {
@@ -36,7 +54,54 @@ ThreadPool::Options PoolOptions(const ServingOptions& options) {
   return pool;
 }
 
+constexpr const char* kCompletedHelp =
+    "Requests that reached a worker and resolved, by outcome.";
+
 }  // namespace
+
+BatchLinkingService::Instruments BatchLinkingService::MakeInstruments(
+    obs::MetricsRegistry* registry) {
+  BatchLinkingService::Instruments m;
+  m.submitted = registry->GetCounter(
+      "tenet_serving_submitted_total",
+      "Requests submitted to the serving layer (admitted or shed).");
+  m.shed = registry->GetCounter(
+      "tenet_serving_shed_total",
+      "Requests refused before reaching a worker (admission or full "
+      "queue); see tenet_admission_rejected_total for the reason split.");
+  m.rejected_queue_full = registry->GetCounter(
+      "tenet_admission_rejected_total",
+      "Requests shed at the serving front door, by reason (capacity = "
+      "pending budget, deadline = too little slack, queue_full = the worker "
+      "queue refused).",
+      obs::LabelPair("reason", "queue_full"));
+  m.completed_full = registry->GetCounter("tenet_serving_completed_total",
+                                          kCompletedHelp,
+                                          obs::LabelPair("outcome", "full"));
+  m.completed_degraded = registry->GetCounter(
+      "tenet_serving_completed_total", kCompletedHelp,
+      obs::LabelPair("outcome", "degraded"));
+  m.completed_failed = registry->GetCounter(
+      "tenet_serving_completed_total", kCompletedHelp,
+      obs::LabelPair("outcome", "failed"));
+  m.breaker_degraded = registry->GetCounter(
+      "tenet_serving_breaker_degraded_total",
+      "Degraded answers routed down the ladder by an open circuit breaker "
+      "(a subset of outcome=\"degraded\").");
+  m.retries = registry->GetCounter(
+      "tenet_serving_retries_total",
+      "Request-level retry attempts granted by the shared retry budget.");
+  m.queue_depth = registry->GetGauge(
+      "tenet_serving_queue_depth",
+      "Requests enqueued for the worker pool and not yet picked up.");
+  m.inflight = registry->GetGauge(
+      "tenet_serving_inflight", "Requests currently linking on a worker.");
+  m.request_latency = registry->GetHistogram(
+      "tenet_request_latency_ms",
+      "Worker-side processing latency per completed request in "
+      "milliseconds, degraded answers included.");
+  return m;
+}
 
 void BatchLinkingService::BreakerObserver::ObserveDependency(
     const char* dependency, bool ok) {
@@ -48,10 +113,12 @@ BatchLinkingService::BatchLinkingService(const baselines::Linker* linker,
                                          ServingOptions options)
     : linker_(linker),
       options_(options),
-      kb_alias_breaker_(kKbAliasDependency, options.breaker),
-      embedding_breaker_(kEmbeddingDependency, options.breaker),
-      cover_breaker_(kCoverSolveDependency, options.breaker),
-      retry_budget_(options.retry_budget),
+      registry_(ResolveRegistry(options)),
+      m_(MakeInstruments(registry_)),
+      kb_alias_breaker_(kKbAliasDependency, ResolveBreaker(options)),
+      embedding_breaker_(kEmbeddingDependency, ResolveBreaker(options)),
+      cover_breaker_(kCoverSolveDependency, ResolveBreaker(options)),
+      retry_budget_(ResolveRetryBudget(options)),
       admission_(ResolveAdmission(options)),
       observer_(this),
       observer_scope_(&observer_),
@@ -84,44 +151,49 @@ Deadline BatchLinkingService::DefaultDeadline() const {
 }
 
 Status BatchLinkingService::Submit(std::string text, Callback done) {
-  return Submit(std::move(text), DefaultDeadline(), std::move(done));
+  return Submit(std::move(text), core::LinkContext{}, std::move(done));
 }
 
-Status BatchLinkingService::Submit(std::string text, Deadline deadline,
+Status BatchLinkingService::Submit(std::string text, core::LinkContext context,
                                    Callback done) {
   TENET_CHECK(done != nullptr) << "Submit needs a completion callback";
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  m_.submitted->Increment();
+  const Deadline deadline = context.deadline_or(DefaultDeadline());
   Status admitted = admission_.Admit(deadline);
   if (!admitted.ok()) {
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    m_.shed->Increment();
     return admitted;
   }
-  Request request{std::move(text), deadline, std::move(done)};
+  Request request{std::move(text), deadline, context.trace, std::move(done)};
   Status queued = pool_.Submit(
       [this, request = std::move(request)]() mutable {
         Process(std::move(request));
       });
   if (!queued.ok()) {
     admission_.Complete();
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    m_.shed->Increment();
+    m_.rejected_queue_full->Increment();
     // Normalize "queue full" to the admission-shed contract.
     return Status::ResourceExhausted("shed: " + queued.message());
   }
+  m_.queue_depth->Add(1.0);
   return Status::Ok();
 }
 
 Result<core::LinkingResult> BatchLinkingService::LinkOnce(
     const Request& request) const {
+  core::LinkContext context;
   // An infinite request deadline leaves the linker's own per-document
   // policy in charge (and keeps the call bit-identical to a plain
   // LinkDocument, which the offline evaluation relies on).
-  if (request.deadline.infinite()) {
-    return linker_->LinkDocument(request.text);
-  }
-  return linker_->LinkDocument(request.text, request.deadline);
+  if (!request.deadline.infinite()) context.deadline = request.deadline;
+  context.trace = request.trace;
+  return linker_->LinkDocument(request.text, context);
 }
 
 void BatchLinkingService::Process(Request request) {
+  m_.queue_depth->Add(-1.0);
+  m_.inflight->Add(1.0);
   WallTimer timer;
   // Routing: a request that meets any open breaker goes straight to the
   // prior-only rung (expired deadline) instead of hammering the sick
@@ -141,7 +213,10 @@ void BatchLinkingService::Process(Request request) {
     if (kb_allowed) kb_alias_breaker_.ReturnProbe();
     if (embedding_allowed) embedding_breaker_.ReturnProbe();
     if (cover_allowed) cover_breaker_.ReturnProbe();
-    result = linker_->LinkDocument(request.text, Deadline::Expired());
+    core::LinkContext degraded_context =
+        core::LinkContext::WithDeadline(Deadline::Expired());
+    degraded_context.trace = request.trace;
+    result = linker_->LinkDocument(request.text, degraded_context);
   } else {
     RetrySchedule schedule(options_.retry, /*initial_value=*/0.0);
     for (;;) {
@@ -153,21 +228,18 @@ void BatchLinkingService::Process(Request request) {
       // whatever the per-request policy would still allow.
       if (!retry_budget_.TryAcquireRetry()) break;
       schedule.Next();
-      retries_.fetch_add(1, std::memory_order_relaxed);
+      m_.retries->Increment();
     }
     if (result.ok()) retry_budget_.RecordSuccess();
   }
 
-  completed_.fetch_add(1, std::memory_order_relaxed);
   if (!result.ok()) {
-    failed_.fetch_add(1, std::memory_order_relaxed);
+    m_.completed_failed->Increment();
   } else if (result->degradation.degraded()) {
-    degraded_.fetch_add(1, std::memory_order_relaxed);
-    if (breaker_bypass) {
-      breaker_degraded_.fetch_add(1, std::memory_order_relaxed);
-    }
+    m_.completed_degraded->Increment();
+    if (breaker_bypass) m_.breaker_degraded->Increment();
   } else {
-    full_.fetch_add(1, std::memory_order_relaxed);
+    m_.completed_full->Increment();
   }
   admission_.Complete();
 
@@ -175,6 +247,11 @@ void BatchLinkingService::Process(Request request) {
   served.result = std::move(result);
   served.latency_ms = timer.ElapsedMillis();
   served.shed = false;
+  // Degraded and failed requests land in the same latency histogram as
+  // full answers: a degraded answer is still a served request, and hiding
+  // it would make the tail look better exactly when the ladder engages.
+  m_.request_latency->Observe(served.latency_ms);
+  m_.inflight->Add(-1.0);
   request.done(std::move(served));
 }
 
@@ -205,21 +282,23 @@ std::vector<ServedResult> BatchLinkingService::LinkBatch(
   return results;
 }
 
-ServiceStats BatchLinkingService::stats() const {
+ServiceStats BatchLinkingService::Stats() const {
   ServiceStats stats;
-  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.submitted = m_.submitted->Value();
   stats.admitted = admission_.stats().admitted;
-  stats.shed = shed_.load(std::memory_order_relaxed);
-  stats.completed = completed_.load(std::memory_order_relaxed);
-  stats.full = full_.load(std::memory_order_relaxed);
-  stats.degraded = degraded_.load(std::memory_order_relaxed);
-  stats.breaker_degraded =
-      breaker_degraded_.load(std::memory_order_relaxed);
-  stats.failed = failed_.load(std::memory_order_relaxed);
-  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.shed = m_.shed->Value();
+  stats.full = m_.completed_full->Value();
+  stats.degraded = m_.completed_degraded->Value();
+  stats.failed = m_.completed_failed->Value();
+  stats.completed = stats.full + stats.degraded + stats.failed;
+  stats.breaker_degraded = m_.breaker_degraded->Value();
+  stats.retries = m_.retries->Value();
   stats.kb_alias_breaker = kb_alias_breaker_.state();
   stats.embedding_breaker = embedding_breaker_.state();
   stats.cover_breaker = cover_breaker_.state();
+  stats.latency_p50_ms = m_.request_latency->P50();
+  stats.latency_p95_ms = m_.request_latency->P95();
+  stats.latency_p99_ms = m_.request_latency->P99();
   return stats;
 }
 

@@ -1,12 +1,12 @@
 #ifndef TENET_SERVING_BATCH_SERVICE_H_
 #define TENET_SERVING_BATCH_SERVICE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/linker.h"
@@ -16,6 +16,8 @@
 #include "common/dependency_health.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "core/link_context.h"
+#include "obs/metrics.h"
 #include "serving/admission_controller.h"
 
 namespace tenet {
@@ -52,6 +54,12 @@ struct ServingOptions {
                     /*max_value=*/std::numeric_limits<double>::infinity()};
   /// The shared retry budget (see RetryBudget).
   RetryBudget::Options retry_budget;
+  /// Registry backing the service's counters, gauges and the per-request
+  /// latency histogram, and — unless they carry their own — the nested
+  /// admission/breaker/retry-budget metrics.  Null publishes to the
+  /// process-wide default registry; tests inject a fresh registry per
+  /// service so ledger assertions see an isolated window.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 // One served request's outcome: the linking result (or the error / shed
@@ -63,9 +71,10 @@ struct ServedResult {
   bool shed = false;
 };
 
-// A point-in-time snapshot of the service's accounting.  Every submitted
-// request resolves to exactly one of shed / full / degraded / failed, so
-// after a drain: submitted == shed + full + degraded + failed and
+// A point-in-time snapshot of the service's accounting, read from the
+// backing MetricsRegistry.  Every submitted request resolves to exactly
+// one of shed / full / degraded / failed, so after a drain:
+// submitted == shed + full + degraded + failed and
 // completed == full + degraded + failed.
 struct ServiceStats {
   int64_t submitted = 0;
@@ -80,6 +89,12 @@ struct ServiceStats {
   BreakerState kb_alias_breaker = BreakerState::kClosed;
   BreakerState embedding_breaker = BreakerState::kClosed;
   BreakerState cover_breaker = BreakerState::kClosed;
+  // Worker-side latency quantiles over every completed request, from the
+  // tenet_request_latency_ms histogram (degraded answers included — a
+  // degraded answer is still a served request).
+  double latency_p50_ms = 0.0;
+  double latency_p95_ms = 0.0;
+  double latency_p99_ms = 0.0;
 };
 
 // The concurrent batch serving layer over one immutable linking substrate.
@@ -114,11 +129,20 @@ class BatchLinkingService {
   BatchLinkingService(const BatchLinkingService&) = delete;
   BatchLinkingService& operator=(const BatchLinkingService&) = delete;
 
-  /// Asynchronous entry point: admission, then enqueue.  On OK, `done` is
-  /// invoked exactly once from a worker thread.  On kResourceExhausted the
-  /// request was shed and `done` is never invoked.
+  /// Asynchronous entry point: admission, then enqueue.  Per-request knobs
+  /// (deadline, trace) travel in the LinkContext; an unset context deadline
+  /// is resolved against ServingOptions::default_deadline_ms at the door.
+  /// On OK, `done` is invoked exactly once from a worker thread.  On
+  /// kResourceExhausted the request was shed and `done` is never invoked.
   Status Submit(std::string text, Callback done);
-  Status Submit(std::string text, Deadline deadline, Callback done);
+  Status Submit(std::string text, core::LinkContext context, Callback done);
+
+  // Deprecated shim of the pre-LinkContext API.
+  [[deprecated("pass a core::LinkContext instead of a bare Deadline")]]
+  Status Submit(std::string text, Deadline deadline, Callback done) {
+    return Submit(std::move(text), core::LinkContext::WithDeadline(deadline),
+                  std::move(done));
+  }
 
   /// Synchronous batch entry point with deterministic merging: results[i]
   /// always corresponds to texts[i], whatever order the workers finished
@@ -126,7 +150,15 @@ class BatchLinkingService {
   /// entries with shed == true and a kResourceExhausted status.
   std::vector<ServedResult> LinkBatch(const std::vector<std::string>& texts);
 
-  ServiceStats stats() const;
+  /// Accounting snapshot, read from the backing registry.
+  ServiceStats Stats() const;
+
+  [[deprecated("use Stats(); the snapshot is registry-backed now")]]
+  ServiceStats stats() const { return Stats(); }
+
+  /// The registry this service publishes to (the injected one, or the
+  /// process-wide default).
+  obs::MetricsRegistry* metrics() const { return registry_; }
 
   /// Breaker watching `dependency` (one of the k*Dependency constants);
   /// null for unknown names.
@@ -137,8 +169,25 @@ class BatchLinkingService {
  private:
   struct Request {
     std::string text;
+    /// Resolved at the door: never "unset", so workers need no policy.
     Deadline deadline;
+    obs::Trace* trace = nullptr;
     Callback done;
+  };
+
+  // The service's registry instruments, resolved once at construction.
+  struct Instruments {
+    obs::Counter* submitted;
+    obs::Counter* shed;
+    obs::Counter* rejected_queue_full;
+    obs::Counter* completed_full;
+    obs::Counter* completed_degraded;
+    obs::Counter* completed_failed;
+    obs::Counter* breaker_degraded;
+    obs::Counter* retries;
+    obs::Gauge* queue_depth;
+    obs::Gauge* inflight;
+    obs::Histogram* request_latency;
   };
 
   // Fans the dependency outcome stream out to the service's breakers.
@@ -152,6 +201,8 @@ class BatchLinkingService {
     BatchLinkingService* service_;
   };
 
+  static Instruments MakeInstruments(obs::MetricsRegistry* registry);
+
   Deadline DefaultDeadline() const;
   void Process(Request request);
   Result<core::LinkingResult> LinkOnce(const Request& request) const;
@@ -159,21 +210,14 @@ class BatchLinkingService {
 
   const baselines::Linker* linker_;
   const ServingOptions options_;
+  obs::MetricsRegistry* registry_;
+  Instruments m_;
 
   CircuitBreaker kb_alias_breaker_;
   CircuitBreaker embedding_breaker_;
   CircuitBreaker cover_breaker_;
   RetryBudget retry_budget_;
   AdmissionController admission_;
-
-  std::atomic<int64_t> submitted_{0};
-  std::atomic<int64_t> shed_{0};
-  std::atomic<int64_t> completed_{0};
-  std::atomic<int64_t> full_{0};
-  std::atomic<int64_t> degraded_{0};
-  std::atomic<int64_t> breaker_degraded_{0};
-  std::atomic<int64_t> failed_{0};
-  std::atomic<int64_t> retries_{0};
 
   // Declaration order is the destruction contract: the pool (last member)
   // is destroyed first, joining every worker before the observer scope

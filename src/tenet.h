@@ -20,11 +20,14 @@
 //
 // Layering (each header is also individually includable):
 //   common/     -> error model (Status/Result), Rng, logging, timers
+//   obs/        -> metrics registry + per-request stage tracing (std-only;
+//                  everything above may publish into it)
 //   graph/      -> MST, matching, shortest paths, rooted trees
 //   kb/         -> triple store + alias index + persistence + synthesis
 //   embedding/  -> vector store + structural trainer
 //   text/       -> tokenizer, lemmatizer, extractor, gazetteer
 //   core/       -> the paper's algorithms and the end-to-end pipeline
+//                  (LinkContext carries per-request deadline + trace)
 //   baselines/  -> the comparison systems of the evaluation
 //   datasets/   -> synthetic corpora with gold annotations
 //   eval/       -> scoring and the experiment harness
@@ -37,6 +40,7 @@
 #include "core/canopy.h"
 #include "core/coherence_graph.h"
 #include "core/disambiguator.h"
+#include "core/link_context.h"
 #include "core/mention.h"
 #include "core/pipeline.h"
 #include "core/population.h"
@@ -48,6 +52,8 @@
 #include "kb/knowledge_base.h"
 #include "kb/synthetic_kb.h"
 #include "kb/types.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "text/extraction.h"
 #include "text/gazetteer.h"
 

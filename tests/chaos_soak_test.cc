@@ -28,6 +28,7 @@
 #include "common/fault_injection.h"
 #include "datasets/corpus_generator.h"
 #include "datasets/world.h"
+#include "obs/metrics.h"
 #include "serving/batch_service.h"
 
 namespace tenet {
@@ -66,6 +67,9 @@ class ChaosSoakTest : public ::testing::Test {
     }
 
     ServingOptions options;
+    // A per-fixture registry windows the counters to this soak run; the
+    // breaker-transition assertions below need exact counts.
+    options.metrics = &registry_;
     options.num_threads = 4;
     options.queue_capacity = 16;
     options.overflow = QueueOverflowPolicy::kReject;
@@ -118,7 +122,7 @@ class ChaosSoakTest : public ::testing::Test {
   }
 
   bool AllBreakersClosed() const {
-    ServiceStats stats = service_->stats();
+    ServiceStats stats = service_->Stats();
     return stats.kb_alias_breaker == BreakerState::kClosed &&
            stats.embedding_breaker == BreakerState::kClosed &&
            stats.cover_breaker == BreakerState::kClosed;
@@ -127,7 +131,7 @@ class ChaosSoakTest : public ::testing::Test {
   // The ledger must balance after every quiescent point: nothing lost,
   // nothing double-counted.
   void ExpectAccountingBalances() {
-    ServiceStats stats = service_->stats();
+    ServiceStats stats = service_->Stats();
     EXPECT_EQ(stats.submitted, tally_.submitted.load());
     EXPECT_EQ(stats.submitted, stats.shed + stats.completed);
     EXPECT_EQ(stats.completed, stats.full + stats.degraded + stats.failed);
@@ -137,9 +141,32 @@ class ChaosSoakTest : public ::testing::Test {
     EXPECT_EQ(stats.failed, tally_.failed.load());
   }
 
+  // The breaker's own trip/close ledger and its published transition
+  // counters must tell one story, and the state gauge must match the
+  // breaker's actual state.
+  void ExpectBreakerTransitionCountersConsistent(const char* dependency) {
+    SCOPED_TRACE(dependency);
+    const CircuitBreaker::Stats stats =
+        service_->breaker(dependency)->stats();
+    const std::string label = obs::LabelPair("dependency", dependency);
+    auto transitions = [&](const char* to) {
+      return registry_
+          .GetCounter("tenet_breaker_transitions_total", "",
+                      label + "," + obs::LabelPair("to", to))
+          ->Value();
+    };
+    EXPECT_EQ(transitions("open"), stats.trips);
+    EXPECT_EQ(transitions("closed"), stats.closes);
+    // Every close is reached through half-open probing.
+    EXPECT_GE(transitions("half_open"), transitions("closed"));
+    EXPECT_EQ(registry_.GetGauge("tenet_breaker_state", "", label)->Value(),
+              static_cast<double>(service_->breaker(dependency)->state()));
+  }
+
   datasets::SyntheticWorld world_;
   baselines::TenetLinker linker_;
   std::vector<std::string> texts_;
+  obs::MetricsRegistry registry_;  // declared before the service it feeds
   std::unique_ptr<BatchLinkingService> service_;
   Tally tally_;
 };
@@ -190,7 +217,7 @@ TEST_F(ChaosSoakTest, SurvivesFaultStormsAndRecovers) {
     faults.Arm(kEmbeddingDependency, 0.08);
     faults.Arm(kCoverSolveDependency, 0.20);
     for (int round = 0; round < 10; ++round) DriveRound();
-    ServiceStats storm = service_->stats();
+    ServiceStats storm = service_->Stats();
     // Load kept flowing through the storm: requests were answered (full or
     // degraded), not just shed, and nothing crashed or failed outright.
     EXPECT_GT(storm.completed, 0);
@@ -213,10 +240,30 @@ TEST_F(ChaosSoakTest, SurvivesFaultStormsAndRecovers) {
 
   ExpectAccountingBalances();
   EXPECT_EQ(tally_.failed.load(), 0);
-  ServiceStats final_stats = service_->stats();
+  ServiceStats final_stats = service_->Stats();
   EXPECT_GT(final_stats.submitted, 0);
   // Shedding stayed bounded: the service answered most of the traffic.
   EXPECT_LT(final_stats.shed, final_stats.submitted / 2);
+
+  // The soak degraded documents, and the pipeline's rung counters saw
+  // them.  (Pipeline instrumentation publishes to the default registry —
+  // cumulative across the process, so only non-zero is asserted.)
+  EXPECT_GT(tally_.degraded.load(), 0);
+  int64_t degraded_total = 0;
+  for (const char* rung : {"1", "2", "3"}) {
+    degraded_total +=
+        obs::MetricsRegistry::Default()
+            ->GetCounter("tenet_degraded_documents_total", "",
+                         obs::LabelPair("rung", rung))
+            ->Value();
+  }
+  EXPECT_GT(degraded_total, 0);
+
+  // Transition counters agree with each breaker's own trip/close ledger.
+  for (const char* dependency :
+       {kKbAliasDependency, kEmbeddingDependency, kCoverSolveDependency}) {
+    ExpectBreakerTransitionCountersConsistent(dependency);
+  }
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "common/fault_injection.h"
+#include "core/link_context.h"
 #include "core/pipeline.h"
 #include "figure_one_world.h"
 
@@ -44,7 +45,8 @@ TEST(DegradationTest, ExpiredDeadlineStillReturnsPriorOnlyLinks) {
   FigureOneWorld world = BuildFigureOneWorld();
   TenetPipeline tenet(&world.kb, &world.embeddings, &world.gazetteer);
   Result<LinkingResult> result =
-      tenet.LinkDocument(kFigureOneText, Deadline::Expired());
+      tenet.LinkDocument(kFigureOneText,
+                         LinkContext::WithDeadline(Deadline::Expired()));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_EQ(result->degradation.mode, DegradationInfo::Mode::kPriorOnly);
   EXPECT_TRUE(result->degradation.degraded());
@@ -92,7 +94,8 @@ TEST(DegradationTest, DegradationDisabledTurnsDeadlineIntoError) {
   TenetPipeline tenet(&world.kb, &world.embeddings, &world.gazetteer,
                       options);
   Result<LinkingResult> result =
-      tenet.LinkDocument(kFigureOneText, Deadline::Expired());
+      tenet.LinkDocument(kFigureOneText,
+                         LinkContext::WithDeadline(Deadline::Expired()));
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsDeadlineExceeded());
 }
@@ -133,7 +136,8 @@ TEST(DegradationTest, PriorOnlyKeepsCanopyConsistency) {
   FigureOneWorld world = BuildFigureOneWorld();
   TenetPipeline tenet(&world.kb, &world.embeddings, &world.gazetteer);
   Result<LinkingResult> result =
-      tenet.LinkDocument(kFigureOneText, Deadline::Expired());
+      tenet.LinkDocument(kFigureOneText,
+                         LinkContext::WithDeadline(Deadline::Expired()));
   ASSERT_TRUE(result.ok()) << result.status();
   const LinkedConcept* fellow = FindLink(*result, "Fellow of the AAAS");
   ASSERT_NE(fellow, nullptr);
@@ -174,7 +178,7 @@ TEST(DegradationTest, EmptyDocumentIsFullModeEvenWhenExpired) {
   FigureOneWorld world = BuildFigureOneWorld();
   TenetPipeline tenet(&world.kb, &world.embeddings, &world.gazetteer);
   Result<LinkingResult> result =
-      tenet.LinkDocument("", Deadline::Expired());
+      tenet.LinkDocument("", LinkContext::WithDeadline(Deadline::Expired()));
   ASSERT_TRUE(result.ok()) << result.status();
   EXPECT_TRUE(result->links.empty());
   EXPECT_FALSE(result->degradation.degraded());

@@ -119,6 +119,60 @@ TEST(HarnessTest, ReportsBothSummedLatencyAndWallClock) {
   EXPECT_GT(parallel.wall_ms, 0.0);
 }
 
+// Sums the values of every snapshot point matching (name, labels).
+double SnapshotValue(const std::vector<obs::MetricPoint>& points,
+                     const std::string& name, const std::string& labels) {
+  double value = 0.0;
+  for (const obs::MetricPoint& p : points) {
+    if (p.name == name && p.labels == labels) value += p.value;
+  }
+  return value;
+}
+
+TEST(HarnessTest, WallClockCoversTheSlowestDocument) {
+  datasets::Dataset ds = TinyDataset(60);
+  baselines::TenetLinker tenet(Substrate());
+
+  // No document can finish after the evaluation that contains it, whatever
+  // the thread count: wall_ms >= max over per-document latencies.
+  SystemScores serial = EvaluateEndToEnd(tenet, ds);
+  EXPECT_GT(serial.max_doc_ms, 0.0);
+  EXPECT_GE(serial.wall_ms, serial.max_doc_ms);
+  EXPECT_GE(serial.total_ms, serial.max_doc_ms);
+
+  EvalOptions parallel_options;
+  parallel_options.num_threads = 4;
+  SystemScores parallel = EvaluateEndToEnd(tenet, ds, parallel_options);
+  EXPECT_GT(parallel.max_doc_ms, 0.0);
+  EXPECT_GE(parallel.wall_ms, parallel.max_doc_ms);
+}
+
+TEST(HarnessTest, DegradedDocumentsLandInTheSameLatencyFamily) {
+  datasets::Dataset ds = TinyDataset(61);
+  // A zero budget degrades every document to the prior-only rung.  Their
+  // latencies must still be published, in the same
+  // tenet_document_latency_ms family as full answers (under
+  // mode="prior_only") — degrading must not hide the tail.  The default
+  // registry is process-cumulative, so the assertion diffs two snapshots.
+  const std::vector<obs::MetricPoint> before =
+      obs::MetricsRegistry::Default()->Snapshot();
+  core::TenetOptions options;
+  options.deadline_ms = 0.0;
+  baselines::TenetLinker tenet(Substrate(), options);
+  SystemScores scores = EvaluateEndToEnd(tenet, ds);
+  ASSERT_EQ(scores.degraded_documents, static_cast<int>(ds.documents.size()));
+
+  const std::string family = "tenet_document_latency_ms_count";
+  const std::string prior_only = obs::LabelPair("mode", "prior_only");
+  const std::string full = obs::LabelPair("mode", "full");
+  EXPECT_EQ(SnapshotValue(scores.metrics, family, prior_only) -
+                SnapshotValue(before, family, prior_only),
+            static_cast<double>(ds.documents.size()));
+  EXPECT_EQ(SnapshotValue(scores.metrics, family, full) -
+                SnapshotValue(before, family, full),
+            0.0);
+}
+
 TEST(HarnessTest, DisambiguationObservesDeadlineExpiryMidStage) {
   datasets::Dataset ds = TinyDataset(58);
   // A zero budget expires between mention intake and the coherence stage:

@@ -1,0 +1,244 @@
+// The metrics registry: exact totals under concurrent writers (the TSan
+// target for the obs layer), bucket/quantile arithmetic, registry identity
+// and reset semantics, and a format lint of the Prometheus text
+// exposition.
+#include <cmath>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tenet {
+namespace obs {
+namespace {
+
+constexpr int kThreads = 8;
+constexpr int kIterations = 20000;
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  Counter counter;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIterations; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  // Sharded relaxed adds lose nothing: the total is exact, not approximate.
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kIterations);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0);
+}
+
+TEST(HistogramTest, ConcurrentObservationsSumExactly) {
+  Histogram histogram;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        histogram.Observe(0.5 + 0.1 * t);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(histogram.Count(), int64_t{kThreads} * kIterations);
+  double expected_sum = 0.0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += (0.5 + 0.1 * t) * kIterations;
+  }
+  EXPECT_NEAR(histogram.Sum(), expected_sum, expected_sum * 1e-9);
+}
+
+TEST(HistogramTest, BucketIndexCoversTheExponentialLadder) {
+  // Everything at or below the first bound lands in bucket 0.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0);
+  EXPECT_EQ(Histogram::BucketIndex(Histogram::kFirstBucketMs), 0);
+  // An exact bound belongs to its own bucket; a hair above moves up one.
+  for (int i = 1; i < Histogram::kNumFiniteBuckets; ++i) {
+    double bound = Histogram::BucketUpperBoundMs(i);
+    EXPECT_EQ(Histogram::BucketIndex(bound), i) << "bound " << bound;
+    EXPECT_EQ(Histogram::BucketIndex(bound * 1.0001), i + 1 == Histogram::kNumFiniteBuckets
+                                                          ? Histogram::kNumFiniteBuckets
+                                                          : i + 1)
+        << "just above bound " << bound;
+  }
+  // Past the last finite bound: the overflow bucket.
+  double last = Histogram::BucketUpperBoundMs(Histogram::kNumFiniteBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(last * 2.0), Histogram::kNumFiniteBuckets);
+}
+
+TEST(HistogramTest, QuantilesInterpolateInsideTheCoveringBucket) {
+  Histogram histogram;
+  EXPECT_EQ(histogram.P50(), 0.0);  // empty
+  for (int i = 0; i < 1000; ++i) histogram.Observe(1.0);
+  // All mass sits in the bucket covering 1.0 ms: every quantile must land
+  // inside that bucket's bounds.
+  int bucket = Histogram::BucketIndex(1.0);
+  double lower = Histogram::BucketUpperBoundMs(bucket - 1);
+  double upper = Histogram::BucketUpperBoundMs(bucket);
+  for (double q : {0.5, 0.95, 0.99}) {
+    double estimate = histogram.Quantile(q);
+    EXPECT_GE(estimate, lower);
+    EXPECT_LE(estimate, upper);
+  }
+  // Quantiles are monotone in q.
+  EXPECT_LE(histogram.P50(), histogram.P95());
+  EXPECT_LE(histogram.P95(), histogram.P99());
+}
+
+TEST(LabelPairTest, EscapesQuotesBackslashesAndNewlines) {
+  EXPECT_EQ(LabelPair("stage", "extract"), "stage=\"extract\"");
+  EXPECT_EQ(LabelPair("k", "a\"b"), "k=\"a\\\"b\"");
+  EXPECT_EQ(LabelPair("k", "a\\b"), "k=\"a\\\\b\"");
+  EXPECT_EQ(LabelPair("k", "a\nb"), "k=\"a\\nb\"");
+}
+
+TEST(MetricsRegistryTest, HandsOutStablePerLabelInstruments) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("family_total", "help",
+                                   LabelPair("which", "a"));
+  Counter* b = registry.GetCounter("family_total", "help",
+                                   LabelPair("which", "b"));
+  EXPECT_NE(a, b);
+  // Same (family, labels) -> the same instrument, whatever the help says.
+  EXPECT_EQ(registry.GetCounter("family_total", "other help",
+                                LabelPair("which", "a")),
+            a);
+  a->Increment(3);
+  b->Increment(4);
+  std::vector<MetricPoint> points = registry.Snapshot();
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].labels, "which=\"a\"");
+  EXPECT_EQ(points[0].value, 3.0);
+  EXPECT_EQ(points[1].value, 4.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesInPlaceAndKeepsPointersValid) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("events_total", "help");
+  Gauge* gauge = registry.GetGauge("depth", "help");
+  Histogram* histogram = registry.GetHistogram("latency_ms", "help");
+  counter->Increment(7);
+  gauge->Set(3.5);
+  histogram->Observe(1.0);
+  registry.Reset();
+  EXPECT_EQ(counter->Value(), 0);
+  EXPECT_EQ(gauge->Value(), 0.0);
+  EXPECT_EQ(histogram->Count(), 0);
+  // The same pointers keep working after the reset.
+  counter->Increment();
+  EXPECT_EQ(registry.GetCounter("events_total", "help")->Value(), 1);
+}
+
+// Lints one rendered exposition: every line is a comment in the exact
+// `# HELP <name> <text>` / `# TYPE <name> <type>` shape or a sample in the
+// `<name>[{labels}] <value>` shape, HELP/TYPE precede their samples, and
+// histogram buckets are cumulative with le="+Inf" equal to _count.
+void LintPrometheusText(const std::string& text) {
+  const std::regex help_re(R"(^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+$)");
+  const std::regex type_re(
+      R"(^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$)");
+  const std::regex sample_re(
+      R"(^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? -?[0-9+][0-9eE+-.]*$)");
+  std::istringstream lines(text);
+  std::string line;
+  int samples = 0;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      EXPECT_TRUE(std::regex_match(line, help_re) ||
+                  std::regex_match(line, type_re))
+          << "malformed comment: " << line;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample_re))
+          << "malformed sample: " << line;
+      ++samples;
+    }
+  }
+  EXPECT_GT(samples, 0);
+}
+
+TEST(MetricsRegistryTest, PrometheusTextPassesTheFormatLint) {
+  MetricsRegistry registry;
+  registry.GetCounter("tenet_events_total", "Events.",
+                      LabelPair("kind", "a"))->Increment(2);
+  registry.GetGauge("tenet_depth", "Queue depth.")->Set(-1.5);
+  Histogram* histogram =
+      registry.GetHistogram("tenet_latency_ms", "Latency.",
+                            LabelPair("stage", "extract"));
+  histogram->Observe(0.25);
+  histogram->Observe(40.0);
+  histogram->Observe(1e9);  // overflow bucket
+
+  std::string text = registry.RenderPrometheusText();
+  LintPrometheusText(text);
+
+  // Spot checks: cumulative buckets end at +Inf == _count, and the
+  // families appear with their TYPE lines.
+  EXPECT_NE(text.find("# TYPE tenet_events_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE tenet_latency_ms histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("tenet_latency_ms_bucket{stage=\"extract\",le=\"+Inf\"} 3"),
+      std::string::npos);
+  EXPECT_NE(text.find("tenet_latency_ms_count{stage=\"extract\"} 3"),
+            std::string::npos);
+
+  // Cumulative monotonicity over the rendered bucket series.
+  const std::regex bucket_re(
+      R"(tenet_latency_ms_bucket\{stage="extract",le="[^"]*"\} ([0-9]+))");
+  auto begin =
+      std::sregex_iterator(text.begin(), text.end(), bucket_re);
+  int64_t previous = 0;
+  int buckets = 0;
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    int64_t cumulative = std::stoll((*it)[1].str());
+    EXPECT_GE(cumulative, previous);
+    previous = cumulative;
+    ++buckets;
+  }
+  EXPECT_EQ(buckets, Histogram::kNumFiniteBuckets + 1);
+}
+
+TEST(MetricsRegistryTest, JsonRenderHoldsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("a_total", "A.")->Increment();
+  registry.GetHistogram("b_ms", "B.")->Observe(2.0);
+  std::string json = registry.RenderJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"name\":\"a_total\""), std::string::npos);
+  EXPECT_NE(json.find("\"type\":\"histogram\",\"count\":1"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ConcurrentGetAndWriteKeepTotalsExact) {
+  // Threads race find-or-create against increments on the instruments the
+  // other threads created: registration is mutexed, writes are sharded.
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      Counter* counter = registry.GetCounter("shared_total", "help");
+      Histogram* histogram = registry.GetHistogram("shared_ms", "help");
+      for (int i = 0; i < kIterations; ++i) {
+        counter->Increment();
+        histogram->Observe(1.0);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.GetCounter("shared_total", "help")->Value(),
+            int64_t{kThreads} * kIterations);
+  EXPECT_EQ(registry.GetHistogram("shared_ms", "help")->Count(),
+            int64_t{kThreads} * kIterations);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tenet

@@ -13,6 +13,7 @@
 #include "common/fault_injection.h"
 #include "datasets/corpus_generator.h"
 #include "datasets/world.h"
+#include "obs/metrics.h"
 #include "serving/admission_controller.h"
 #include "serving/batch_service.h"
 
@@ -87,7 +88,11 @@ TEST(BatchServiceTest, BatchMatchesSerialInInputOrder) {
     reference_links.push_back(r->links.size());
   }
 
+  // A per-test registry windows the (process-cumulative) counters to this
+  // service instance, so the ledger assertions below are exact.
+  obs::MetricsRegistry registry;
   ServingOptions options;
+  options.metrics = &registry;
   options.num_threads = 4;
   options.queue_capacity = ds.documents.size();
   options.overflow = QueueOverflowPolicy::kBlock;
@@ -102,7 +107,7 @@ TEST(BatchServiceTest, BatchMatchesSerialInInputOrder) {
         << "document " << i << " diverged or was merged out of order";
     EXPECT_GE(served[i].latency_ms, 0.0);
   }
-  ServiceStats stats = service.stats();
+  ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.submitted, static_cast<int64_t>(ds.documents.size()));
   EXPECT_EQ(stats.shed, 0);
   EXPECT_EQ(stats.completed, static_cast<int64_t>(ds.documents.size()));
@@ -115,7 +120,9 @@ TEST(BatchServiceTest, EveryRequestResolvesToFullDegradedOrShed) {
   baselines::TenetLinker tenet(Substrate());
 
   // A tiny rejecting queue and a single worker: some requests must shed.
+  obs::MetricsRegistry registry;
   ServingOptions options;
+  options.metrics = &registry;
   options.num_threads = 1;
   options.queue_capacity = 2;
   options.overflow = QueueOverflowPolicy::kReject;
@@ -134,17 +141,58 @@ TEST(BatchServiceTest, EveryRequestResolvesToFullDegradedOrShed) {
     }
   }
   EXPECT_EQ(shed + answered, static_cast<int>(ds.documents.size()));
-  ServiceStats stats = service.stats();
+  ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.shed, shed);
   EXPECT_EQ(stats.completed, answered);
   EXPECT_EQ(stats.full + stats.degraded + stats.failed, stats.completed);
+}
+
+TEST(BatchServiceTest, ShedRequestsAreCountedButNeverTimed) {
+  datasets::Dataset ds = TinyDataset(87, /*num_docs=*/12);
+  baselines::TenetLinker tenet(Substrate());
+
+  obs::MetricsRegistry registry;
+  ServingOptions options;
+  options.metrics = &registry;
+  options.num_threads = 1;
+  options.queue_capacity = 2;
+  options.overflow = QueueOverflowPolicy::kReject;
+  BatchLinkingService service(&tenet, options);
+  std::vector<ServedResult> served = service.LinkBatch(Texts(ds));
+
+  int shed = 0;
+  int answered = 0;
+  for (const ServedResult& r : served) {
+    (r.shed ? shed : answered)++;
+  }
+  ASSERT_GT(shed, 0) << "test needs overload; widen the corpus";
+
+  // Every shed request shows up in the rejection counters (split by
+  // reason), and none of them leaves a sample in the latency histogram —
+  // shedding must not flatter the tail.
+  obs::Counter* rejected_capacity = registry.GetCounter(
+      "tenet_admission_rejected_total", "", obs::LabelPair("reason", "capacity"));
+  obs::Counter* rejected_deadline = registry.GetCounter(
+      "tenet_admission_rejected_total", "", obs::LabelPair("reason", "deadline"));
+  obs::Counter* rejected_queue_full = registry.GetCounter(
+      "tenet_admission_rejected_total", "",
+      obs::LabelPair("reason", "queue_full"));
+  EXPECT_EQ(rejected_capacity->Value() + rejected_deadline->Value() +
+                rejected_queue_full->Value(),
+            shed);
+  obs::Histogram* latency =
+      registry.GetHistogram("tenet_request_latency_ms", "");
+  EXPECT_EQ(latency->Count(), answered);
+  EXPECT_EQ(latency->Count(), service.Stats().completed);
 }
 
 TEST(BatchServiceTest, OpenBreakerRoutesToDegradedTier) {
   datasets::Dataset ds = TinyDataset(83);
   baselines::TenetLinker tenet(Substrate());
 
+  obs::MetricsRegistry registry;
   ServingOptions options;
+  options.metrics = &registry;
   options.num_threads = 2;
   options.queue_capacity = 32;
   options.overflow = QueueOverflowPolicy::kBlock;
@@ -176,7 +224,7 @@ TEST(BatchServiceTest, OpenBreakerRoutesToDegradedTier) {
   const CircuitBreaker::Stats after =
       service.breaker(kCoverSolveDependency)->stats();
   EXPECT_EQ(after.outcomes, before.outcomes);  // solver untouched
-  ServiceStats stats = service.stats();
+  ServiceStats stats = service.Stats();
   EXPECT_GE(stats.breaker_degraded,
             static_cast<int64_t>(ds.documents.size()));
 }
@@ -185,7 +233,9 @@ TEST(BatchServiceTest, BreakerRecoversAfterFaultsClear) {
   datasets::Dataset ds = TinyDataset(84);
   baselines::TenetLinker tenet(Substrate());
 
+  obs::MetricsRegistry registry;
   ServingOptions options;
+  options.metrics = &registry;
   options.num_threads = 2;
   options.queue_capacity = 32;
   options.overflow = QueueOverflowPolicy::kBlock;
@@ -226,7 +276,9 @@ TEST(BatchServiceTest, RetryBudgetBoundsRetriesDuringAnOutage) {
   tenet_options.degrade_to_prior = false;
   baselines::TenetLinker tenet(Substrate(), tenet_options);
 
+  obs::MetricsRegistry registry;
   ServingOptions options;
+  options.metrics = &registry;
   options.num_threads = 1;
   options.queue_capacity = 32;
   options.overflow = QueueOverflowPolicy::kBlock;
@@ -246,7 +298,7 @@ TEST(BatchServiceTest, RetryBudgetBoundsRetriesDuringAnOutage) {
   }
   // Without the shared budget this outage would cost up to 10 * 3 retries;
   // the bucket caps the whole fleet at 4.
-  ServiceStats stats = service.stats();
+  ServiceStats stats = service.Stats();
   EXPECT_EQ(stats.retries, 4);
   EXPECT_EQ(stats.failed, static_cast<int64_t>(ds.documents.size()));
 }
@@ -254,7 +306,9 @@ TEST(BatchServiceTest, RetryBudgetBoundsRetriesDuringAnOutage) {
 TEST(BatchServiceTest, AsyncSubmitInvokesCallbackExactlyOnce) {
   datasets::Dataset ds = TinyDataset(86, /*num_docs=*/4);
   baselines::TenetLinker tenet(Substrate());
+  obs::MetricsRegistry registry;  // outlives the scoped service below
   ServingOptions options;
+  options.metrics = &registry;
   options.num_threads = 2;
   options.queue_capacity = 8;
   options.overflow = QueueOverflowPolicy::kBlock;

@@ -4,11 +4,13 @@
 //       Generates the synthetic world and persists the KB + embeddings.
 //
 //   tenet_cli link --kb PATH --emb PATH [--text "..."] [--candidates K]
-//             [--deadline-ms MS]
+//             [--deadline-ms MS] [--trace]
 //       Links a document (from --text or stdin) against a persisted world
 //       and prints the linked concepts and emerging entities.  With a
 //       deadline, an over-budget document degrades to prior-only linking
-//       (reported on stderr) instead of failing.
+//       (reported on stderr) instead of failing.  --trace prints the
+//       request's span tree (stages, cover retries, degradation rungs) on
+//       stderr.
 //
 //   tenet_cli demo [--seed N]
 //       One-shot: builds the world in memory and links stdin.
@@ -18,20 +20,27 @@
 //       News.tenetds, T-REx42.tenetds, KORE50.tenetds, MSNBC19.tenetds.
 //
 //   tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS]
+//             [--metrics-out FILE]
 //       Builds the synthetic world, generates the evaluation corpora and
 //       scores TENET end-to-end on each.  With --threads N > 1 the batch
 //       is served through the concurrent BatchLinkingService.  Exits
 //       non-zero when any document failed, listing each failure.
+//       --metrics-out writes the run's metrics registry to FILE in
+//       Prometheus text format (JSON when FILE ends in .json).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <limits>
 #include <optional>
 #include <string>
 
 #include "baselines/tenet_linker.h"
+#include "core/link_context.h"
 #include "core/pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "datasets/world.h"
 #include "datasets/corpus_generator.h"
 #include "datasets/io.h"
@@ -51,6 +60,8 @@ struct Args {
   int candidates = 4;
   double deadline_ms = std::numeric_limits<double>::infinity();
   int threads = 1;
+  std::optional<std::string> metrics_out;
+  bool trace = false;
 };
 
 std::optional<Args> Parse(int argc, char** argv) {
@@ -100,6 +111,12 @@ std::optional<Args> Parse(int argc, char** argv) {
                      v);
         return std::nullopt;
       }
+    } else if (flag == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.metrics_out = std::string(v);
+    } else if (flag == "--trace") {
+      args.trace = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return std::nullopt;
@@ -114,10 +131,11 @@ void PrintUsage() {
       "usage:\n"
       "  tenet_cli build-world [--seed N] [--kb PATH] [--emb PATH]\n"
       "  tenet_cli link --kb PATH --emb PATH [--text \"...\"] "
-      "[--candidates K] [--deadline-ms MS]\n"
+      "[--candidates K] [--deadline-ms MS] [--trace]\n"
       "  tenet_cli demo [--seed N]\n"
       "  tenet_cli dump-corpora [--seed N]\n"
-      "  tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS]\n");
+      "  tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS] "
+      "[--metrics-out FILE]\n");
 }
 
 std::string ReadStdin() {
@@ -140,7 +158,13 @@ int LinkAndPrint(const kb::KnowledgeBase& knowledge_base,
                             options);
   std::string document =
       args.document_text.has_value() ? *args.document_text : ReadStdin();
-  Result<core::LinkingResult> result = tenet.LinkDocument(document);
+  obs::Trace trace;
+  core::LinkContext context;
+  if (args.trace) context.trace = &trace;
+  Result<core::LinkingResult> result = tenet.LinkDocument(document, context);
+  if (args.trace) {
+    std::fprintf(stderr, "%s", trace.Render().c_str());
+  }
   if (!result.ok()) {
     std::fprintf(stderr, "linking failed: %s\n",
                  result.status().ToString().c_str());
@@ -291,6 +315,20 @@ int main(int argc, char** argv) {
                      failure.status.ToString().c_str());
       }
       total_failed += scores.failed_documents;
+    }
+    if (args->metrics_out.has_value()) {
+      const std::string& path = *args->metrics_out;
+      obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+      const bool json = path.size() >= 5 &&
+                        path.compare(path.size() - 5, 5, ".json") == 0;
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write metrics to %s\n", path.c_str());
+        return 1;
+      }
+      out << (json ? registry->RenderJson()
+                   : registry->RenderPrometheusText());
+      std::fprintf(stderr, "wrote metrics to %s\n", path.c_str());
     }
     if (total_failed > 0) {
       std::fprintf(stderr, "%d document(s) failed\n", total_failed);
