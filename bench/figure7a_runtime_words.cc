@@ -1,16 +1,35 @@
 // Regenerates Figure 7(a): execution time vs number of words per document
 // for TENET, QKBfly and KBPearl (Falcon/EARL excluded: remote APIs in the
 // paper's measurement).
+//
+// `--json <path>` additionally writes {bench, ns_per_op, pairs_per_sec}
+// records, one per (system, word count) — ns_per_op is ns per document,
+// pairs_per_sec is documents per second — the same schema as the
+// micro_kernels trajectory so CI can archive both.
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "json_out.h"
 #include "scaling_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tenet;
+  bench::JsonArgs json_args = bench::StripJsonArgs(&argc, argv);
   const bench::Environment& env = bench::GetEnvironment();
   baselines::QkbflyLike qkbfly(bench::MakeSubstrate(env));
   baselines::KbPearlLike kbpearl(bench::MakeSubstrate(env));
   baselines::TenetLinker tenet_linker(bench::MakeSubstrate(env));
+  const int repetitions = json_args.smoke ? 1 : 3;
+  std::vector<bench::JsonRecord> records;
+  auto record = [&](const char* system, int words, double ms_per_doc) {
+    bench::JsonRecord r;
+    r.bench = std::string("figure7a/") + system + "/words=" +
+              std::to_string(words);
+    r.ns_per_op = ms_per_doc * 1e6;
+    r.pairs_per_sec = ms_per_doc > 0.0 ? 1000.0 / ms_per_doc : 0.0;
+    records.push_back(r);
+  };
 
   std::printf("Figure 7(a): runtime (ms/doc) vs words per document\n");
   bench::PrintRule(56);
@@ -22,15 +41,25 @@ int main() {
     std::vector<datasets::Document> docs = bench::ScaledDocuments(
         env, /*count=*/6, mentions, words, mentions * 0.6,
         /*seed=*/1000 + words);
-    std::printf("%8d %10.2f %10.2f %10.2f\n", words,
-                bench::AverageMsPerDocument(qkbfly, docs),
-                bench::AverageMsPerDocument(kbpearl, docs),
-                bench::AverageMsPerDocument(tenet_linker, docs));
+    double qkbfly_ms = bench::AverageMsPerDocument(qkbfly, docs, repetitions);
+    double kbpearl_ms =
+        bench::AverageMsPerDocument(kbpearl, docs, repetitions);
+    double tenet_ms =
+        bench::AverageMsPerDocument(tenet_linker, docs, repetitions);
+    std::printf("%8d %10.2f %10.2f %10.2f\n", words, qkbfly_ms, kbpearl_ms,
+                tenet_ms);
+    record("QKBfly", words, qkbfly_ms);
+    record("KBPearl", words, kbpearl_ms);
+    record("TENET", words, tenet_ms);
   }
   bench::PrintRule(56);
   std::printf(
       "Paper shape (Fig. 7a): KBPearl is the most sensitive to document "
       "length (per-pair\nKB probing); TENET and QKBfly grow moderately "
       "thanks to the precomputed\nrelatedness index.\n");
+  if (!json_args.json_path.empty() &&
+      !bench::WriteJsonRecords(json_args.json_path, records)) {
+    return 1;
+  }
   return 0;
 }

@@ -1,17 +1,35 @@
 // google-benchmark micro-suite over the algorithmic kernels of TENET:
-// Kruskal MST, Hopcroft-Karp matching, tree splitting, Dijkstra, coherence
-// graph construction, tree-cover solving and greedy disambiguation.
+// Kruskal MST, Hopcroft-Karp matching, tree splitting, Dijkstra, pairwise
+// similarity (scalar baseline vs the vectorized DotUnit kernel vs the
+// similarity cache), coherence graph construction, tree-cover solving and
+// greedy disambiguation.
+//
+// Besides the interactive google-benchmark suite, `--json <path>` runs a
+// hand-rolled deterministic measurement pass over the pairwise-similarity
+// kernels and writes {bench, ns_per_op, pairs_per_sec} records (the
+// BENCH_coherence.json trajectory CI archives); `--smoke` shortens the
+// repetitions for the tier-1 CI job.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "bench_common.h"
+#include "common/dependency_health.h"
+#include "common/fault_injection.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "core/canopy.h"
 #include "core/disambiguator.h"
 #include "core/tree_cover.h"
 #include "core/tree_split.h"
+#include "embedding/dot_kernel.h"
+#include "embedding/embedding_store.h"
+#include "embedding/similarity_cache.h"
 #include "graph/dijkstra.h"
 #include "graph/hopcroft_karp.h"
 #include "graph/mst.h"
+#include "json_out.h"
+#include "obs/metrics.h"
 #include "text/extraction.h"
 
 namespace {
@@ -84,6 +102,137 @@ void BM_TreeSplit(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeSplit)->Arg(64)->Arg(256)->Arg(1024);
 
+// ---------------------------------------------------------------------------
+// Pairwise similarity: the coherence stage's dominant cost.  The scalar
+// baseline reproduces the pre-kernel per-pair Cosine byte for byte — one
+// fault probe, one dependency observation, one op-counter record and a
+// serial double-precision dot per pair — so the recorded speedup is the
+// real before/after of the batched path, not a strawman.
+
+struct PairwiseFixture {
+  int dim;
+  int num_concepts;
+  embedding::EmbeddingStore store;
+  std::vector<kb::ConceptRef> refs;
+  std::vector<double> norms;  // seed-style per-row norms over the raw data
+  obs::DependencyOpCounters ops{"embedding/fetch"};
+
+  PairwiseFixture(int dim_in, int num_concepts_in)
+      : dim(dim_in),
+        num_concepts(num_concepts_in),
+        store(dim_in, num_concepts_in, 0) {
+    Rng rng(99);
+    for (int i = 0; i < num_concepts; ++i) {
+      std::span<float> row = store.MutableVector(kb::ConceptRef::Entity(i));
+      for (int d = 0; d < dim; ++d) {
+        row[d] = static_cast<float>(rng.NextDouble(-1.0, 1.0));
+      }
+    }
+    store.Finalize();
+    refs.reserve(num_concepts);
+    norms.reserve(num_concepts);
+    for (int i = 0; i < num_concepts; ++i) {
+      refs.push_back(kb::ConceptRef::Entity(i));
+      std::span<const float> v = store.Vector(refs.back());
+      double sum = 0.0;
+      for (int d = 0; d < dim; ++d) sum += double{v[d]} * v[d];
+      norms.push_back(std::sqrt(sum));
+    }
+  }
+
+  int64_t num_pairs() const {
+    return static_cast<int64_t>(num_concepts) * (num_concepts - 1) / 2;
+  }
+};
+
+// The pre-kernel per-pair arithmetic, verbatim.
+double ScalarBaselineCosine(const PairwiseFixture& fx, int i, int j) {
+  const bool faulted = TENET_FAULT_POINT("embedding/fetch");
+  TENET_OBSERVE_DEPENDENCY("embedding/fetch", !faulted);
+  fx.ops.Record(!faulted);
+  if (faulted) return 0.0;
+  if (fx.norms[i] <= 0.0 || fx.norms[j] <= 0.0) return 0.0;
+  const float* va = fx.store.Vector(fx.refs[i]).data();
+  const float* vb = fx.store.Vector(fx.refs[j]).data();
+  double dot = 0.0;
+  for (int d = 0; d < fx.dim; ++d) dot += double{va[d]} * vb[d];
+  double cosine = dot / (fx.norms[i] * fx.norms[j]);
+  if (cosine > 1.0) cosine = 1.0;
+  if (cosine < -1.0) cosine = -1.0;
+  return cosine;
+}
+
+double ScalarBaselineSweep(const PairwiseFixture& fx) {
+  double sum = 0.0;
+  for (int i = 0; i < fx.num_concepts; ++i) {
+    for (int j = i + 1; j < fx.num_concepts; ++j) {
+      sum += ScalarBaselineCosine(fx, i, j);
+    }
+  }
+  return sum;
+}
+
+// The batched path: one gather, then DotUnit over contiguous unit rows.
+double KernelSweep(const PairwiseFixture& fx, std::vector<double>& rows) {
+  fx.store.GatherUnit(fx.refs, rows.data());
+  double sum = 0.0;
+  for (int i = 0; i < fx.num_concepts; ++i) {
+    const double* ri = rows.data() + static_cast<size_t>(i) * fx.dim;
+    for (int j = i + 1; j < fx.num_concepts; ++j) {
+      const double* rj = rows.data() + static_cast<size_t>(j) * fx.dim;
+      sum += embedding::ClampCosine(embedding::DotUnit(ri, rj, fx.dim));
+    }
+  }
+  return sum;
+}
+
+double CachedSweep(const PairwiseFixture& fx, std::vector<double>& rows,
+                   embedding::SimilarityCache& cache) {
+  fx.store.GatherUnit(fx.refs, rows.data());
+  double sum = 0.0;
+  for (int i = 0; i < fx.num_concepts; ++i) {
+    const double* ri = rows.data() + static_cast<size_t>(i) * fx.dim;
+    for (int j = i + 1; j < fx.num_concepts; ++j) {
+      const double* rj = rows.data() + static_cast<size_t>(j) * fx.dim;
+      sum += cache.GetOrCompute(fx.refs[i], fx.refs[j], [&] {
+        return embedding::ClampCosine(embedding::DotUnit(ri, rj, fx.dim));
+      });
+    }
+  }
+  return sum;
+}
+
+void BM_PairwiseCosineScalarBaseline(benchmark::State& state) {
+  PairwiseFixture fx(/*dim=*/128, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ScalarBaselineSweep(fx));
+  }
+  state.SetItemsProcessed(state.iterations() * fx.num_pairs());
+}
+BENCHMARK(BM_PairwiseCosineScalarBaseline)->Arg(128)->Arg(256);
+
+void BM_PairwiseCosineKernel(benchmark::State& state) {
+  PairwiseFixture fx(/*dim=*/128, static_cast<int>(state.range(0)));
+  std::vector<double> rows(static_cast<size_t>(fx.num_concepts) * fx.dim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KernelSweep(fx, rows));
+  }
+  state.SetItemsProcessed(state.iterations() * fx.num_pairs());
+}
+BENCHMARK(BM_PairwiseCosineKernel)->Arg(128)->Arg(256);
+
+void BM_PairwiseCosineCachedWarm(benchmark::State& state) {
+  PairwiseFixture fx(/*dim=*/128, static_cast<int>(state.range(0)));
+  std::vector<double> rows(static_cast<size_t>(fx.num_concepts) * fx.dim);
+  embedding::SimilarityCache cache;
+  CachedSweep(fx, rows, cache);  // warm every pair
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CachedSweep(fx, rows, cache));
+  }
+  state.SetItemsProcessed(state.iterations() * fx.num_pairs());
+}
+BENCHMARK(BM_PairwiseCosineCachedWarm)->Arg(128)->Arg(256);
+
 // Document-scale kernels over the shared synthetic world.
 const datasets::Document& BenchDocument() {
   static const datasets::Document* doc = [] {
@@ -149,6 +298,120 @@ void BM_EndToEndTenet(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndTenet);
 
+// ---------------------------------------------------------------------------
+// --json mode: hand-rolled measurements of the pairwise kernels, written
+// as the BENCH_coherence.json trajectory.  Deliberately independent of the
+// google-benchmark reporter so the record schema is ours to keep stable.
+
+volatile double g_sink = 0.0;
+
+template <typename Fn>
+double MeasureNsPerOp(Fn&& fn, int64_t ops_per_call, double min_ms) {
+  g_sink = g_sink + fn();  // warm-up, and defeat dead-code elimination
+  WallTimer timer;
+  int64_t calls = 0;
+  double elapsed_ms = 0.0;
+  do {
+    g_sink = g_sink + fn();
+    ++calls;
+    elapsed_ms = timer.ElapsedMillis();
+  } while (elapsed_ms < min_ms);
+  return elapsed_ms * 1e6 /
+         (static_cast<double>(calls) * static_cast<double>(ops_per_call));
+}
+
+bench::JsonRecord MakeRecord(const std::string& name, double ns_per_op,
+                             double baseline_ns = 0.0) {
+  bench::JsonRecord r;
+  r.bench = name;
+  r.ns_per_op = ns_per_op;
+  r.pairs_per_sec = ns_per_op > 0.0 ? 1e9 / ns_per_op : 0.0;
+  if (baseline_ns > 0.0) r.speedup = baseline_ns / ns_per_op;
+  return r;
+}
+
+int RunJsonMode(const bench::JsonArgs& args) {
+  const double min_ms = args.smoke ? 20.0 : 300.0;
+  std::vector<bench::JsonRecord> records;
+
+  // The headline pair: full pairwise sweep at a News-scale candidate count.
+  {
+    PairwiseFixture fx(/*dim=*/128, /*num_concepts=*/256);
+    std::vector<double> rows(static_cast<size_t>(fx.num_concepts) * fx.dim);
+    const int64_t pairs = fx.num_pairs();
+    double scalar_ns =
+        MeasureNsPerOp([&] { return ScalarBaselineSweep(fx); }, pairs, min_ms);
+    double kernel_ns =
+        MeasureNsPerOp([&] { return KernelSweep(fx, rows); }, pairs, min_ms);
+    embedding::SimilarityCache cache;
+    CachedSweep(fx, rows, cache);  // warm every pair
+    double cached_ns = MeasureNsPerOp(
+        [&] { return CachedSweep(fx, rows, cache); }, pairs, min_ms);
+    records.push_back(MakeRecord(
+        "pairwise_cosine_scalar_baseline/C=256/dim=128", scalar_ns));
+    records.push_back(MakeRecord("pairwise_cosine_kernel/C=256/dim=128",
+                                 kernel_ns, scalar_ns));
+    records.push_back(MakeRecord("pairwise_cosine_cached_warm/C=256/dim=128",
+                                 cached_ns, scalar_ns));
+    std::printf("pairwise C=256 dim=128: scalar %.1f ns/pair, kernel %.1f "
+                "ns/pair (%.2fx), cached warm %.1f ns/pair (%.2fx)\n",
+                scalar_ns, kernel_ns, scalar_ns / kernel_ns, cached_ns,
+                scalar_ns / cached_ns);
+  }
+
+  // The raw reduction at several dimensions, without per-pair bookkeeping:
+  // serial double-precision dot (the seed arithmetic) vs DotUnit.
+  for (int dim : {64, 128, 256}) {
+    PairwiseFixture fx(dim, /*num_concepts=*/128);
+    std::vector<double> rows(static_cast<size_t>(fx.num_concepts) * dim);
+    fx.store.GatherUnit(fx.refs, rows.data());
+    const int64_t pairs = fx.num_pairs();
+    auto scalar_dot = [&] {
+      double sum = 0.0;
+      for (int i = 0; i < fx.num_concepts; ++i) {
+        const double* ri = rows.data() + static_cast<size_t>(i) * dim;
+        for (int j = i + 1; j < fx.num_concepts; ++j) {
+          const double* rj = rows.data() + static_cast<size_t>(j) * dim;
+          double dot = 0.0;
+          for (int d = 0; d < dim; ++d) dot += ri[d] * rj[d];
+          sum += dot;
+        }
+      }
+      return sum;
+    };
+    auto unit_dot = [&] {
+      double sum = 0.0;
+      for (int i = 0; i < fx.num_concepts; ++i) {
+        const double* ri = rows.data() + static_cast<size_t>(i) * dim;
+        for (int j = i + 1; j < fx.num_concepts; ++j) {
+          const double* rj = rows.data() + static_cast<size_t>(j) * dim;
+          sum += embedding::DotUnit(ri, rj, dim);
+        }
+      }
+      return sum;
+    };
+    double scalar_ns = MeasureNsPerOp(scalar_dot, pairs, min_ms);
+    double unit_ns = MeasureNsPerOp(unit_dot, pairs, min_ms);
+    char name[64];
+    std::snprintf(name, sizeof(name), "dot_scalar_double/dim=%d", dim);
+    records.push_back(MakeRecord(name, scalar_ns));
+    std::snprintf(name, sizeof(name), "dot_unit/dim=%d", dim);
+    records.push_back(MakeRecord(name, unit_ns, scalar_ns));
+    std::printf("dot dim=%d: scalar %.1f ns, DotUnit %.1f ns (%.2fx)\n", dim,
+                scalar_ns, unit_ns, scalar_ns / unit_ns);
+  }
+
+  return bench::WriteJsonRecords(args.json_path, records) ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  tenet::bench::JsonArgs json_args = tenet::bench::StripJsonArgs(&argc, argv);
+  if (!json_args.json_path.empty()) return RunJsonMode(json_args);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,12 +1,32 @@
 #include "core/coherence_graph.h"
 
 #include <algorithm>
-#include <thread>
+#include <latch>
+#include <utility>
 
 #include "common/logging.h"
+#include "embedding/dot_kernel.h"
 
 namespace tenet {
 namespace core {
+namespace {
+
+// Column-tile width of the triangular sweep: 128 unit rows of a typical
+// 64-128 dim embedding are 64-128 KB, sized to stay resident in L2
+// while every row of a task strip revisits the tile.
+constexpr int kTileCols = 128;
+
+// Below this many concept nodes the pair count is too small for task
+// submission to pay for itself; build serially.
+constexpr int kMinConceptsForParallel = 64;
+
+struct PendingEdge {
+  int u;
+  int v;
+  double weight;
+};
+
+}  // namespace
 
 int CoherenceGraph::MentionOfNode(int node) const {
   TENET_CHECK(node >= 0 && node < num_nodes());
@@ -35,9 +55,15 @@ CoherenceGraphBuilder::CoherenceGraphBuilder(
   TENET_CHECK(kb->finalized());
   TENET_CHECK(embeddings->finalized());
   TENET_CHECK_GT(options_.max_candidates_per_mention, 0);
+  TENET_CHECK_GE(options_.num_threads, 0);
 }
 
 CoherenceGraph CoherenceGraphBuilder::Build(MentionSet mentions) const {
+  return Build(std::move(mentions), options_.similarity_cache);
+}
+
+CoherenceGraph CoherenceGraphBuilder::Build(
+    MentionSet mentions, embedding::SimilarityCache* cache) const {
   // Pass 1: candidate generation, to size the node space.
   const int num_mentions = mentions.num_mentions();
   std::vector<CoherenceGraph::ConceptNode> concept_nodes;
@@ -79,61 +105,138 @@ CoherenceGraph CoherenceGraphBuilder::Build(MentionSet mentions) const {
     }
   }
 
-  // Concept x concept edges (global semantic distance, Eqs. 3-5).  The
-  // weights are independent of each other, so they can be computed by a
-  // small thread pool (Sec. 6.2); edges are then inserted serially.
+  // Concept x concept edges (global semantic distance, Eqs. 3-5).
   const int num_concepts = cg.num_concept_nodes();
-  struct PendingEdge {
-    int u;
-    int v;
-    double weight;
-  };
-  auto compute_range = [&](int begin, int end, std::vector<PendingEdge>& out) {
-    for (int i = begin; i < end; ++i) {
-      const CoherenceGraph::ConceptNode& a = cg.concept_nodes_[i];
-      const Mention& mention_a = cg.mentions_.mention(a.mention);
-      for (int j = i + 1; j < num_concepts; ++j) {
-        const CoherenceGraph::ConceptNode& b = cg.concept_nodes_[j];
-        if (a.mention == b.mention) continue;
-        const Mention& mention_b = cg.mentions_.mention(b.mention);
-        bool connect = false;
-        if (a.ref.is_entity() && b.ref.is_entity()) {
-          connect = true;  // entity pairs always compared (Eq. 3)
-        } else {
-          // Predicate-predicate and entity-predicate edges require the
-          // phrases to share a sentence (Eqs. 4-5).
-          connect = mention_a.SharesSentence(mention_b);
-        }
-        if (!connect) continue;
-        double distance = 1.0 - embeddings_->Cosine(a.ref, b.ref);
-        out.push_back(PendingEdge{num_mentions + i, num_mentions + j,
-                                  distance});
-      }
-    }
+  if (num_concepts == 0) return cg;
+
+  // Whether the pair (i, j) gets an edge at all: entity pairs always
+  // (Eq. 3); predicate-predicate and entity-predicate edges require the
+  // phrases to share a sentence (Eqs. 4-5).
+  auto connected = [&](const CoherenceGraph::ConceptNode& a,
+                       const CoherenceGraph::ConceptNode& b) {
+    if (a.mention == b.mention) return false;
+    if (a.ref.is_entity() && b.ref.is_entity()) return true;
+    return cg.mentions_.mention(a.mention)
+        .SharesSentence(cg.mentions_.mention(b.mention));
   };
 
   std::vector<PendingEdge> edges;
-  const int num_threads = options_.num_threads;
-  if (num_threads <= 1 || num_concepts < 64) {
-    compute_range(0, num_concepts, edges);
-  } else {
-    std::vector<std::vector<PendingEdge>> partial(num_threads);
-    std::vector<std::thread> workers;
-    workers.reserve(num_threads);
-    // Interleaved striping would balance better, but contiguous chunks keep
-    // the output deterministic and the loads are tiny either way.
-    int chunk = (num_concepts + num_threads - 1) / num_threads;
-    for (int t = 0; t < num_threads; ++t) {
-      int begin = t * chunk;
-      int end = std::min(num_concepts, begin + chunk);
-      if (begin >= end) break;
-      workers.emplace_back(compute_range, begin, end, std::ref(partial[t]));
+
+  if (!options_.use_gather_kernel) {
+    // Legacy scalar path: one Cosine call — one dependency operation, one
+    // fault probe — per connected pair.  Serial; the equivalence baseline.
+    for (int i = 0; i < num_concepts; ++i) {
+      const CoherenceGraph::ConceptNode& a = cg.concept_nodes_[i];
+      for (int j = i + 1; j < num_concepts; ++j) {
+        const CoherenceGraph::ConceptNode& b = cg.concept_nodes_[j];
+        if (!connected(a, b)) continue;
+        edges.push_back(PendingEdge{num_mentions + i, num_mentions + j,
+                                    1.0 - embeddings_->Cosine(a.ref, b.ref)});
+      }
     }
-    for (std::thread& w : workers) w.join();
-    for (std::vector<PendingEdge>& p : partial) {
-      edges.insert(edges.end(), p.begin(), p.end());
+  } else {
+    // Batched kernel: one gather of every candidate's unit row into a
+    // contiguous row-major scratch (a single dependency operation for the
+    // whole document), then a tiled triangular sweep.
+    const int dim = embeddings_->dimension();
+    std::vector<kb::ConceptRef> refs(num_concepts);
+    for (int i = 0; i < num_concepts; ++i) refs[i] = cg.concept_nodes_[i].ref;
+    std::vector<double> rows(static_cast<size_t>(num_concepts) * dim);
+    embeddings_->GatherUnit(refs, rows.data());
+
+    // The similarity of pair (i, j), via the cache when one is installed.
+    // Cached and computed values are bit-identical: both are the DotUnit
+    // reduction over the store's unit rows (the scratch holds verbatim
+    // copies), so a warm cache never changes an edge weight.
+    auto pair_cosine = [&](int i, int j) {
+      const double* ri = rows.data() + static_cast<size_t>(i) * dim;
+      const double* rj = rows.data() + static_cast<size_t>(j) * dim;
+      if (cache != nullptr) {
+        return cache->GetOrCompute(refs[i], refs[j], [&] {
+          return embedding::ClampCosine(embedding::DotUnit(ri, rj, dim));
+        });
+      }
+      return embedding::ClampCosine(embedding::DotUnit(ri, rj, dim));
+    };
+
+    // One task: the triangular strip of rows [begin, end), column-tiled so
+    // a block of rows stays hot while the whole strip revisits it.  Edges
+    // land in per-row buckets and are flushed in row order, so the output
+    // sequence is lexicographic in (i, j) whatever the tile width.
+    auto compute_strip = [&](int begin, int end,
+                             std::vector<PendingEdge>& out) {
+      std::vector<std::vector<PendingEdge>> per_row(end - begin);
+      for (int jb = begin + 1; jb < num_concepts; jb += kTileCols) {
+        const int je = std::min(num_concepts, jb + kTileCols);
+        const int i_hi = std::min(end, je - 1);
+        for (int i = begin; i < i_hi; ++i) {
+          const CoherenceGraph::ConceptNode& a = cg.concept_nodes_[i];
+          std::vector<PendingEdge>& bucket = per_row[i - begin];
+          for (int j = std::max(i + 1, jb); j < je; ++j) {
+            const CoherenceGraph::ConceptNode& b = cg.concept_nodes_[j];
+            if (!connected(a, b)) continue;
+            bucket.push_back(PendingEdge{num_mentions + i, num_mentions + j,
+                                         1.0 - pair_cosine(i, j)});
+          }
+        }
+      }
+      size_t total = 0;
+      for (const std::vector<PendingEdge>& bucket : per_row) {
+        total += bucket.size();
+      }
+      out.reserve(out.size() + total);
+      for (const std::vector<PendingEdge>& bucket : per_row) {
+        out.insert(out.end(), bucket.begin(), bucket.end());
+      }
+    };
+
+    int num_tasks = 1;
+    if (options_.pool != nullptr && num_concepts >= kMinConceptsForParallel) {
+      num_tasks = options_.num_threads > 0 ? options_.num_threads
+                                           : options_.pool->num_threads();
+      num_tasks = std::clamp(num_tasks, 1, num_concepts);
+    }
+
+    if (num_tasks <= 1) {
+      compute_strip(0, num_concepts, edges);
+    } else {
+      // Pair-count-balanced deterministic partition: row i owns C - i - 1
+      // pairs, so contiguous equal-row chunks would give the first task
+      // nearly all the work.  Sweep rows, closing a strip whenever it has
+      // accumulated its share of the triangle.
+      const int64_t total_pairs =
+          static_cast<int64_t>(num_concepts) * (num_concepts - 1) / 2;
+      const int64_t target = (total_pairs + num_tasks - 1) / num_tasks;
+      std::vector<std::pair<int, int>> strips;
+      int begin = 0;
+      int64_t acc = 0;
+      for (int i = 0; i < num_concepts; ++i) {
+        acc += num_concepts - i - 1;
+        if (acc >= target || i == num_concepts - 1) {
+          strips.emplace_back(begin, i + 1);
+          begin = i + 1;
+          acc = 0;
+        }
+      }
+
+      std::vector<std::vector<PendingEdge>> partial(strips.size());
+      std::latch done(static_cast<ptrdiff_t>(strips.size()));
+      for (size_t t = 0; t < strips.size(); ++t) {
+        auto task = [&, t] {
+          compute_strip(strips[t].first, strips[t].second, partial[t]);
+          done.count_down();
+        };
+        // A pool that stopped accepting work (shutdown race) degrades to
+        // inline execution; the build must still complete.
+        if (!options_.pool->Submit(task).ok()) task();
+      }
+      done.wait();
+      for (std::vector<PendingEdge>& p : partial) {
+        edges.insert(edges.end(), p.begin(), p.end());
+      }
     }
   }
+
   for (const PendingEdge& e : edges) {
     cg.graph_.AddEdge(e.u, e.v, e.weight);
   }

@@ -3,8 +3,10 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/mention.h"
 #include "embedding/embedding_store.h"
+#include "embedding/similarity_cache.h"
 #include "graph/graph.h"
 #include "kb/knowledge_base.h"
 
@@ -16,9 +18,29 @@ struct CoherenceGraphOptions {
   /// Candidates per mention (the parameter k of Figures 6(d) and 7(c)).
   /// The paper finds 3-4 optimal: fewer starves coherence, more adds noise.
   int max_candidates_per_mention = 4;
-  /// Compute concept-concept edge weights with a thread pool of this many
-  /// workers (Sec. 6.2 notes the parallel edge retrieval); 1 = serial.
-  int num_threads = 1;
+  /// Shared worker pool driving the pairwise kernel (Sec. 6.2's parallel
+  /// edge retrieval).  Null runs the kernel serially in the calling
+  /// thread.  The pool must outlive the builder, and must NOT be a pool
+  /// whose own workers call Build (the build blocks on its subtasks — a
+  /// worker waiting on work queued behind itself deadlocks); give the
+  /// coherence kernel its own pool, not the serving layer's request pool.
+  ThreadPool* pool = nullptr;
+  /// Cap on the pairwise kernel's task count when `pool` is set: 0 uses
+  /// pool->num_threads(), 1 forces a serial build.  (Historically this was
+  /// the size of a per-Build std::thread spawn; Build never spawns threads
+  /// itself anymore.)  Output is identical for every value — partitions
+  /// are deterministic and results are merged in row order.
+  int num_threads = 0;
+  /// Cross-document pairwise-similarity cache consulted by Build (see
+  /// SimilarityCache).  Null computes every pair.  A per-request cache on
+  /// the LinkContext overrides this one.
+  embedding::SimilarityCache* similarity_cache = nullptr;
+  /// When false, concept-pair weights come from per-pair
+  /// EmbeddingStore::Cosine calls instead of the gathered, tiled kernel.
+  /// Same values by construction (both run the DotUnit reduction over unit
+  /// rows) but one fault-point probe per pair instead of per document.
+  /// Kept for the golden equivalence test and as an escape hatch.
+  bool use_gather_kernel = true;
 };
 
 // The knowledge coherence graph G = (V, E) of Definition 4.
@@ -26,7 +48,7 @@ struct CoherenceGraphOptions {
 // Node layout: ids [0, M) are mention nodes (id == mention id in the owned
 // MentionSet); ids [M, M + C) are concept nodes, one per (mention,
 // candidate) pair.  A candidate concept shared by two mentions yields two
-// concept nodes whose connecting edge has distance 1 - cos(v, v) = 0.
+// concept nodes whose connecting edge has distance 1 - cos(v, v) ~= 0.
 //
 // Edges (Sec. 3):
 //   * mention -> own candidate, weight 1 - P(c|m)            (Eqs. 1-2)
@@ -78,6 +100,15 @@ class CoherenceGraph {
 };
 
 // Builds CoherenceGraphs for documents against one KB + embedding store.
+//
+// The concept x concept stage is the pipeline's dominant cost (O(C^2)
+// similarities per document), so it runs as a batched kernel: one
+// GatherUnit fetches every candidate's unit row into a contiguous
+// row-major scratch (a single dependency operation), then a tiled
+// triangular sweep computes pair weights with the DotUnit reduction —
+// identical values to per-pair Cosine() calls, emitted in lexicographic
+// (i, j) pair order whatever the tiling or task partition, so the edge
+// list (and everything downstream of it) is deterministic.
 class CoherenceGraphBuilder {
  public:
   /// `kb` and `embeddings` must outlive the builder and be finalized.
@@ -86,8 +117,14 @@ class CoherenceGraphBuilder {
                         CoherenceGraphOptions options = {});
 
   /// Builds the coherence graph over `mentions` (moved in; retrievable via
-  /// CoherenceGraph::mentions()).
+  /// CoherenceGraph::mentions()), consulting the options' similarity
+  /// cache, if any.
   CoherenceGraph Build(MentionSet mentions) const;
+
+  /// Same, with an explicit similarity cache (null: compute every pair).
+  /// The per-request path: the pipeline passes the LinkContext's cache.
+  CoherenceGraph Build(MentionSet mentions,
+                       embedding::SimilarityCache* cache) const;
 
   const CoherenceGraphOptions& options() const { return options_; }
 

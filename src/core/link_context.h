@@ -7,6 +7,10 @@
 #include "obs/trace.h"
 
 namespace tenet {
+namespace embedding {
+class SimilarityCache;
+}  // namespace embedding
+
 namespace core {
 
 // The per-request envelope of every Link* call — the one place a request's
@@ -30,6 +34,14 @@ struct LinkContext {
   /// must outlive the call and is written from the serving thread of this
   /// request only (Trace is deliberately not thread-safe).
   obs::Trace* trace = nullptr;
+
+  /// Optional cross-document pairwise-similarity cache for this request's
+  /// coherence stage.  When non-null it overrides the pipeline's
+  /// statically configured cache (CoherenceGraphOptions::similarity_cache);
+  /// the serving layer attaches its own, shared across every request it
+  /// serves, so recurring concept pairs are computed once per workload.
+  /// SimilarityCache is thread-safe and must outlive the call.
+  embedding::SimilarityCache* similarity_cache = nullptr;
 
   /// The deadline this request should run under, given the callee's
   /// default policy.

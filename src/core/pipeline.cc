@@ -261,7 +261,11 @@ Result<LinkingResult> TenetPipeline::LinkMentionSetWithTimings(
   }
 
   StageScope graph_scope(context, "graph", Metrics().stage_graph);
-  CoherenceGraph cg = graph_builder_.Build(std::move(mentions));
+  CoherenceGraph cg = graph_builder_.Build(
+      std::move(mentions),
+      context.similarity_cache != nullptr
+          ? context.similarity_cache
+          : graph_builder_.options().similarity_cache);
   timings.graph_ms = graph_scope.Finish();
 
   // ---- Tree cover: B = bound_factor * |M| (Sec. 6.1), growing on the

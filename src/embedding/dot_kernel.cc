@@ -1,0 +1,26 @@
+#include "embedding/dot_kernel.h"
+
+namespace tenet {
+namespace embedding {
+
+// Deliberately out-of-line, in this one TU: every caller shares the one
+// compiled reduction, so no per-TU flag difference (-ffp-contract, -O
+// level) can ever make two call sites disagree on a pair's similarity.
+double DotUnit(const double* a, const double* b, int dim) {
+  constexpr int kLanes = 8;
+  double acc[kLanes] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  int d = 0;
+  for (; d + kLanes <= dim; d += kLanes) {
+    for (int l = 0; l < kLanes; ++l) {
+      acc[l] += a[d + l] * b[d + l];
+    }
+  }
+  double tail = 0.0;
+  for (; d < dim; ++d) tail += a[d] * b[d];
+  return (((acc[0] + acc[1]) + (acc[2] + acc[3])) +
+          ((acc[4] + acc[5]) + (acc[6] + acc[7]))) +
+         tail;
+}
+
+}  // namespace embedding
+}  // namespace tenet

@@ -1,11 +1,12 @@
 #include "embedding/embedding_store.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/dependency_health.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
-#include "obs/metrics.h"
+#include "embedding/dot_kernel.h"
 
 namespace tenet {
 namespace embedding {
@@ -16,13 +17,14 @@ EmbeddingStore::EmbeddingStore(int dimension, int32_t num_entities,
       num_entities_(num_entities),
       num_predicates_(num_predicates),
       data_(static_cast<size_t>(dimension) * (num_entities + num_predicates),
-            0.0f) {
+            0.0f),
+      ops_("embedding/fetch") {
   TENET_CHECK_GT(dimension, 0);
   TENET_CHECK_GE(num_entities, 0);
   TENET_CHECK_GE(num_predicates, 0);
 }
 
-size_t EmbeddingStore::NormIndex(kb::ConceptRef ref) const {
+size_t EmbeddingStore::RowIndex(kb::ConceptRef ref) const {
   TENET_CHECK(ref.valid());
   if (ref.is_entity()) {
     TENET_CHECK_LT(ref.id, num_entities_);
@@ -33,7 +35,7 @@ size_t EmbeddingStore::NormIndex(kb::ConceptRef ref) const {
 }
 
 size_t EmbeddingStore::Offset(kb::ConceptRef ref) const {
-  return NormIndex(ref) * static_cast<size_t>(dimension_);
+  return RowIndex(ref) * static_cast<size_t>(dimension_);
 }
 
 std::span<float> EmbeddingStore::MutableVector(kb::ConceptRef ref) {
@@ -45,15 +47,25 @@ std::span<const float> EmbeddingStore::Vector(kb::ConceptRef ref) const {
   return std::span<const float>(data_.data() + Offset(ref), dimension_);
 }
 
+std::span<const double> EmbeddingStore::UnitVector(kb::ConceptRef ref) const {
+  TENET_CHECK(finalized_) << "UnitVector before Finalize";
+  return std::span<const double>(unit_data_.data() + Offset(ref), dimension_);
+}
+
 void EmbeddingStore::Finalize() {
   TENET_CHECK(!finalized_) << "Finalize called twice";
   size_t count = static_cast<size_t>(num_entities_) + num_predicates_;
-  norms_.resize(count);
+  unit_data_.assign(data_.size(), 0.0);
   for (size_t i = 0; i < count; ++i) {
-    double sum = 0.0;
     const float* v = data_.data() + i * dimension_;
+    double sum = 0.0;
     for (int d = 0; d < dimension_; ++d) sum += double{v[d]} * v[d];
-    norms_[i] = std::sqrt(sum);
+    double norm = std::sqrt(sum);
+    if (norm <= 0.0) continue;  // zero rows stay zero: cosine 0 by design
+    double* unit = unit_data_.data() + i * dimension_;
+    for (int d = 0; d < dimension_; ++d) {
+      unit[d] = double{v[d]} / norm;
+    }
   }
   finalized_ = true;
 }
@@ -64,21 +76,28 @@ double EmbeddingStore::Cosine(kb::ConceptRef a, kb::ConceptRef b) const {
   // the same value a genuinely absent (zero-norm) embedding yields.
   const bool faulted = TENET_FAULT_POINT("embedding/fetch");
   TENET_OBSERVE_DEPENDENCY("embedding/fetch", !faulted);
-  static obs::DependencyOpCounters& ops =
-      *new obs::DependencyOpCounters("embedding/fetch");
-  ops.Record(!faulted);
+  ops_.Record(!faulted);
   if (faulted) return 0.0;
-  size_t ia = NormIndex(a);
-  size_t ib = NormIndex(b);
-  if (norms_[ia] <= 0.0 || norms_[ib] <= 0.0) return 0.0;
-  const float* va = data_.data() + ia * dimension_;
-  const float* vb = data_.data() + ib * dimension_;
-  double dot = 0.0;
-  for (int d = 0; d < dimension_; ++d) dot += double{va[d]} * vb[d];
-  double cosine = dot / (norms_[ia] * norms_[ib]);
-  if (cosine > 1.0) cosine = 1.0;
-  if (cosine < -1.0) cosine = -1.0;
-  return cosine;
+  const double* ua = unit_data_.data() + Offset(a);
+  const double* ub = unit_data_.data() + Offset(b);
+  return ClampCosine(DotUnit(ua, ub, dimension_));
+}
+
+void EmbeddingStore::GatherUnit(std::span<const kb::ConceptRef> refs,
+                                double* out) const {
+  TENET_CHECK(finalized_) << "GatherUnit before Finalize";
+  const bool faulted = TENET_FAULT_POINT("embedding/fetch");
+  TENET_OBSERVE_DEPENDENCY("embedding/fetch", !faulted);
+  ops_.Record(!faulted);
+  const size_t row_bytes = static_cast<size_t>(dimension_) * sizeof(double);
+  if (faulted) {
+    std::memset(out, 0, refs.size() * row_bytes);
+    return;
+  }
+  for (size_t i = 0; i < refs.size(); ++i) {
+    std::memcpy(out + i * static_cast<size_t>(dimension_),
+                unit_data_.data() + Offset(refs[i]), row_bytes);
+  }
 }
 
 }  // namespace embedding

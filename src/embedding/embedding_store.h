@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "kb/types.h"
+#include "obs/metrics.h"
 
 namespace tenet {
 namespace embedding {
@@ -16,8 +17,17 @@ namespace embedding {
 // pairwise relatedness used by the coherence graph is plain cosine
 // similarity (Equations 3-5).
 //
-// Build phase: write through MutableVector, then Finalize() (caches norms).
-// Query phase: Vector() / Cosine().
+// Build phase: write through MutableVector, then Finalize().
+// Query phase: Vector() / UnitVector() / Cosine() / GatherUnit().
+//
+// Finalize() stores, next to the raw matrix, a unit-normalized double copy
+// (each row divided by its L2 norm; zero rows stay zero).  Cosine then
+// degenerates to a pure dot product over unit rows, computed by the fixed
+// blocked DotUnit reduction (dot_kernel.h) — the same kernel the coherence
+// graph's batched path runs over gathered rows, so per-pair and batched
+// similarities are bit-identical (and within ~1e-14 of the historical
+// dot/norms arithmetic; see dot_kernel.h).  The copy triples the store's
+// memory; DESIGN.md §10 discusses the tradeoff.
 class EmbeddingStore {
  public:
   EmbeddingStore(int dimension, int32_t num_entities,
@@ -30,14 +40,20 @@ class EmbeddingStore {
   /// Writable view of the vector of `ref`.  Only before Finalize().
   std::span<float> MutableVector(kb::ConceptRef ref);
 
-  /// Read-only view of the vector of `ref`.
+  /// Read-only view of the raw vector of `ref`.
   std::span<const float> Vector(kb::ConceptRef ref) const;
 
-  /// Caches vector norms; must be called once after all writes.
+  /// Read-only view of the unit-normalized vector of `ref` (all zeros for
+  /// a zero vector).  Only after Finalize().
+  std::span<const double> UnitVector(kb::ConceptRef ref) const;
+
+  /// Builds the unit-normalized copy; must be called once after all writes.
   void Finalize();
   bool finalized() const { return finalized_; }
 
-  /// Cosine similarity in [-1, 1]; zero vectors yield 0.
+  /// Cosine similarity in [-1, 1]; zero vectors yield 0.  One dependency
+  /// observation / fault-point probe per call — the batched path below is
+  /// the cheap way to fetch a whole document's worth.
   double Cosine(kb::ConceptRef a, kb::ConceptRef b) const;
 
   /// The paper's global semantic distance 1 - cos (Equations 3-5),
@@ -46,16 +62,34 @@ class EmbeddingStore {
     return 1.0 - Cosine(a, b);
   }
 
+  /// Batched fetch: copies the unit rows of `refs` into `out` (row-major,
+  /// refs.size() x dimension(), caller-allocated).  The whole gather is a
+  /// single dependency operation — one fault-point probe and one
+  /// observation, however many rows — so a document's coherence stage costs
+  /// O(1) observability work instead of O(C^2).  A fired fault behaves
+  /// like every vector missing: `out` is zero-filled and all similarities
+  /// over it are 0, the same value Cosine() reports under a fired fault.
+  void GatherUnit(std::span<const kb::ConceptRef> refs, double* out) const;
+
+  /// Re-points the store's dependency-operation counters
+  /// (tenet_dependency_operations_total{dependency="embedding/fetch"}) at
+  /// `registry` (null: back to the process-wide default).  Tests inject a
+  /// per-test registry; production stores publish to the default one.
+  void set_metrics_registry(obs::MetricsRegistry* registry) {
+    ops_ = obs::DependencyOpCounters("embedding/fetch", registry);
+  }
+
  private:
   size_t Offset(kb::ConceptRef ref) const;
-  size_t NormIndex(kb::ConceptRef ref) const;
+  size_t RowIndex(kb::ConceptRef ref) const;
 
   int dimension_;
   int32_t num_entities_;
   int32_t num_predicates_;
-  std::vector<float> data_;    // entities first, then predicates
-  std::vector<double> norms_;  // cached by Finalize()
+  std::vector<float> data_;        // entities first, then predicates
+  std::vector<double> unit_data_;  // unit-normalized copy, by Finalize()
   bool finalized_ = false;
+  obs::DependencyOpCounters ops_;
 };
 
 }  // namespace embedding

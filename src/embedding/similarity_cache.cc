@@ -1,0 +1,140 @@
+#include "embedding/similarity_cache.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace tenet {
+namespace embedding {
+namespace {
+
+// Rough heap cost of one resident entry: the list node (key + value + two
+// links) plus the hash-map node and bucket share.  Deliberately on the
+// high side so a byte budget is an upper bound, not a target to overshoot.
+constexpr size_t kApproxEntryBytes = 96;
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// splitmix64 finalizer: concept-pair keys are near-sequential small ids,
+// so they need real mixing before shard selection and bucketing.
+uint64_t MixKey(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SimilarityCache::SimilarityCache(SimilarityCacheOptions options) {
+  TENET_CHECK_GT(options.num_shards, 0);
+  size_t num_shards =
+      RoundUpPowerOfTwo(static_cast<size_t>(options.num_shards));
+  size_t total_entries = options.max_entries != 0
+                             ? options.max_entries
+                             : options.capacity_bytes / kApproxEntryBytes;
+  // At least one entry per shard, or the cache would be all eviction.
+  max_entries_per_shard_ =
+      std::max<size_t>(1, (total_entries + num_shards - 1) / num_shards);
+  shard_mask_ = num_shards - 1;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+
+  obs::MetricsRegistry* registry = options.metrics != nullptr
+                                       ? options.metrics
+                                       : obs::MetricsRegistry::Default();
+  constexpr const char* kHelp =
+      "Similarity cache operations, by outcome (hit/miss on lookups, evict "
+      "on capacity displacement).";
+  hits_ = registry->GetCounter("tenet_similarity_cache_ops_total", kHelp,
+                               obs::LabelPair("op", "hit"));
+  misses_ = registry->GetCounter("tenet_similarity_cache_ops_total", kHelp,
+                                 obs::LabelPair("op", "miss"));
+  evictions_ = registry->GetCounter("tenet_similarity_cache_ops_total", kHelp,
+                                    obs::LabelPair("op", "evict"));
+}
+
+uint64_t SimilarityCache::PairKey(kb::ConceptRef a, kb::ConceptRef b) {
+  // Canonical unordered pair: the smaller ref first, each ref packed as
+  // (kind bit | 31-bit id).  Ids are dense non-negative int32s well below
+  // 2^31, so the packing is collision-free.
+  if (b < a) std::swap(a, b);
+  uint64_t pa = (static_cast<uint64_t>(a.kind == kb::ConceptRef::Kind::kPredicate)
+                 << 31) |
+                static_cast<uint32_t>(a.id);
+  uint64_t pb = (static_cast<uint64_t>(b.kind == kb::ConceptRef::Kind::kPredicate)
+                 << 31) |
+                static_cast<uint32_t>(b.id);
+  return (pa << 32) | pb;
+}
+
+SimilarityCache::Shard& SimilarityCache::ShardOf(uint64_t key) {
+  return *shards_[MixKey(key) & shard_mask_];
+}
+
+const SimilarityCache::Shard& SimilarityCache::ShardOf(uint64_t key) const {
+  return *shards_[MixKey(key) & shard_mask_];
+}
+
+std::optional<double> SimilarityCache::Lookup(kb::ConceptRef a,
+                                              kb::ConceptRef b) {
+  const uint64_t key = PairKey(a, b);
+  Shard& shard = ShardOf(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      hits_->Increment();
+      return it->second->value;
+    }
+  }
+  misses_->Increment();
+  return std::nullopt;
+}
+
+void SimilarityCache::Insert(kb::ConceptRef a, kb::ConceptRef b,
+                             double similarity) {
+  const uint64_t key = PairKey(a, b);
+  Shard& shard = ShardOf(key);
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->value = similarity;
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return;
+    }
+    shard.lru.push_front(Entry{key, similarity});
+    shard.index.emplace(key, shard.lru.begin());
+    while (shard.lru.size() > max_entries_per_shard_) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      ++evicted;
+    }
+  }
+  if (evicted > 0) evictions_->Increment(evicted);
+}
+
+SimilarityCache::Stats SimilarityCache::GetStats() const {
+  Stats stats;
+  stats.hits = hits_->Value();
+  stats.misses = misses_->Value();
+  stats.evictions = evictions_->Value();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    stats.entries += shard->lru.size();
+  }
+  return stats;
+}
+
+}  // namespace embedding
+}  // namespace tenet

@@ -1,0 +1,129 @@
+#ifndef TENET_EMBEDDING_SIMILARITY_CACHE_H_
+#define TENET_EMBEDDING_SIMILARITY_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "kb/types.h"
+#include "obs/metrics.h"
+
+namespace tenet {
+namespace embedding {
+
+// Tuning of a SimilarityCache.  Capacity is a byte budget, converted to an
+// entry budget with a conservative per-entry cost estimate, so callers
+// (the CLI's --similarity-cache-mb, the serving layer) can reason in
+// memory rather than entry counts.
+struct SimilarityCacheOptions {
+  /// Approximate memory budget.  Ignored when max_entries is non-zero.
+  size_t capacity_bytes = 8u << 20;
+  /// Exact entry budget; 0 derives it from capacity_bytes.
+  size_t max_entries = 0;
+  /// Independent LRU shards (rounded up to a power of two).  More shards
+  /// cut lock contention between serving workers at the cost of slightly
+  /// uneven per-shard capacity.
+  int num_shards = 8;
+  /// Registry for the hit/miss/eviction counters
+  /// (tenet_similarity_cache_ops_total{op=...}).  Null publishes to the
+  /// process-wide default registry.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+// A sharded LRU cache of pairwise concept similarities, shared across
+// documents of a serving workload.
+//
+// Pair-Linking (Phan et al., TKDE 2019) observes that collective-linking
+// cost is dominated by pairwise coherence evaluations and that the same
+// concept pairs recur across documents; REL (van Hulst et al., SIGIR 2020)
+// builds its serving throughput on precomputed similarity machinery.  This
+// cache is the in-process middle ground: the first document that compares
+// a concept pair pays the dot product, every later document gets it for a
+// hash probe.
+//
+// Keys are unordered concept pairs — (a, b) and (b, a) are the same entry,
+// and the key ignores which mentions produced the comparison, so repeats
+// both within and across documents hit.  Values must be deterministic
+// functions of the key (DotUnit over the store's unit rows is), which
+// makes a cached run bit-identical to an uncached one.
+//
+// Thread safety: every operation takes only its shard's mutex.  Two
+// threads racing to fill the same key may both compute the value; both
+// writes store the identical number, so the race is benign.
+class SimilarityCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    size_t entries = 0;
+
+    double HitRate() const {
+      int64_t total = hits + misses;
+      return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+  };
+
+  explicit SimilarityCache(SimilarityCacheOptions options = {});
+
+  SimilarityCache(const SimilarityCache&) = delete;
+  SimilarityCache& operator=(const SimilarityCache&) = delete;
+
+  /// The cached similarity of {a, b}, refreshing its recency; nullopt on a
+  /// miss.  Counts one hit or one miss.
+  std::optional<double> Lookup(kb::ConceptRef a, kb::ConceptRef b);
+
+  /// Stores the similarity of {a, b}, evicting the shard's least recently
+  /// used entry when it is full.  Overwriting an existing key refreshes
+  /// recency (the value is the same by the determinism contract).
+  void Insert(kb::ConceptRef a, kb::ConceptRef b, double similarity);
+
+  /// Lookup, falling back to `compute()` + Insert on a miss.  `compute`
+  /// runs outside the shard lock.
+  template <typename Fn>
+  double GetOrCompute(kb::ConceptRef a, kb::ConceptRef b, Fn&& compute) {
+    if (std::optional<double> hit = Lookup(a, b)) return *hit;
+    double value = compute();
+    Insert(a, b, value);
+    return value;
+  }
+
+  Stats GetStats() const;
+
+  size_t max_entries() const { return max_entries_per_shard_ * shards_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    double value = 0.0;
+  };
+
+  struct Shard {
+    std::mutex mu;
+    // Most recently used at the front; the map points into the list.
+    std::list<Entry> lru;
+    std::unordered_map<uint64_t, std::list<Entry>::iterator> index;
+  };
+
+  static uint64_t PairKey(kb::ConceptRef a, kb::ConceptRef b);
+  Shard& ShardOf(uint64_t key);
+  const Shard& ShardOf(uint64_t key) const;
+
+  size_t max_entries_per_shard_;
+  uint64_t shard_mask_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  obs::Counter* hits_;
+  obs::Counter* misses_;
+  obs::Counter* evictions_;
+};
+
+}  // namespace embedding
+}  // namespace tenet
+
+#endif  // TENET_EMBEDDING_SIMILARITY_CACHE_H_

@@ -183,8 +183,9 @@ void Histogram::Reset() {
 
 // -------------------------------------------------- DependencyOpCounters
 
-DependencyOpCounters::DependencyOpCounters(std::string_view dependency) {
-  MetricsRegistry* registry = MetricsRegistry::Default();
+DependencyOpCounters::DependencyOpCounters(std::string_view dependency,
+                                           MetricsRegistry* registry) {
+  if (registry == nullptr) registry = MetricsRegistry::Default();
   constexpr const char* kHelp =
       "Dependency operations at instrumented call sites, by outcome "
       "(error = the operation failed, e.g. an injected fault fired).";

@@ -137,16 +137,22 @@ class Histogram {
   std::array<Shard, kMetricShards> shards_;
 };
 
+class MetricsRegistry;
+
 // The tenet_dependency_operations_total{dependency=,outcome="ok"|"error"}
 // counter pair of one instrumented dependency call site (KB alias lookups,
 // embedding fetches, cover solves).  Construct once — a function-local
-// static at the call site — against the default registry; Record() is then
-// one shard increment.
+// static at a call site without an injectable registry, or a member of the
+// instrumented component (EmbeddingStore) so tests can re-point it at a
+// per-test registry; Record() is then one shard increment.
 class DependencyOpCounters {
  public:
-  explicit DependencyOpCounters(std::string_view dependency);
+  /// Resolves the counter pair against `registry` (null: the process-wide
+  /// default registry).
+  explicit DependencyOpCounters(std::string_view dependency,
+                                MetricsRegistry* registry = nullptr);
 
-  void Record(bool ok) { (ok ? ok_ : error_)->Increment(); }
+  void Record(bool ok) const { (ok ? ok_ : error_)->Increment(); }
 
  private:
   Counter* ok_;

@@ -46,6 +46,15 @@ RetryBudget::Options ResolveRetryBudget(const ServingOptions& options) {
   return budget;
 }
 
+std::unique_ptr<embedding::SimilarityCache> MakeSimilarityCache(
+    const ServingOptions& options) {
+  if (options.similarity_cache_bytes == 0) return nullptr;
+  embedding::SimilarityCacheOptions cache_options;
+  cache_options.capacity_bytes = options.similarity_cache_bytes;
+  cache_options.metrics = ResolveRegistry(options);
+  return std::make_unique<embedding::SimilarityCache>(cache_options);
+}
+
 ThreadPool::Options PoolOptions(const ServingOptions& options) {
   ThreadPool::Options pool;
   pool.num_threads = options.num_threads;
@@ -120,6 +129,7 @@ BatchLinkingService::BatchLinkingService(const baselines::Linker* linker,
       cover_breaker_(kCoverSolveDependency, ResolveBreaker(options)),
       retry_budget_(ResolveRetryBudget(options)),
       admission_(ResolveAdmission(options)),
+      similarity_cache_(MakeSimilarityCache(options)),
       observer_(this),
       observer_scope_(&observer_),
       pool_(PoolOptions(options)) {
@@ -164,7 +174,11 @@ Status BatchLinkingService::Submit(std::string text, core::LinkContext context,
     m_.shed->Increment();
     return admitted;
   }
-  Request request{std::move(text), deadline, context.trace, std::move(done)};
+  embedding::SimilarityCache* cache = context.similarity_cache != nullptr
+                                          ? context.similarity_cache
+                                          : similarity_cache_.get();
+  Request request{std::move(text), deadline, context.trace, cache,
+                  std::move(done)};
   Status queued = pool_.Submit(
       [this, request = std::move(request)]() mutable {
         Process(std::move(request));
@@ -188,6 +202,7 @@ Result<core::LinkingResult> BatchLinkingService::LinkOnce(
   // LinkDocument, which the offline evaluation relies on).
   if (!request.deadline.infinite()) context.deadline = request.deadline;
   context.trace = request.trace;
+  context.similarity_cache = request.similarity_cache;
   return linker_->LinkDocument(request.text, context);
 }
 
@@ -216,6 +231,7 @@ void BatchLinkingService::Process(Request request) {
     core::LinkContext degraded_context =
         core::LinkContext::WithDeadline(Deadline::Expired());
     degraded_context.trace = request.trace;
+    degraded_context.similarity_cache = request.similarity_cache;
     result = linker_->LinkDocument(request.text, degraded_context);
   } else {
     RetrySchedule schedule(options_.retry, /*initial_value=*/0.0);

@@ -17,6 +17,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/link_context.h"
+#include "embedding/similarity_cache.h"
 #include "obs/metrics.h"
 #include "serving/admission_controller.h"
 
@@ -54,6 +55,13 @@ struct ServingOptions {
                     /*max_value=*/std::numeric_limits<double>::infinity()};
   /// The shared retry budget (see RetryBudget).
   RetryBudget::Options retry_budget;
+  /// Byte budget of the service-owned cross-request similarity cache.
+  /// Recurring concept pairs across a serving workload hit the cache
+  /// instead of recomputing the pairwise kernel; cached values are
+  /// bit-identical to computed ones, so warming it never changes an
+  /// answer.  0 disables the service-owned cache; a request can still
+  /// bring its own via LinkContext::similarity_cache, which always wins.
+  size_t similarity_cache_bytes = 0;
   /// Registry backing the service's counters, gauges and the per-request
   /// latency histogram, and — unless they carry their own — the nested
   /// admission/breaker/retry-budget metrics.  Null publishes to the
@@ -160,6 +168,12 @@ class BatchLinkingService {
   /// process-wide default).
   obs::MetricsRegistry* metrics() const { return registry_; }
 
+  /// The service-owned cross-request similarity cache; null when
+  /// ServingOptions::similarity_cache_bytes is 0.
+  embedding::SimilarityCache* similarity_cache() const {
+    return similarity_cache_.get();
+  }
+
   /// Breaker watching `dependency` (one of the k*Dependency constants);
   /// null for unknown names.
   const CircuitBreaker* breaker(const char* dependency) const;
@@ -172,6 +186,9 @@ class BatchLinkingService {
     /// Resolved at the door: never "unset", so workers need no policy.
     Deadline deadline;
     obs::Trace* trace = nullptr;
+    /// Resolved at the door: the request's own cache, else the
+    /// service-owned one, else null.
+    embedding::SimilarityCache* similarity_cache = nullptr;
     Callback done;
   };
 
@@ -218,6 +235,7 @@ class BatchLinkingService {
   CircuitBreaker cover_breaker_;
   RetryBudget retry_budget_;
   AdmissionController admission_;
+  std::unique_ptr<embedding::SimilarityCache> similarity_cache_;
 
   // Declaration order is the destruction contract: the pool (last member)
   // is destroyed first, joining every worker before the observer scope

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "baselines/tenet_linker.h"
+#include "common/thread_pool.h"
 #include "datasets/corpus_generator.h"
 #include "datasets/world.h"
 #include "eval/harness.h"
@@ -101,10 +102,17 @@ TEST(AblationTest, BoundFactorRobustness) {
 
 TEST(AblationTest, MultiThreadedGraphBuildIsEquivalent) {
   datasets::Dataset news = SmallNews(45);
-  TenetOptions threaded;
-  threaded.graph.num_threads = 4;
+  // The pool travels on the substrate's graph options (TenetLinker adopts
+  // those wholesale); num_threads stays as the task cap.
+  ThreadPool pool(ThreadPool::Options{.num_threads = 4});
+  CoherenceGraphOptions graph_options;
+  graph_options.pool = &pool;
+  graph_options.num_threads = 4;
+  baselines::BaselineSubstrate threaded_substrate{
+      &World().kb(), &World().embeddings, &World().gazetteer(),
+      graph_options};
   baselines::TenetLinker serial = MakeTenet();
-  baselines::TenetLinker parallel = MakeTenet(threaded);
+  baselines::TenetLinker parallel(threaded_substrate);
   for (const datasets::Document& doc : news.documents) {
     Result<LinkingResult> a = serial.LinkDocument(doc.text);
     Result<LinkingResult> b = parallel.LinkDocument(doc.text);

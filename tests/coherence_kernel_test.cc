@@ -1,0 +1,244 @@
+// The vectorized coherence kernel's contract (DESIGN.md §10): the DotUnit
+// reduction, the unit-row store, the gathered/tiled batch path and the
+// similarity cache must all produce the SAME numbers — bit-identical edge
+// weights, identical links, identical PRF — whatever the kernel
+// configuration.  The golden equivalence tests here are what lets the
+// performance work claim "numerically invisible".
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+#include "baselines/tenet_linker.h"
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/coherence_graph.h"
+#include "core/mention.h"
+#include "datasets/corpus_generator.h"
+#include "datasets/world.h"
+#include "embedding/dot_kernel.h"
+#include "embedding/embedding_store.h"
+#include "embedding/similarity_cache.h"
+#include "eval/harness.h"
+#include "text/extraction.h"
+
+namespace tenet {
+namespace core {
+namespace {
+
+const datasets::SyntheticWorld& World() {
+  static const datasets::SyntheticWorld* world =
+      new datasets::SyntheticWorld(datasets::BuildWorld());
+  return *world;
+}
+
+datasets::Dataset SmallNews(uint64_t seed) {
+  datasets::CorpusGenerator gen(&World().kb_world);
+  Rng rng(seed);
+  datasets::DatasetSpec spec = datasets::NewsSpec();
+  spec.num_docs = 8;
+  return gen.Generate(spec, rng);
+}
+
+MentionSet MentionsOf(const std::string& text) {
+  text::Extractor extractor(&World().gazetteer());
+  return BuildMentionSet(extractor.ExtractFromText(text),
+                         &World().gazetteer());
+}
+
+// --- The reduction itself -------------------------------------------------
+
+TEST(DotKernelTest, MatchesDoubleReference) {
+  Rng rng(7);
+  for (int dim : {1, 2, 7, 8, 9, 15, 16, 17, 64, 127, 128, 129}) {
+    std::vector<double> a(dim), b(dim);
+    for (int d = 0; d < dim; ++d) {
+      a[d] = rng.NextDouble(-1.0, 1.0);
+      b[d] = rng.NextDouble(-1.0, 1.0);
+    }
+    double reference = 0.0;
+    for (int d = 0; d < dim; ++d) reference += a[d] * b[d];
+    EXPECT_NEAR(embedding::DotUnit(a.data(), b.data(), dim), reference,
+                1e-12 * (1.0 + std::abs(reference)))
+        << "dim " << dim;
+  }
+}
+
+TEST(DotKernelTest, ClampCosineBounds) {
+  EXPECT_EQ(embedding::ClampCosine(1.0000001), 1.0);
+  EXPECT_EQ(embedding::ClampCosine(-1.0000001), -1.0);
+  EXPECT_EQ(embedding::ClampCosine(0.25), 0.25);
+}
+
+// --- Unit rows and the gather --------------------------------------------
+
+embedding::EmbeddingStore SmallStore() {
+  embedding::EmbeddingStore store(/*dimension=*/24, /*num_entities=*/6,
+                                  /*num_predicates=*/2);
+  Rng rng(11);
+  for (int e = 0; e < 5; ++e) {  // entity 5 stays the zero vector
+    for (float& x : store.MutableVector(kb::ConceptRef::Entity(e))) {
+      x = static_cast<float>(rng.NextDouble(-2.0, 2.0));
+    }
+  }
+  for (int p = 0; p < 2; ++p) {
+    for (float& x : store.MutableVector(kb::ConceptRef::Predicate(p))) {
+      x = static_cast<float>(rng.NextDouble(-2.0, 2.0));
+    }
+  }
+  store.Finalize();
+  return store;
+}
+
+TEST(EmbeddingStoreKernelTest, UnitRowsHaveUnitNorm) {
+  embedding::EmbeddingStore store = SmallStore();
+  for (int e = 0; e < 5; ++e) {
+    std::span<const double> unit =
+        store.UnitVector(kb::ConceptRef::Entity(e));
+    double norm = 0.0;
+    for (double x : unit) norm += x * x;
+    EXPECT_NEAR(norm, 1.0, 1e-12) << "entity " << e;
+    EXPECT_NEAR(store.Cosine(kb::ConceptRef::Entity(e),
+                             kb::ConceptRef::Entity(e)),
+                1.0, 1e-12);
+  }
+}
+
+TEST(EmbeddingStoreKernelTest, ZeroRowsStayZeroAndCosineZero) {
+  embedding::EmbeddingStore store = SmallStore();
+  for (double x : store.UnitVector(kb::ConceptRef::Entity(5))) {
+    EXPECT_EQ(x, 0.0);
+  }
+  EXPECT_EQ(store.Cosine(kb::ConceptRef::Entity(5), kb::ConceptRef::Entity(0)),
+            0.0);
+}
+
+TEST(EmbeddingStoreKernelTest, GatherUnitCopiesUnitRowsVerbatim) {
+  embedding::EmbeddingStore store = SmallStore();
+  std::vector<kb::ConceptRef> refs = {
+      kb::ConceptRef::Entity(3), kb::ConceptRef::Predicate(1),
+      kb::ConceptRef::Entity(5), kb::ConceptRef::Entity(0)};
+  std::vector<double> rows(refs.size() * store.dimension());
+  store.GatherUnit(refs, rows.data());
+  for (size_t i = 0; i < refs.size(); ++i) {
+    std::span<const double> unit = store.UnitVector(refs[i]);
+    EXPECT_EQ(std::memcmp(rows.data() + i * store.dimension(), unit.data(),
+                          store.dimension() * sizeof(double)),
+              0)
+        << "row " << i;
+  }
+}
+
+TEST(EmbeddingStoreKernelTest, GatherIsOneDependencyOperation) {
+  datasets::Dataset news = SmallNews(46);
+  CoherenceGraphBuilder builder(&World().kb(), &World().embeddings);
+  FaultInjector faults(/*seed=*/5);
+  int builds = 0;
+  for (const datasets::Document& doc : news.documents) {
+    MentionSet mentions = MentionsOf(doc.text);
+    if (mentions.num_mentions() == 0) continue;
+    CoherenceGraph cg = builder.Build(std::move(mentions));
+    if (cg.num_concept_nodes() > 0) ++builds;
+  }
+  ASSERT_GT(builds, 0);
+  // One gather — hence one fault-point hit — per document with candidates,
+  // instead of one per concept pair.
+  EXPECT_EQ(faults.HitCount("embedding/fetch"), builds);
+}
+
+// --- Golden equivalence ---------------------------------------------------
+
+TEST(CoherenceKernelGoldenTest, EdgeListsAreBitIdenticalAcrossConfigs) {
+  datasets::Dataset news = SmallNews(47);
+
+  CoherenceGraphOptions legacy_options;
+  legacy_options.use_gather_kernel = false;
+  CoherenceGraphBuilder legacy(&World().kb(), &World().embeddings,
+                               legacy_options);
+  CoherenceGraphBuilder gather_serial(&World().kb(), &World().embeddings);
+
+  ThreadPool pool(ThreadPool::Options{.num_threads = 3});
+  embedding::SimilarityCache cache;
+  CoherenceGraphOptions pooled_options;
+  pooled_options.pool = &pool;
+  pooled_options.similarity_cache = &cache;
+  CoherenceGraphBuilder pooled(&World().kb(), &World().embeddings,
+                               pooled_options);
+
+  int compared_edges = 0;
+  for (int pass = 0; pass < 2; ++pass) {  // pass 2 runs with a warm cache
+    for (const datasets::Document& doc : news.documents) {
+      CoherenceGraph a = legacy.Build(MentionsOf(doc.text));
+      CoherenceGraph b = gather_serial.Build(MentionsOf(doc.text));
+      CoherenceGraph c = pooled.Build(MentionsOf(doc.text));
+      ASSERT_EQ(a.graph().num_edges(), b.graph().num_edges());
+      ASSERT_EQ(a.graph().num_edges(), c.graph().num_edges());
+      for (int e = 0; e < a.graph().num_edges(); ++e) {
+        const graph::Edge& ea = a.graph().edges()[e];
+        const graph::Edge& eb = b.graph().edges()[e];
+        const graph::Edge& ec = c.graph().edges()[e];
+        ASSERT_EQ(ea.u, eb.u);
+        ASSERT_EQ(ea.v, eb.v);
+        ASSERT_EQ(ea.weight, eb.weight);  // bitwise: same reduction
+        ASSERT_EQ(ea.u, ec.u);
+        ASSERT_EQ(ea.v, ec.v);
+        ASSERT_EQ(ea.weight, ec.weight);
+        ++compared_edges;
+      }
+    }
+  }
+  EXPECT_GT(compared_edges, 100);
+  embedding::SimilarityCache::Stats stats = cache.GetStats();
+  EXPECT_GT(stats.hits, 0) << "the warm pass should have hit the cache";
+}
+
+TEST(CoherenceKernelGoldenTest, EndToEndPrfIsByteIdentical) {
+  datasets::Dataset news = SmallNews(48);
+
+  CoherenceGraphOptions legacy_options;
+  legacy_options.use_gather_kernel = false;
+  ThreadPool pool(ThreadPool::Options{.num_threads = 3});
+  embedding::SimilarityCache cache;
+  CoherenceGraphOptions pooled_options;
+  pooled_options.pool = &pool;
+  pooled_options.similarity_cache = &cache;
+
+  baselines::TenetLinker legacy(baselines::BaselineSubstrate{
+      &World().kb(), &World().embeddings, &World().gazetteer(),
+      legacy_options});
+  baselines::TenetLinker vectorized(baselines::BaselineSubstrate{
+      &World().kb(), &World().embeddings, &World().gazetteer(), {}});
+  baselines::TenetLinker cached(baselines::BaselineSubstrate{
+      &World().kb(), &World().embeddings, &World().gazetteer(),
+      pooled_options});
+
+  eval::SystemScores a = eval::EvaluateEndToEnd(legacy, news);
+  eval::SystemScores b = eval::EvaluateEndToEnd(vectorized, news);
+  // Two cached runs: cold cache, then warm (every pair already resident).
+  eval::SystemScores c_cold = eval::EvaluateEndToEnd(cached, news);
+  eval::SystemScores c_warm = eval::EvaluateEndToEnd(cached, news);
+
+  for (const eval::SystemScores* s : {&b, &c_cold, &c_warm}) {
+    EXPECT_EQ(a.entity_linking.tp, s->entity_linking.tp);
+    EXPECT_EQ(a.entity_linking.fp, s->entity_linking.fp);
+    EXPECT_EQ(a.entity_linking.fn, s->entity_linking.fn);
+    EXPECT_EQ(a.relation_linking.tp, s->relation_linking.tp);
+    EXPECT_EQ(a.relation_linking.fp, s->relation_linking.fp);
+    EXPECT_EQ(a.relation_linking.fn, s->relation_linking.fn);
+    EXPECT_EQ(a.mention_detection.tp, s->mention_detection.tp);
+    EXPECT_EQ(a.mention_detection.fp, s->mention_detection.fp);
+    EXPECT_EQ(a.mention_detection.fn, s->mention_detection.fn);
+    // PRF is a pure function of the counts; == on the doubles is the
+    // byte-identical claim.
+    EXPECT_EQ(a.entity_linking.F1(), s->entity_linking.F1());
+    EXPECT_EQ(a.relation_linking.F1(), s->relation_linking.F1());
+    EXPECT_EQ(s->failed_documents, 0);
+  }
+  EXPECT_GT(cache.GetStats().hits, 0);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace tenet

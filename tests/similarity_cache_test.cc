@@ -1,0 +1,159 @@
+// SimilarityCache: LRU semantics, sharded capacity, the
+// tenet_similarity_cache_ops_total counters, and concurrent use (the
+// concurrency tests are TSan targets via the `kernel` ctest label).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "embedding/similarity_cache.h"
+#include "kb/types.h"
+#include "obs/metrics.h"
+
+namespace tenet {
+namespace embedding {
+namespace {
+
+kb::ConceptRef E(int id) { return kb::ConceptRef::Entity(id); }
+kb::ConceptRef P(int id) { return kb::ConceptRef::Predicate(id); }
+
+TEST(SimilarityCacheTest, MissThenHit) {
+  SimilarityCache cache;
+  EXPECT_FALSE(cache.Lookup(E(1), E(2)).has_value());
+  cache.Insert(E(1), E(2), 0.5);
+  std::optional<double> hit = cache.Lookup(E(1), E(2));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0.5);
+  SimilarityCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SimilarityCacheTest, PairKeyIsUnordered) {
+  SimilarityCache cache;
+  cache.Insert(E(3), E(7), 0.25);
+  std::optional<double> hit = cache.Lookup(E(7), E(3));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0.25);
+}
+
+TEST(SimilarityCacheTest, EntityAndPredicateWithSameIdAreDistinct) {
+  SimilarityCache cache;
+  cache.Insert(E(1), E(4), 0.1);
+  EXPECT_FALSE(cache.Lookup(P(1), E(4)).has_value());
+  EXPECT_FALSE(cache.Lookup(E(1), P(4)).has_value());
+}
+
+TEST(SimilarityCacheTest, GetOrComputeComputesOnceThenHits) {
+  SimilarityCache cache;
+  int computes = 0;
+  auto compute = [&] {
+    ++computes;
+    return 0.75;
+  };
+  EXPECT_EQ(cache.GetOrCompute(E(1), E(2), compute), 0.75);
+  EXPECT_EQ(cache.GetOrCompute(E(2), E(1), compute), 0.75);
+  EXPECT_EQ(computes, 1);
+}
+
+TEST(SimilarityCacheTest, EvictsLeastRecentlyUsedWithinBudget) {
+  SimilarityCacheOptions options;
+  options.max_entries = 8;
+  options.num_shards = 1;  // one LRU list: eviction order is observable
+  SimilarityCache cache(options);
+  EXPECT_EQ(cache.max_entries(), 8u);
+  for (int i = 0; i < 8; ++i) cache.Insert(E(0), E(100 + i), i);
+  // Refresh the oldest entry, then overflow by one: the second-oldest goes.
+  ASSERT_TRUE(cache.Lookup(E(0), E(100)).has_value());
+  cache.Insert(E(0), E(200), 99.0);
+  SimilarityCache::Stats stats = cache.GetStats();
+  EXPECT_EQ(stats.evictions, 1);
+  EXPECT_EQ(stats.entries, 8u);
+  EXPECT_TRUE(cache.Lookup(E(0), E(100)).has_value()) << "refreshed survives";
+  EXPECT_FALSE(cache.Lookup(E(0), E(101)).has_value()) << "LRU evicted";
+}
+
+TEST(SimilarityCacheTest, ByteBudgetBoundsEntries) {
+  SimilarityCacheOptions options;
+  options.capacity_bytes = 16 << 10;  // 16 KiB ~= 170 entries at 96 B each
+  SimilarityCache cache(options);
+  EXPECT_GT(cache.max_entries(), 0u);
+  EXPECT_LE(cache.max_entries(), (16u << 10) / 96 + 8);
+  for (int i = 0; i < 1000; ++i) cache.Insert(E(i), E(i + 1), i);
+  EXPECT_LE(cache.GetStats().entries, cache.max_entries());
+  EXPECT_GT(cache.GetStats().evictions, 0);
+}
+
+TEST(SimilarityCacheTest, PublishesOpsCounters) {
+  obs::MetricsRegistry registry;
+  SimilarityCacheOptions options;
+  options.max_entries = 2;
+  options.num_shards = 1;
+  options.metrics = &registry;
+  SimilarityCache cache(options);
+  cache.GetOrCompute(E(1), E(2), [] { return 0.5; });  // miss
+  cache.GetOrCompute(E(1), E(2), [] { return 0.5; });  // hit
+  cache.Insert(E(3), E(4), 0.1);
+  cache.Insert(E(5), E(6), 0.2);  // evicts {1,2}
+  auto value = [&](const char* op) {
+    return registry
+        .GetCounter("tenet_similarity_cache_ops_total", "",
+                    obs::LabelPair("op", op))
+        ->Value();
+  };
+  EXPECT_EQ(value("hit"), 1);
+  EXPECT_EQ(value("miss"), 1);
+  EXPECT_EQ(value("evict"), 1);
+}
+
+TEST(SimilarityCacheTest, HitRate) {
+  SimilarityCache::Stats stats;
+  EXPECT_EQ(stats.HitRate(), 0.0);
+  stats.hits = 3;
+  stats.misses = 1;
+  EXPECT_EQ(stats.HitRate(), 0.75);
+}
+
+// The TSan target: concurrent GetOrCompute over a deliberately overlapping
+// key range, with evictions.  Values are deterministic functions of the
+// key (the production contract), so whatever interleaving TSan explores,
+// every returned value must be exact.
+TEST(SimilarityCacheConcurrencyTest, ParallelGetOrComputeIsExact) {
+  SimilarityCacheOptions options;
+  options.max_entries = 64;  // small: force concurrent evictions
+  options.num_shards = 4;
+  SimilarityCache cache(options);
+  constexpr int kThreads = 4;
+  constexpr int kIds = 40;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 50; ++round) {
+        for (int i = 0; i < kIds; ++i) {
+          int j = (i + t + round) % kIds;
+          if (i == j) continue;
+          double expected = static_cast<double>(std::min(i, j)) * 1000 +
+                            std::max(i, j);
+          double got = cache.GetOrCompute(E(i), E(j),
+                                          [expected] { return expected; });
+          if (got != expected) errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(errors.load(), 0);
+  SimilarityCache::Stats stats = cache.GetStats();
+  EXPECT_GT(stats.hits, 0);
+  EXPECT_GT(stats.misses, 0);
+  EXPECT_LE(stats.entries, cache.max_entries());
+}
+
+}  // namespace
+}  // namespace embedding
+}  // namespace tenet

@@ -20,24 +20,29 @@
 //       News.tenetds, T-REx42.tenetds, KORE50.tenetds, MSNBC19.tenetds.
 //
 //   tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS]
-//             [--metrics-out FILE]
+//             [--similarity-cache-mb N] [--metrics-out FILE]
 //       Builds the synthetic world, generates the evaluation corpora and
 //       scores TENET end-to-end on each.  With --threads N > 1 the batch
 //       is served through the concurrent BatchLinkingService.  Exits
 //       non-zero when any document failed, listing each failure.
-//       --metrics-out writes the run's metrics registry to FILE in
-//       Prometheus text format (JSON when FILE ends in .json).
+//       --similarity-cache-mb N shares an N-MiB cross-document similarity
+//       cache across the whole run (cached values are bit-identical to
+//       computed ones, so scores are unchanged) and reports the cache hit
+//       rate afterwards.  --metrics-out writes the run's metrics registry
+//       to FILE in Prometheus text format (JSON when FILE ends in .json).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 
 #include "baselines/tenet_linker.h"
 #include "core/link_context.h"
+#include "embedding/similarity_cache.h"
 #include "core/pipeline.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -60,6 +65,7 @@ struct Args {
   int candidates = 4;
   double deadline_ms = std::numeric_limits<double>::infinity();
   int threads = 1;
+  int similarity_cache_mb = 0;
   std::optional<std::string> metrics_out;
   bool trace = false;
 };
@@ -111,6 +117,17 @@ std::optional<Args> Parse(int argc, char** argv) {
                      v);
         return std::nullopt;
       }
+    } else if (flag == "--similarity-cache-mb") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.similarity_cache_mb = std::atoi(v);
+      if (args.similarity_cache_mb < 0) {
+        std::fprintf(stderr,
+                     "--similarity-cache-mb expects a non-negative size, "
+                     "got: %s\n",
+                     v);
+        return std::nullopt;
+      }
     } else if (flag == "--metrics-out") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -135,7 +152,7 @@ void PrintUsage() {
       "  tenet_cli demo [--seed N]\n"
       "  tenet_cli dump-corpora [--seed N]\n"
       "  tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS] "
-      "[--metrics-out FILE]\n");
+      "[--similarity-cache-mb N] [--metrics-out FILE]\n");
 }
 
 std::string ReadStdin() {
@@ -285,9 +302,22 @@ int main(int argc, char** argv) {
     datasets::SyntheticWorld world = datasets::BuildWorld(options);
     core::TenetOptions tenet_options;
     tenet_options.deadline_ms = args->deadline_ms;
+    // The cache is installed statically on the coherence-graph options (the
+    // substrate carries them into the linker) so both the single-threaded
+    // harness path and the served path share it across every document.
+    std::unique_ptr<embedding::SimilarityCache> similarity_cache;
+    core::CoherenceGraphOptions graph_options;
+    if (args->similarity_cache_mb > 0) {
+      embedding::SimilarityCacheOptions cache_options;
+      cache_options.capacity_bytes =
+          static_cast<size_t>(args->similarity_cache_mb) << 20;
+      similarity_cache =
+          std::make_unique<embedding::SimilarityCache>(cache_options);
+      graph_options.similarity_cache = similarity_cache.get();
+    }
     baselines::TenetLinker tenet(
         baselines::BaselineSubstrate{&world.kb(), &world.embeddings,
-                                     &world.gazetteer(), {}},
+                                     &world.gazetteer(), graph_options},
         tenet_options);
     eval::EvalOptions eval_options;
     eval_options.num_threads = args->threads;
@@ -315,6 +345,18 @@ int main(int argc, char** argv) {
                      failure.status.ToString().c_str());
       }
       total_failed += scores.failed_documents;
+    }
+    if (similarity_cache != nullptr) {
+      embedding::SimilarityCache::Stats cache_stats =
+          similarity_cache->GetStats();
+      std::fprintf(stderr,
+                   "similarity cache: %lld hits, %lld misses (%.1f%% hit "
+                   "rate), %lld evictions, %zu resident entries\n",
+                   static_cast<long long>(cache_stats.hits),
+                   static_cast<long long>(cache_stats.misses),
+                   100.0 * cache_stats.HitRate(),
+                   static_cast<long long>(cache_stats.evictions),
+                   cache_stats.entries);
     }
     if (args->metrics_out.has_value()) {
       const std::string& path = *args->metrics_out;
