@@ -1,0 +1,165 @@
+// Snapshot-load benchmark: the legacy TENETKB v1 text container vs the
+// TENETKB2 binary snapshot, loaded buffered and zero-copy (mmap), plus the
+// TENETEMB1 embedding container streamed vs mapped.  This is the number
+// behind the README loading-time table and the >= 5x binary-vs-text
+// acceptance bar of the snapshot format.
+//
+// `--json <path>` writes {bench, ns_per_op, pairs_per_sec, speedup} records
+// (the BENCH_kb_load.json trajectory CI archives); `--smoke` shrinks the
+// sizes and repetitions for the tier-1 CI job.  Timings are best-of-N to
+// shed scheduler noise; speedup is relative to the text load of the same
+// KB.
+#include <cstdio>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "embedding/trainer.h"
+#include "json_out.h"
+#include "kb/io.h"
+#include "kb/synthetic_kb.h"
+
+namespace {
+
+using namespace tenet;
+
+struct SizeSpec {
+  const char* name;
+  int num_domains;
+  int entities_per_domain;
+};
+
+double ItemCount(const kb::KnowledgeBase& kb) {
+  return static_cast<double>(kb.num_entities()) + kb.num_predicates() +
+         kb.alias_index().num_surfaces() + kb.num_facts();
+}
+
+// Best-of-`reps` wall time of one load variant, in milliseconds.  `load`
+// returns the Result so the store is fully materialized and finalized
+// inside the timed window, while its destruction happens outside it —
+// tearing a KB down is not part of loading one.
+template <typename LoadFn>
+double BestMillis(int reps, LoadFn&& load) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    auto loaded = load();
+    double ms = timer.ElapsedMillis();
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load failed: %s\n",
+                   loaded.status().ToString().c_str());
+      std::exit(1);
+    }
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonArgs json_args = bench::StripJsonArgs(&argc, argv);
+
+  std::vector<SizeSpec> sizes = {
+      {"small", 4, 50}, {"medium", 12, 200}, {"large", 30, 400}};
+  int reps = 5;
+  if (json_args.smoke) {
+    sizes = {{"small", 4, 50}};
+    reps = 2;
+  }
+
+  ThreadPool::Options pool_options;
+  pool_options.num_threads = 4;
+  ThreadPool pool(pool_options);
+
+  std::vector<bench::JsonRecord> records;
+  std::printf("%-8s %-16s %12s %12s %10s\n", "size", "variant", "ms",
+              "items/s", "speedup");
+  for (const SizeSpec& size : sizes) {
+    kb::SyntheticKbOptions kb_options;
+    kb_options.num_domains = size.num_domains;
+    kb_options.entities_per_domain = size.entities_per_domain;
+    Rng rng(2021);
+    kb::SyntheticKb world = kb::SyntheticKbGenerator(kb_options).Generate(rng);
+
+    const std::string text_path =
+        std::string("bench_kb_load_") + size.name + ".text.tenetkb";
+    const std::string bin_path =
+        std::string("bench_kb_load_") + size.name + ".tenetkb";
+    const std::string emb_path =
+        std::string("bench_kb_load_") + size.name + ".tenetemb";
+    if (!kb::SaveKnowledgeBase(world.kb, text_path, kb::KbFormat::kTextV1)
+             .ok() ||
+        !kb::SaveKnowledgeBase(world.kb, bin_path, kb::KbFormat::kBinaryV2)
+             .ok()) {
+      std::fprintf(stderr, "saving %s KB failed\n", size.name);
+      return 1;
+    }
+    embedding::TrainerOptions trainer_options;
+    Rng emb_rng(7);
+    embedding::EmbeddingStore embeddings =
+        embedding::StructuralEmbeddingTrainer(trainer_options)
+            .Train(world.kb, emb_rng);
+    if (!kb::SaveEmbeddings(embeddings, emb_path).ok()) {
+      std::fprintf(stderr, "saving %s embeddings failed\n", size.name);
+      return 1;
+    }
+
+    struct Variant {
+      const char* name;
+      kb::KbLoadOptions options;
+      const std::string* path;
+    };
+    const Variant variants[] = {
+        {"text", {}, &text_path},
+        {"binary", {/*prefer_mmap=*/false, nullptr}, &bin_path},
+        {"binary_mmap", {/*prefer_mmap=*/true, nullptr}, &bin_path},
+        {"binary_mmap_pool", {/*prefer_mmap=*/true, &pool}, &bin_path},
+    };
+    const double items = ItemCount(world.kb);
+    double text_ms = 0.0;
+    for (const Variant& variant : variants) {
+      double ms = BestMillis(reps, [&variant] {
+        return kb::LoadKnowledgeBase(*variant.path, variant.options);
+      });
+      if (variant.name == std::string("text")) text_ms = ms;
+      double speedup = text_ms > 0.0 ? text_ms / ms : 0.0;
+      std::printf("%-8s %-16s %12.3f %12.0f %9.2fx\n", size.name,
+                  variant.name, ms, items / (ms / 1e3), speedup);
+      records.push_back(bench::JsonRecord{
+          std::string("kb_load/") + variant.name + "/" + size.name,
+          ms * 1e6, items / (ms / 1e3),
+          variant.name == std::string("text") ? 0.0 : speedup});
+    }
+
+    const double emb_items = static_cast<double>(world.kb.num_entities()) +
+                             world.kb.num_predicates();
+    for (bool prefer_mmap : {false, true}) {
+      kb::KbLoadOptions options;
+      options.prefer_mmap = prefer_mmap;
+      double ms = BestMillis(reps, [&emb_path, &options] {
+        return kb::LoadEmbeddings(emb_path, options);
+      });
+      const char* name = prefer_mmap ? "emb_mmap" : "emb_stream";
+      std::printf("%-8s %-16s %12.3f %12.0f %10s\n", size.name, name, ms,
+                  emb_items / (ms / 1e3), "-");
+      records.push_back(bench::JsonRecord{
+          std::string("emb_load/") + (prefer_mmap ? "mmap" : "stream") + "/" +
+              size.name,
+          ms * 1e6, emb_items / (ms / 1e3), 0.0});
+    }
+
+    std::remove(text_path.c_str());
+    std::remove(bin_path.c_str());
+    std::remove(emb_path.c_str());
+  }
+
+  if (!json_args.json_path.empty() &&
+      !bench::WriteJsonRecords(json_args.json_path, records)) {
+    return 1;
+  }
+  return 0;
+}

@@ -1,24 +1,20 @@
 #include "common/string_util.h"
 
 #include <cctype>
+#include <charconv>
 
 namespace tenet {
 
 std::string AsciiToLower(std::string_view s) {
   std::string out(s);
-  for (char& c : out) {
-    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  }
+  for (char& c : out) c = AsciiFoldChar(c);
   return out;
 }
 
 bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
   if (a.size() != b.size()) return false;
   for (size_t i = 0; i < a.size(); ++i) {
-    if (std::tolower(static_cast<unsigned char>(a[i])) !=
-        std::tolower(static_cast<unsigned char>(b[i]))) {
-      return false;
-    }
+    if (AsciiFoldChar(a[i]) != AsciiFoldChar(b[i])) return false;
   }
   return true;
 }
@@ -78,6 +74,30 @@ bool IsAsciiNumber(std::string_view s) {
 
 bool IsCapitalized(std::string_view s) {
   return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
+}
+
+Result<int64_t> ParseInt64(std::string_view s) {
+  int64_t value = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument("integer out of range: " + std::string(s));
+  }
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("not an integer: " + std::string(s));
+  }
+  return value;
+}
+
+Result<double> ParseFloat64(std::string_view s) {
+  double value = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec == std::errc::result_out_of_range) {
+    return Status::InvalidArgument("number out of range: " + std::string(s));
+  }
+  if (ec != std::errc() || ptr != s.data() + s.size()) {
+    return Status::InvalidArgument("not a number: " + std::string(s));
+  }
+  return value;
 }
 
 }  // namespace tenet

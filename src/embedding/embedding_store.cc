@@ -70,6 +70,37 @@ void EmbeddingStore::Finalize() {
   finalized_ = true;
 }
 
+Status EmbeddingStore::LoadMatrix(const void* matrix, size_t count_floats) {
+  TENET_CHECK(!finalized_) << "LoadMatrix after Finalize";
+  if (count_floats != data_.size()) {
+    return Status::InvalidArgument("embedding matrix size mismatch");
+  }
+  // memcpy tolerates any source alignment — mmapped payloads start at a
+  // file offset the format does not promise to be float-aligned.
+  std::memcpy(data_.data(), matrix, count_floats * sizeof(float));
+  size_t count = static_cast<size_t>(num_entities_) + num_predicates_;
+  unit_data_.assign(data_.size(), 0.0);
+  for (size_t i = 0; i < count; ++i) {
+    const float* v = data_.data() + i * dimension_;
+    double sum = 0.0;
+    for (int d = 0; d < dimension_; ++d) {
+      if (!std::isfinite(v[d])) {
+        unit_data_.clear();
+        return Status::DataLoss("non-finite embedding payload");
+      }
+      sum += double{v[d]} * v[d];
+    }
+    double norm = std::sqrt(sum);
+    if (norm <= 0.0) continue;  // zero rows stay zero: cosine 0 by design
+    double* unit = unit_data_.data() + i * dimension_;
+    for (int d = 0; d < dimension_; ++d) {
+      unit[d] = double{v[d]} / norm;
+    }
+  }
+  finalized_ = true;
+  return Status::Ok();
+}
+
 double EmbeddingStore::Cosine(kb::ConceptRef a, kb::ConceptRef b) const {
   TENET_CHECK(finalized_) << "Cosine before Finalize";
   // A fired fetch fault behaves like a missing vector: zero similarity,

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/status.h"
 #include "kb/types.h"
 #include "obs/metrics.h"
 
@@ -50,6 +51,17 @@ class EmbeddingStore {
   /// Builds the unit-normalized copy; must be called once after all writes.
   void Finalize();
   bool finalized() const { return finalized_; }
+
+  /// Bulk load + finalize in one pass: copies `count_floats` floats from
+  /// `matrix` (row-major, entities then predicates; any alignment — the
+  /// snapshot loader points this straight at an mmapped file) into the raw
+  /// matrix and builds the unit-normalized rows from the same sweep, so a
+  /// snapshot load pays exactly one copy instead of per-row reads plus a
+  /// Finalize re-scan.  `count_floats` must equal
+  /// dimension() * (num_entities() + num_predicates()).  DataLoss on
+  /// non-finite payloads (a NaN row would silently poison every cosine);
+  /// the store is left un-finalized on error.
+  Status LoadMatrix(const void* matrix, size_t count_floats);
 
   /// Cosine similarity in [-1, 1]; zero vectors yield 0.  One dependency
   /// observation / fault-point probe per call — the batched path below is

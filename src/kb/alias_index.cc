@@ -1,15 +1,25 @@
 #include "kb/alias_index.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
+#include <latch>
 
 #include "common/dependency_health.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "obs/metrics.h"
 
 namespace tenet {
 namespace kb {
+
+size_t AliasIndex::ShardOf(std::string_view folded_surface) {
+  static_assert((kNumShards & (kNumShards - 1)) == 0,
+                "shard count must be a power of two");
+  return std::hash<std::string_view>{}(folded_surface) & (kNumShards - 1);
+}
 
 void AliasIndex::Add(std::string_view surface, ConceptRef concept_ref,
                      double weight) {
@@ -18,7 +28,7 @@ void AliasIndex::Add(std::string_view surface, ConceptRef concept_ref,
   TENET_CHECK(concept_ref.valid());
   std::string key = AsciiToLower(surface);
   if (key.empty()) return;
-  std::vector<AliasPosting>& list = postings_[key];
+  std::vector<AliasPosting>& list = shards_[ShardOf(key)].postings[key];
   for (AliasPosting& posting : list) {
     if (posting.concept_ref == concept_ref) {
       posting.prior += weight;
@@ -28,9 +38,12 @@ void AliasIndex::Add(std::string_view surface, ConceptRef concept_ref,
   list.push_back(AliasPosting{concept_ref, weight});
 }
 
-void AliasIndex::Finalize() {
-  TENET_CHECK(!finalized_) << "AliasIndex::Finalize called twice";
-  for (auto& [surface, list] : postings_) {
+void AliasIndex::FinalizeShard(Shard& shard, FinalizeMode mode) {
+  // kRestorePriors leaves every list untouched: stored priors come back
+  // bit-exact, and serialization preserved the finalized (descending-prior)
+  // order, so both the division and the sort would be identities anyway.
+  if (mode == FinalizeMode::kRestorePriors) return;
+  for (auto& [surface, list] : shard.postings) {
     double entity_total = 0.0;
     double predicate_total = 0.0;
     for (const AliasPosting& posting : list) {
@@ -50,7 +63,116 @@ void AliasIndex::Finalize() {
                        return a.prior > b.prior;
                      });
   }
+}
+
+void AliasIndex::RestoreShardRanges(Shard& shard,
+                                    std::span<const RestoreEntry> entries,
+                                    const std::vector<GroupRange>& ranges) {
+  // One up-front rehash; without it the map rehashes every key log(n)
+  // times as it grows.  All per-surface allocation (key string, posting
+  // list) happens here, inside the shard's own task.
+  shard.postings.reserve(shard.postings.size() + ranges.size());
+  for (const GroupRange& range : ranges) {
+    auto [it, inserted] = shard.postings.try_emplace(
+        AsciiToLower(entries[range.first].surface));
+    std::vector<AliasPosting>& list = it->second;
+    list.reserve(list.size() + (range.second - range.first));
+    for (size_t k = range.first; k < range.second; ++k) {
+      list.push_back(entries[k].posting);
+    }
+  }
+}
+
+void AliasIndex::RestorePostings(std::span<const RestoreEntry> entries,
+                                 ThreadPool* pool) {
+  TENET_CHECK(!finalized_) << "AliasIndex::RestorePostings after Finalize";
+  // Serial pass: group boundaries + shard routing.  Hashes the borrowed
+  // view directly — snapshots store folded keys, so ShardOf(view) equals
+  // ShardOf(folded key) without materializing a string.  (An unfolded
+  // surface still lands correctly: fold it for routing only.)
+  std::array<std::vector<GroupRange>, kNumShards> by_shard;
+  std::string folded;
+  size_t i = 0;
+  while (i < entries.size()) {
+    size_t j = i + 1;
+    while (j < entries.size() && entries[j].surface == entries[i].surface) {
+      ++j;
+    }
+    std::string_view key = entries[i].surface;
+    if (!key.empty()) {
+      size_t shard;
+      if (std::any_of(key.begin(), key.end(),
+                      [](char c) { return c != AsciiFoldChar(c); })) {
+        folded = AsciiToLower(key);
+        shard = ShardOf(folded);
+      } else {
+        shard = ShardOf(key);
+      }
+      by_shard[shard].emplace_back(i, j);
+    }
+    i = j;
+  }
+  if (pool != nullptr && pool->num_threads() > 1) {
+    // Work-stealing over a shared counter, and the calling thread drains
+    // shards too — it just wrote `entries`, so its cache is the hottest,
+    // and parking it at the latch would make the pooled path slower than
+    // the serial one for snapshot-sized batches.
+    std::atomic<size_t> next{0};
+    auto drain = [this, entries, &by_shard, &next] {
+      size_t s;
+      while ((s = next.fetch_add(1, std::memory_order_relaxed)) <
+             shards_.size()) {
+        RestoreShardRanges(shards_[s], entries, by_shard[s]);
+      }
+    };
+    size_t helpers = std::min<size_t>(pool->num_threads(), shards_.size());
+    std::latch done(static_cast<ptrdiff_t>(helpers));
+    for (size_t h = 0; h < helpers; ++h) {
+      Status submitted = pool->Submit([&drain, &done] {
+        drain();
+        done.count_down();
+      });
+      if (!submitted.ok()) done.count_down();  // pool shut down: main drains
+    }
+    drain();
+    done.wait();
+  } else {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      RestoreShardRanges(shards_[s], entries, by_shard[s]);
+    }
+  }
+}
+
+void AliasIndex::Finalize(FinalizeMode mode, ThreadPool* pool) {
+  TENET_CHECK(!finalized_) << "AliasIndex::Finalize called twice";
+  if (mode == FinalizeMode::kRestorePriors) {
+    // Nothing to compute (see FinalizeShard); don't bounce off the pool.
+    finalized_ = true;
+    return;
+  }
+  if (pool != nullptr && pool->num_threads() > 1) {
+    std::latch done(static_cast<ptrdiff_t>(shards_.size()));
+    for (Shard& shard : shards_) {
+      Status submitted = pool->Submit([&shard, mode, &done] {
+        FinalizeShard(shard, mode);
+        done.count_down();
+      });
+      if (!submitted.ok()) {  // pool shut down mid-build: do it here
+        FinalizeShard(shard, mode);
+        done.count_down();
+      }
+    }
+    done.wait();
+  } else {
+    for (Shard& shard : shards_) FinalizeShard(shard, mode);
+  }
   finalized_ = true;
+}
+
+size_t AliasIndex::num_surfaces() const {
+  size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.postings.size();
+  return total;
 }
 
 std::vector<AliasPosting> AliasIndex::Lookup(std::string_view surface,
@@ -66,8 +188,10 @@ std::vector<AliasPosting> AliasIndex::Lookup(std::string_view surface,
       *new obs::DependencyOpCounters("kb/alias_lookup");
   ops.Record(!faulted);
   if (faulted) return out;
-  auto it = postings_.find(AsciiToLower(surface));
-  if (it == postings_.end()) return out;
+  std::string key = AsciiToLower(surface);
+  const Shard& shard = shards_[ShardOf(key)];
+  auto it = shard.postings.find(key);
+  if (it == shard.postings.end()) return out;
   for (const AliasPosting& posting : it->second) {
     if (posting.concept_ref.kind == kind) out.push_back(posting);
   }
@@ -86,8 +210,10 @@ std::vector<AliasPosting> AliasIndex::LookupPredicates(
 
 bool AliasIndex::ContainsSurface(std::string_view surface,
                                  ConceptRef::Kind kind) const {
-  auto it = postings_.find(AsciiToLower(surface));
-  if (it == postings_.end()) return false;
+  std::string key = AsciiToLower(surface);
+  const Shard& shard = shards_[ShardOf(key)];
+  auto it = shard.postings.find(key);
+  if (it == shard.postings.end()) return false;
   for (const AliasPosting& posting : it->second) {
     if (posting.concept_ref.kind == kind) return true;
   }

@@ -1,6 +1,9 @@
 #ifndef TENET_KB_ALIAS_INDEX_H_
 #define TENET_KB_ALIAS_INDEX_H_
 
+#include <array>
+#include <cstddef>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -9,6 +12,9 @@
 #include "kb/types.h"
 
 namespace tenet {
+
+class ThreadPool;
+
 namespace kb {
 
 // One candidate concept for a surface form, with its prior matching
@@ -24,21 +30,69 @@ struct AliasPosting {
 // the paper builds over the Wikidata JSON dump (Sec. 6.1, "Indexing the
 // Candidate Entities and Predicates").
 //
+// The posting lists are sharded by the hash of the case-folded surface:
+// Finalize() normalizes each shard independently (in parallel on a
+// ThreadPool when one is supplied), a lookup touches exactly one shard, and
+// the shard key is the unit a future cross-replica KB partitioning would
+// route on.  Case folding is the explicit ASCII fold (AsciiFoldChar) —
+// never std::tolower, whose locale dependence would corrupt keys holding
+// UTF-8 bytes.
+//
 // Usage: Add() postings while loading the KB, then Finalize() once to
 // normalize popularity weights into prior probabilities per (surface, kind).
 class AliasIndex {
  public:
+  /// Posting-list shards; a power of two, sized so that parallel Finalize
+  /// saturates typical core counts without fragmenting small KBs.
+  static constexpr size_t kNumShards = 16;
+
+  /// What Finalize() does with the accumulated weights.
+  enum class FinalizeMode {
+    /// Normalize weights to probabilities: within each surface form, entity
+    /// postings sum to 1 and predicate postings sum to 1 (entities and
+    /// predicates are disambiguated against their own candidate sets).
+    kNormalizeWeights,
+    /// Trust the added weights as already-finalized priors and restore them
+    /// bit-exactly — the deserialization mode.  Renormalizing on reload is
+    /// NOT idempotent in floating point (priors summing to 1-1ulp shift by
+    /// an ulp each round trip, enough to flip near-tie disambiguation), so
+    /// loaders must restore, not re-derive.
+    kRestorePriors,
+  };
+
   AliasIndex() = default;
 
   /// Registers `concept` as a candidate of `surface` with popularity
   /// `weight` (> 0).  Duplicate (surface, concept) pairs accumulate weight.
   void Add(std::string_view surface, ConceptRef concept_ref, double weight);
 
-  /// Normalizes weights to probabilities: within each surface form, entity
-  /// postings sum to 1 and predicate postings sum to 1 (entities and
-  /// predicates are disambiguated against their own candidate sets).
-  /// Postings are sorted by descending prior.  Must be called exactly once.
-  void Finalize();
+  /// One decoded alias record of the bulk restore path.  Records of one
+  /// surface must be consecutive and already in finalized
+  /// (descending-prior) order; `surface` is borrowed — it typically points
+  /// into a mapped snapshot and must stay valid for the duration of
+  /// RestorePostings.
+  struct RestoreEntry {
+    std::string_view surface;  // case-folded (folded here if not)
+    AliasPosting posting;
+  };
+
+  /// Bulk restore — the deserialization fast path.  Consecutive entries of
+  /// one surface become one posting list, inserted with a single
+  /// exact-sized hash insert (Add pays one hash and possible growth per
+  /// posting).  All allocation happens inside the per-shard work, which
+  /// runs in parallel when `pool` is given (shards are independent, so the
+  /// result is identical at any thread count).  A repeated surface appends
+  /// to the earlier list.  Must precede Finalize(), which should then run
+  /// in kRestorePriors mode — the lists arrive in their final order.
+  void RestorePostings(std::span<const RestoreEntry> entries,
+                       ThreadPool* pool = nullptr);
+
+  /// Freezes the index; postings end up sorted by descending prior within
+  /// each surface.  Must be called exactly once.  With `pool`, shards are
+  /// finalized in parallel (the result is identical at any thread count —
+  /// shards are independent).
+  void Finalize(FinalizeMode mode = FinalizeMode::kNormalizeWeights,
+                ThreadPool* pool = nullptr);
 
   /// Entity candidates of `surface`, most probable first; empty when the
   /// surface is unknown (a non-linkable phrase).
@@ -52,16 +106,24 @@ class AliasIndex {
   bool ContainsSurface(std::string_view surface,
                        ConceptRef::Kind kind) const;
 
-  /// Number of distinct (case-folded) surface forms.
-  size_t num_surfaces() const { return postings_.size(); }
+  /// Number of distinct (case-folded) surface forms, summed over shards.
+  size_t num_surfaces() const;
 
-  /// Invokes `visitor(surface, posting)` for every posting (iteration
-  /// order unspecified).  Used by serialization.
+  /// Shard index of the (case-folded) surface — the routing key lookups
+  /// and a future replica partitioning both use.
+  static size_t ShardOf(std::string_view folded_surface);
+
+  /// Invokes `visitor(surface, posting)` for every posting, shard by
+  /// shard; iteration order within a shard is unspecified, but all
+  /// postings of one surface are visited consecutively in their finalized
+  /// (descending-prior) order.  Used by serialization.
   template <typename Visitor>
   void VisitPostings(Visitor&& visitor) const {
-    for (const auto& [surface, list] : postings_) {
-      for (const AliasPosting& posting : list) {
-        visitor(surface, posting);
+    for (const Shard& shard : shards_) {
+      for (const auto& [surface, list] : shard.postings) {
+        for (const AliasPosting& posting : list) {
+          visitor(surface, posting);
+        }
       }
     }
   }
@@ -69,10 +131,25 @@ class AliasIndex {
   bool finalized() const { return finalized_; }
 
  private:
+  // Cache-line aligned: parallel restore/finalize mutates adjacent shards
+  // from different threads, and an unpadded map header (~56 bytes) would
+  // false-share its neighbor's line on every insert.
+  struct alignas(64) Shard {
+    std::unordered_map<std::string, std::vector<AliasPosting>> postings;
+  };
+
+  // A [begin, end) run of RestoreEntry indexes sharing one surface.
+  using GroupRange = std::pair<size_t, size_t>;
+
+  static void FinalizeShard(Shard& shard, FinalizeMode mode);
+  static void RestoreShardRanges(Shard& shard,
+                                 std::span<const RestoreEntry> entries,
+                                 const std::vector<GroupRange>& ranges);
+
   std::vector<AliasPosting> Lookup(std::string_view surface,
                                    ConceptRef::Kind kind) const;
 
-  std::unordered_map<std::string, std::vector<AliasPosting>> postings_;
+  std::array<Shard, kNumShards> shards_;
   bool finalized_ = false;
 };
 

@@ -1,23 +1,280 @@
 #include "kb/io.h"
 
+#include <algorithm>
+#include <array>
+#include <cctype>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <sstream>
-#include <cctype>
+#include <string_view>
+#include <type_traits>
 #include <unordered_map>
 #include <vector>
 
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/mmap_file.h"
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
 
 namespace tenet {
 namespace kb {
 namespace {
 
-constexpr char kKbMagic[] = "TENETKB v1";
+constexpr char kKbMagicV1[] = "TENETKB v1";
+constexpr char kKbMagicV2[8] = {'T', 'E', 'N', 'E', 'T', 'K', 'B', '2'};
 constexpr char kEmbMagic[] = "TENETEMB1";
+
+// ---- TENETKB2 binary layout (DESIGN.md §11) -------------------------------
+// All integers are fixed-width little-endian; the endian tag rejects
+// cross-endian snapshots.  Every section is length-prefixed in the header
+// table and 8-byte aligned, so a mapped file is consumed by pointer
+// arithmetic — no tokenizing, no float re-parsing.
+
+constexpr uint32_t kEndianTag = 0x32424B54;  // "TKB2" when little-endian
+constexpr size_t kHeaderBytes = 32;          // magic+tag+count+size+checksum
+constexpr size_t kSectionEntryBytes = 32;    // id+pad+offset+bytes+items
+constexpr size_t kRecordBytes = 24;          // entity/predicate/alias/fact
+
+enum SectionId : uint32_t {
+  kSectionStrings = 1,
+  kSectionEntities = 2,
+  kSectionPredicates = 3,
+  kSectionAliases = 4,
+  kSectionFacts = 5,
+};
+constexpr uint32_t kNumKnownSections = 5;
+
+const char* SectionName(uint32_t id) {
+  switch (id) {
+    case kSectionStrings: return "string_table";
+    case kSectionEntities: return "entities";
+    case kSectionPredicates: return "predicates";
+    case kSectionAliases: return "aliases";
+    case kSectionFacts: return "facts";
+    default: return "unknown";
+  }
+}
+
+uint64_t Fnv1a64(const unsigned char* data, size_t size) {
+  uint64_t hash = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= data[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+// Append-only little-endian buffer for the writer.
+class ByteWriter {
+ public:
+  template <typename T>
+  void Append(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    unsigned char raw[sizeof(T)];
+    std::memcpy(raw, &value, sizeof(T));
+    bytes_.insert(bytes_.end(), raw, raw + sizeof(T));
+  }
+  void AppendBytes(const void* data, size_t size) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    bytes_.insert(bytes_.end(), p, p + size);
+  }
+  void PadTo8() { bytes_.resize((bytes_.size() + 7) & ~size_t{7}, 0); }
+  size_t size() const { return bytes_.size(); }
+  const unsigned char* data() const { return bytes_.data(); }
+
+ private:
+  std::vector<unsigned char> bytes_;
+};
+
+// Bounds-unchecked typed reads over a section whose length was already
+// validated against its record count.
+class RecordReader {
+ public:
+  explicit RecordReader(std::span<const std::byte> bytes)
+      : p_(bytes.data()) {}
+  template <typename T>
+  T Read() {
+    T value;
+    std::memcpy(&value, p_, sizeof(T));
+    p_ += sizeof(T);
+    return value;
+  }
+
+ private:
+  const std::byte* p_;
+};
+
+// Interns strings; the blob and end-offset array form the string table
+// section.
+class StringTableBuilder {
+ public:
+  uint32_t Intern(std::string_view s) {
+    uint32_t next = static_cast<uint32_t>(ordered_.size());
+    auto [it, inserted] = index_.emplace(std::string(s), next);
+    if (inserted) ordered_.push_back(&it->first);
+    return it->second;
+  }
+
+  void Serialize(ByteWriter* out) const {
+    uint64_t end = 0;
+    for (const std::string* s : ordered_) {
+      end += s->size();
+      out->Append<uint64_t>(end);
+    }
+    for (const std::string* s : ordered_) {
+      out->AppendBytes(s->data(), s->size());
+    }
+  }
+
+  size_t size() const { return ordered_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint32_t> index_;
+  std::vector<const std::string*> ordered_;
+};
+
+struct SectionEntry {
+  uint32_t id = 0;
+  uint64_t offset = 0;
+  uint64_t byte_size = 0;
+  uint64_t item_count = 0;
+};
+
+// Header + section table of a mapped snapshot, validated: magic, endian
+// tag, declared-vs-actual file size, checksum, per-section bounds, and the
+// presence of each known section exactly once.
+struct SnapshotLayout {
+  std::array<SectionEntry, kNumKnownSections> known;  // by id - 1
+  std::vector<SectionEntry> all;
+};
+
+Result<SnapshotLayout> ParseSnapshotLayout(std::span<const std::byte> bytes) {
+  if (bytes.size() < kHeaderBytes) {
+    return Status::InvalidArgument("truncated TENETKB2 header");
+  }
+  const std::byte* p = bytes.data();
+  if (std::memcmp(p, kKbMagicV2, sizeof(kKbMagicV2)) != 0) {
+    return Status::InvalidArgument("not a TENETKB2 snapshot");
+  }
+  uint32_t endian_tag;
+  uint32_t section_count;
+  uint64_t file_size;
+  uint64_t checksum;
+  std::memcpy(&endian_tag, p + 8, sizeof(endian_tag));
+  std::memcpy(&section_count, p + 12, sizeof(section_count));
+  std::memcpy(&file_size, p + 16, sizeof(file_size));
+  std::memcpy(&checksum, p + 24, sizeof(checksum));
+  if (endian_tag != kEndianTag) {
+    return Status::InvalidArgument(
+        "TENETKB2 snapshot written with a different byte order");
+  }
+  if (file_size != bytes.size()) {
+    return Status::InvalidArgument(
+        "TENETKB2 size mismatch (truncated or trailing bytes): declared " +
+        std::to_string(file_size) + ", actual " +
+        std::to_string(bytes.size()));
+  }
+  if (section_count < kNumKnownSections || section_count > 64) {
+    return Status::InvalidArgument("implausible TENETKB2 section count");
+  }
+  size_t table_bytes = kSectionEntryBytes * section_count;
+  if (bytes.size() < kHeaderBytes + table_bytes) {
+    return Status::InvalidArgument("truncated TENETKB2 section table");
+  }
+  const unsigned char* table =
+      reinterpret_cast<const unsigned char*>(p + kHeaderBytes);
+  if (Fnv1a64(table, table_bytes) != checksum) {
+    return Status::InvalidArgument("TENETKB2 header checksum mismatch");
+  }
+  SnapshotLayout layout;
+  std::array<bool, kNumKnownSections> seen{};
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const unsigned char* e = table + i * kSectionEntryBytes;
+    SectionEntry entry;
+    std::memcpy(&entry.id, e, sizeof(entry.id));
+    std::memcpy(&entry.offset, e + 8, sizeof(entry.offset));
+    std::memcpy(&entry.byte_size, e + 16, sizeof(entry.byte_size));
+    std::memcpy(&entry.item_count, e + 24, sizeof(entry.item_count));
+    if (entry.offset < kHeaderBytes + table_bytes ||
+        entry.offset > bytes.size() ||
+        entry.byte_size > bytes.size() - entry.offset) {
+      return Status::InvalidArgument(
+          std::string("TENETKB2 section out of bounds: ") +
+          SectionName(entry.id));
+    }
+    layout.all.push_back(entry);
+    if (entry.id >= 1 && entry.id <= kNumKnownSections) {
+      if (seen[entry.id - 1]) {
+        return Status::InvalidArgument(
+            std::string("duplicate TENETKB2 section: ") +
+            SectionName(entry.id));
+      }
+      seen[entry.id - 1] = true;
+      layout.known[entry.id - 1] = entry;
+    }
+  }
+  for (uint32_t id = 1; id <= kNumKnownSections; ++id) {
+    if (!seen[id - 1]) {
+      return Status::InvalidArgument(
+          std::string("missing TENETKB2 section: ") + SectionName(id));
+    }
+  }
+  return layout;
+}
+
+// Resolved string table: views into the mapped blob (zero-copy).
+Result<std::vector<std::string_view>> ParseStringTable(
+    std::span<const std::byte> bytes, const SectionEntry& entry) {
+  if (entry.item_count > std::numeric_limits<int32_t>::max()) {
+    return Status::InvalidArgument("implausible string table count");
+  }
+  size_t count = static_cast<size_t>(entry.item_count);
+  if (entry.byte_size < count * sizeof(uint64_t)) {
+    return Status::InvalidArgument("string table shorter than its offsets");
+  }
+  const std::byte* base = bytes.data() + entry.offset;
+  const char* blob =
+      reinterpret_cast<const char*>(base) + count * sizeof(uint64_t);
+  size_t blob_size = entry.byte_size - count * sizeof(uint64_t);
+  std::vector<std::string_view> strings;
+  strings.reserve(count);
+  uint64_t prev = 0;
+  for (size_t i = 0; i < count; ++i) {
+    uint64_t end;
+    std::memcpy(&end, base + i * sizeof(uint64_t), sizeof(end));
+    if (end < prev || end > blob_size) {
+      return Status::InvalidArgument("corrupt string table offsets");
+    }
+    strings.emplace_back(blob + prev, end - prev);
+    prev = end;
+  }
+  if (prev != blob_size) {
+    return Status::InvalidArgument(
+        "string table blob larger than its offsets declare");
+  }
+  return strings;
+}
+
+Status CheckRecordSection(const SectionEntry& entry, const char* what) {
+  if (entry.item_count > std::numeric_limits<int32_t>::max()) {
+    return Status::InvalidArgument(std::string("implausible count in ") +
+                                   what);
+  }
+  if (entry.byte_size != entry.item_count * kRecordBytes) {
+    return Status::InvalidArgument(
+        std::string("section length disagrees with declared count: ") +
+        what);
+  }
+  return Status::Ok();
+}
+
+// ---- text (v1) helpers ----------------------------------------------------
 
 bool HasForbiddenChars(const std::string& s) {
   return s.find('\t') != std::string::npos ||
@@ -50,44 +307,304 @@ std::vector<std::string> SplitTabs(const std::string& line) {
 }
 
 Result<int64_t> ParseInt(const std::string& s, const char* what) {
-  try {
-    size_t consumed = 0;
-    int64_t value = std::stoll(s, &consumed);
-    if (consumed != s.size()) {
-      return Status::InvalidArgument(std::string("trailing garbage in ") +
-                                     what);
-    }
-    return value;
-  } catch (...) {
-    return Status::InvalidArgument(std::string("not an integer: ") + what);
+  Result<int64_t> value = ParseInt64(s);
+  if (!value.ok()) {
+    return Status::InvalidArgument(std::string("bad integer in ") + what +
+                                   ": " + s);
   }
+  return value;
 }
 
 Result<double> ParseDouble(const std::string& s, const char* what) {
-  try {
-    size_t consumed = 0;
-    double value = std::stod(s, &consumed);
-    if (consumed != s.size()) {
-      return Status::InvalidArgument(std::string("trailing garbage in ") +
-                                     what);
-    }
-    return value;
-  } catch (...) {
-    return Status::InvalidArgument(std::string("not a number: ") + what);
+  Result<double> value = ParseFloat64(s);
+  if (!value.ok()) {
+    return Status::InvalidArgument(std::string("bad number in ") + what +
+                                   ": " + s);
+  }
+  return value;
+}
+
+// ---- load metrics ---------------------------------------------------------
+
+void RecordLoad(const char* store, const char* format, double ms,
+                size_t mapped_bytes) {
+  obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+  registry
+      ->GetHistogram("tenet_kb_load_ms",
+                     "Snapshot load latency by store and format",
+                     obs::LabelPair("store", store) + "," +
+                         obs::LabelPair("format", format))
+      ->Observe(ms);
+  if (mapped_bytes > 0) {
+    registry
+        ->GetCounter("tenet_kb_bytes_mapped_total",
+                     "Bytes served zero-copy from mmapped snapshots",
+                     obs::LabelPair("store", store))
+        ->Increment(static_cast<int64_t>(mapped_bytes));
   }
 }
 
-}  // namespace
+// ---- TENETKB2 writer ------------------------------------------------------
 
-Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path) {
-  if (!kb.finalized()) {
-    return Status::FailedPrecondition("KB must be finalized before saving");
+Status SaveKnowledgeBaseBinary(const KnowledgeBase& kb,
+                               const std::string& path) {
+  StringTableBuilder strings;
+
+  ByteWriter entities;
+  for (EntityId id = 0; id < kb.num_entities(); ++id) {
+    const EntityRecord& rec = kb.entity(id);
+    entities.Append<uint32_t>(strings.Intern(rec.label));
+    entities.Append<int32_t>(static_cast<int32_t>(rec.type));
+    entities.Append<int32_t>(rec.domain);
+    entities.Append<int32_t>(0);
+    entities.Append<double>(rec.popularity);
   }
+
+  ByteWriter predicates;
+  for (PredicateId id = 0; id < kb.num_predicates(); ++id) {
+    const PredicateRecord& rec = kb.predicate(id);
+    predicates.Append<uint32_t>(strings.Intern(rec.label));
+    predicates.Append<int32_t>(rec.domain);
+    predicates.Append<int32_t>(0);
+    predicates.Append<int32_t>(0);
+    predicates.Append<double>(rec.popularity);
+  }
+
+  // Postings are persisted as finalized priors in their finalized
+  // (descending-prior) order; the loader restores them bit-exactly instead
+  // of renormalizing (see AliasIndex::FinalizeMode::kRestorePriors).
+  ByteWriter aliases;
+  uint64_t num_aliases = 0;
+  kb.alias_index().VisitPostings(
+      [&](std::string_view surface, const AliasPosting& posting) {
+        aliases.Append<uint32_t>(strings.Intern(surface));
+        aliases.Append<int32_t>(posting.concept_ref.id);
+        aliases.Append<int32_t>(posting.concept_ref.is_entity() ? 0 : 1);
+        aliases.Append<int32_t>(0);
+        aliases.Append<double>(posting.prior);
+        ++num_aliases;
+      });
+
+  ByteWriter facts;
+  for (const Triple& t : kb.facts()) {
+    facts.Append<int32_t>(t.subject);
+    facts.Append<int32_t>(t.predicate);
+    facts.Append<int32_t>(t.object_is_entity ? 0 : 1);
+    facts.Append<int32_t>(t.object_is_entity ? t.object_entity : 0);
+    facts.Append<uint32_t>(
+        t.object_is_entity ? 0 : strings.Intern(t.object_literal));
+    facts.Append<uint32_t>(0);
+  }
+
+  ByteWriter string_table;
+  strings.Serialize(&string_table);
+
+  struct Pending {
+    uint32_t id;
+    const ByteWriter* payload;
+    uint64_t item_count;
+  };
+  const Pending sections[kNumKnownSections] = {
+      {kSectionStrings, &string_table, strings.size()},
+      {kSectionEntities, &entities,
+       static_cast<uint64_t>(kb.num_entities())},
+      {kSectionPredicates, &predicates,
+       static_cast<uint64_t>(kb.num_predicates())},
+      {kSectionAliases, &aliases, num_aliases},
+      {kSectionFacts, &facts, static_cast<uint64_t>(kb.num_facts())},
+  };
+
+  ByteWriter table;
+  uint64_t offset = kHeaderBytes + kNumKnownSections * kSectionEntryBytes;
+  for (const Pending& s : sections) {
+    table.Append<uint32_t>(s.id);
+    table.Append<uint32_t>(0);
+    table.Append<uint64_t>(offset);
+    table.Append<uint64_t>(static_cast<uint64_t>(s.payload->size()));
+    table.Append<uint64_t>(s.item_count);
+    offset += (s.payload->size() + 7) & ~uint64_t{7};  // 8-byte aligned
+  }
+  const uint64_t file_size = offset;
+
+  ByteWriter header;
+  header.AppendBytes(kKbMagicV2, sizeof(kKbMagicV2));
+  header.Append<uint32_t>(kEndianTag);
+  header.Append<uint32_t>(kNumKnownSections);
+  header.Append<uint64_t>(file_size);
+  header.Append<uint64_t>(Fnv1a64(table.data(), table.size()));
+
+  std::ofstream out(path, std::ios::trunc | std::ios::binary);
+  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  out.write(reinterpret_cast<const char*>(header.data()),
+            static_cast<std::streamsize>(header.size()));
+  out.write(reinterpret_cast<const char*>(table.data()),
+            static_cast<std::streamsize>(table.size()));
+  for (const Pending& s : sections) {
+    ByteWriter padded;
+    padded.AppendBytes(s.payload->data(), s.payload->size());
+    padded.PadTo8();
+    out.write(reinterpret_cast<const char*>(padded.data()),
+              static_cast<std::streamsize>(padded.size()));
+    // Simulates a crash / full disk mid-write: the header already promises
+    // file_size bytes, so the loader rejects the torn file by length alone.
+    if (s.id == kSectionEntities &&
+        TENET_FAULT_POINT("kb/io/write_truncation")) {
+      out.flush();
+      return Status::DataLoss(
+          "injected fault: write truncated after entities");
+    }
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to " + path + " failed");
+  return Status::Ok();
+}
+
+// ---- TENETKB2 reader ------------------------------------------------------
+
+Result<KnowledgeBase> LoadKnowledgeBaseBinary(std::span<const std::byte> bytes,
+                                              const KbLoadOptions& options) {
+  TENET_ASSIGN_OR_RETURN(SnapshotLayout layout, ParseSnapshotLayout(bytes));
+  TENET_ASSIGN_OR_RETURN(
+      std::vector<std::string_view> strings,
+      ParseStringTable(bytes, layout.known[kSectionStrings - 1]));
+
+  auto string_at = [&strings](uint32_t ref,
+                              const char* what) -> Result<std::string_view> {
+    if (ref >= strings.size()) {
+      return Status::InvalidArgument(
+          std::string("string reference out of range in ") + what);
+    }
+    return strings[ref];
+  };
+
+  KnowledgeBase kb;
+
+  const SectionEntry& entities = layout.known[kSectionEntities - 1];
+  TENET_RETURN_IF_ERROR(CheckRecordSection(entities, "entities"));
+  {
+    const SectionEntry& predicates = layout.known[kSectionPredicates - 1];
+    const SectionEntry& facts = layout.known[kSectionFacts - 1];
+    TENET_RETURN_IF_ERROR(CheckRecordSection(predicates, "predicates"));
+    TENET_RETURN_IF_ERROR(CheckRecordSection(facts, "facts"));
+    kb.Reserve(static_cast<int32_t>(entities.item_count),
+               static_cast<int32_t>(predicates.item_count),
+               static_cast<int32_t>(facts.item_count));
+  }
+  RecordReader entity_reader(bytes.subspan(entities.offset));
+  for (uint64_t i = 0; i < entities.item_count; ++i) {
+    uint32_t label_ref = entity_reader.Read<uint32_t>();
+    int32_t type = entity_reader.Read<int32_t>();
+    int32_t domain = entity_reader.Read<int32_t>();
+    entity_reader.Read<int32_t>();  // padding
+    double popularity = entity_reader.Read<double>();
+    TENET_ASSIGN_OR_RETURN(std::string_view label,
+                           string_at(label_ref, "entities"));
+    if (type < 0 || type >= kNumEntityTypes) {
+      return Status::InvalidArgument("bad entity type in snapshot");
+    }
+    if (!std::isfinite(popularity) || popularity <= 0.0) {
+      return Status::InvalidArgument("non-positive entity popularity");
+    }
+    kb.AddEntity(label, static_cast<EntityType>(type), domain, popularity,
+                 /*register_label_alias=*/false);
+  }
+
+  const SectionEntry& predicates = layout.known[kSectionPredicates - 1];
+  TENET_RETURN_IF_ERROR(CheckRecordSection(predicates, "predicates"));
+  RecordReader predicate_reader(bytes.subspan(predicates.offset));
+  for (uint64_t i = 0; i < predicates.item_count; ++i) {
+    uint32_t label_ref = predicate_reader.Read<uint32_t>();
+    int32_t domain = predicate_reader.Read<int32_t>();
+    predicate_reader.Read<int32_t>();  // padding
+    predicate_reader.Read<int32_t>();  // padding
+    double popularity = predicate_reader.Read<double>();
+    TENET_ASSIGN_OR_RETURN(std::string_view label,
+                           string_at(label_ref, "predicates"));
+    if (!std::isfinite(popularity) || popularity <= 0.0) {
+      return Status::InvalidArgument("non-positive predicate popularity");
+    }
+    kb.AddPredicate(label, domain, popularity,
+                    /*register_label_alias=*/false);
+  }
+
+  // Alias postings are stored grouped per surface in finalized order;
+  // decoding builds one flat RestoreEntry array whose views borrow the
+  // mapped string table, and the whole batch moves into the sharded index
+  // via the bulk restore path — one hash insert per surface instead of one
+  // per posting, sharded in parallel when a pool is given.
+  const SectionEntry& aliases = layout.known[kSectionAliases - 1];
+  TENET_RETURN_IF_ERROR(CheckRecordSection(aliases, "aliases"));
+  RecordReader alias_reader(bytes.subspan(aliases.offset));
+  std::vector<AliasIndex::RestoreEntry> restore_entries;
+  restore_entries.reserve(static_cast<size_t>(aliases.item_count));
+  for (uint64_t i = 0; i < aliases.item_count; ++i) {
+    uint32_t surface_ref = alias_reader.Read<uint32_t>();
+    int32_t concept_id = alias_reader.Read<int32_t>();
+    int32_t kind = alias_reader.Read<int32_t>();
+    alias_reader.Read<int32_t>();  // padding
+    double prior = alias_reader.Read<double>();
+    TENET_ASSIGN_OR_RETURN(std::string_view surface,
+                           string_at(surface_ref, "aliases"));
+    if (!std::isfinite(prior) || prior <= 0.0) {
+      return Status::InvalidArgument("non-positive alias prior");
+    }
+    if (kind == 0) {
+      if (concept_id < 0 || concept_id >= kb.num_entities()) {
+        return Status::InvalidArgument("alias refers to unknown entity");
+      }
+    } else if (kind == 1) {
+      if (concept_id < 0 || concept_id >= kb.num_predicates()) {
+        return Status::InvalidArgument("alias refers to unknown predicate");
+      }
+    } else {
+      return Status::InvalidArgument("bad alias concept kind");
+    }
+    restore_entries.push_back(AliasIndex::RestoreEntry{
+        surface,
+        AliasPosting{kind == 0 ? ConceptRef::Entity(concept_id)
+                               : ConceptRef::Predicate(concept_id),
+                     prior}});
+  }
+  // The views borrow the mapped string table, valid until `file` dies —
+  // well past this call.
+  kb.RestoreAliasPostings(restore_entries, options.pool);
+
+  const SectionEntry& facts = layout.known[kSectionFacts - 1];
+  TENET_RETURN_IF_ERROR(CheckRecordSection(facts, "facts"));
+  RecordReader fact_reader(bytes.subspan(facts.offset));
+  for (uint64_t i = 0; i < facts.item_count; ++i) {
+    int32_t subject = fact_reader.Read<int32_t>();
+    int32_t predicate = fact_reader.Read<int32_t>();
+    int32_t object_kind = fact_reader.Read<int32_t>();
+    int32_t object_entity = fact_reader.Read<int32_t>();
+    uint32_t literal_ref = fact_reader.Read<uint32_t>();
+    fact_reader.Read<uint32_t>();  // padding
+    if (object_kind == 0) {
+      TENET_RETURN_IF_ERROR(kb.AddFact(subject, predicate, object_entity));
+    } else if (object_kind == 1) {
+      TENET_ASSIGN_OR_RETURN(std::string_view literal,
+                             string_at(literal_ref, "facts"));
+      TENET_RETURN_IF_ERROR(kb.AddLiteralFact(subject, predicate, literal));
+    } else {
+      return Status::InvalidArgument("bad fact object kind");
+    }
+  }
+
+  kb.Finalize(KnowledgeBase::FinalizeOptions{
+      AliasIndex::FinalizeMode::kRestorePriors, options.pool});
+  return kb;
+}
+
+// ---- TENETKB v1 (legacy text) ---------------------------------------------
+
+Status SaveKnowledgeBaseText(const KnowledgeBase& kb,
+                             const std::string& path) {
   std::ofstream out(path, std::ios::trunc);
   if (!out) return Status::Internal("cannot open " + path + " for writing");
 
-  out << std::setprecision(17);  // doubles round-trip exactly
-  out << kKbMagic << "\n";
+  // max_digits10 so every double survives the decimal round trip bit-exact.
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  out << kKbMagicV1 << "\n";
   out << "E\t" << kb.num_entities() << "\n";
   for (EntityId id = 0; id < kb.num_entities(); ++id) {
     const EntityRecord& rec = kb.entity(id);
@@ -114,13 +631,13 @@ Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path) {
     out << rec.domain << '\t' << rec.popularity << '\t' << rec.label << "\n";
   }
 
-  // Postings are persisted as finalized priors; renormalization on reload
-  // is idempotent, so candidate distributions round-trip exactly.
+  // Postings are persisted as finalized priors; the loader restores them
+  // bit-exactly (renormalization is NOT idempotent in floating point).
   std::vector<std::string> alias_lines;
   kb.alias_index().VisitPostings(
       [&alias_lines](std::string_view surface, const AliasPosting& posting) {
         std::ostringstream line;
-        line << std::setprecision(17);
+        line << std::setprecision(std::numeric_limits<double>::max_digits10);
         line << (posting.concept_ref.is_entity() ? 'E' : 'P') << '\t'
              << posting.concept_ref.id << '\t' << posting.prior << '\t'
              << surface;
@@ -147,15 +664,13 @@ Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path) {
   return Status::Ok();
 }
 
-Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path) {
-  if (TENET_FAULT_POINT("kb/io/load_kb")) {
-    return Status::DataLoss("injected fault: kb load failed: " + path);
-  }
+Result<KnowledgeBase> LoadKnowledgeBaseText(const std::string& path,
+                                            const KbLoadOptions& options) {
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
 
   TENET_ASSIGN_OR_RETURN(std::string magic, ReadLine(in, "magic"));
-  if (magic != kKbMagic) {
+  if (magic != kKbMagicV1) {
     return Status::InvalidArgument("not a TENETKB v1 file: " + path);
   }
   KnowledgeBase kb;
@@ -189,7 +704,7 @@ Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path) {
                            ParseInt(fields[1], "entity domain"));
     TENET_ASSIGN_OR_RETURN(double popularity,
                            ParseDouble(fields[2], "entity popularity"));
-    if (popularity <= 0.0) {
+    if (!std::isfinite(popularity) || popularity <= 0.0) {
       return Status::InvalidArgument("non-positive popularity");
     }
     kb.AddEntity(fields[3], static_cast<EntityType>(type),
@@ -208,7 +723,7 @@ Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path) {
                            ParseInt(fields[0], "predicate domain"));
     TENET_ASSIGN_OR_RETURN(double popularity,
                            ParseDouble(fields[1], "predicate popularity"));
-    if (popularity <= 0.0) {
+    if (!std::isfinite(popularity) || popularity <= 0.0) {
       return Status::InvalidArgument("non-positive popularity");
     }
     kb.AddPredicate(fields[2], static_cast<int32_t>(domain), popularity,
@@ -225,7 +740,7 @@ Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path) {
     TENET_ASSIGN_OR_RETURN(int64_t id, ParseInt(fields[1], "alias id"));
     TENET_ASSIGN_OR_RETURN(double weight,
                            ParseDouble(fields[2], "alias weight"));
-    if (weight <= 0.0) {
+    if (!std::isfinite(weight) || weight <= 0.0) {
       return Status::InvalidArgument("non-positive alias weight");
     }
     if (fields[0] == "E") {
@@ -267,7 +782,61 @@ Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path) {
     TENET_RETURN_IF_ERROR(status);
   }
 
-  kb.Finalize();
+  // Declared counts consumed; anything further means the file is longer
+  // than its sections declare — a stitched or corrupt snapshot, not ours.
+  std::string extra;
+  if (std::getline(in, extra)) {
+    return Status::InvalidArgument("trailing garbage after fact section");
+  }
+
+  // The persisted priors are finalized probabilities: restore them exactly
+  // instead of renormalizing (which would drift by an ulp per round trip).
+  kb.Finalize(KnowledgeBase::FinalizeOptions{
+      AliasIndex::FinalizeMode::kRestorePriors, options.pool});
+  return kb;
+}
+
+}  // namespace
+
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path,
+                         KbFormat format) {
+  if (!kb.finalized()) {
+    return Status::FailedPrecondition("KB must be finalized before saving");
+  }
+  return format == KbFormat::kBinaryV2 ? SaveKnowledgeBaseBinary(kb, path)
+                                       : SaveKnowledgeBaseText(kb, path);
+}
+
+Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path,
+                                        const KbLoadOptions& options) {
+  if (TENET_FAULT_POINT("kb/io/load_kb")) {
+    return Status::DataLoss("injected fault: kb load failed: " + path);
+  }
+  WallTimer timer;
+  // Sniff the magic: binary snapshots go through the mapped path, anything
+  // else through the v1 text parser (whose own magic check rejects
+  // garbage).
+  char magic[sizeof(kKbMagicV2)];
+  size_t sniffed = 0;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return Status::NotFound("cannot open " + path);
+    probe.read(magic, sizeof(magic));
+    sniffed = static_cast<size_t>(probe.gcount());
+  }
+  if (sniffed == sizeof(kKbMagicV2) &&
+      std::memcmp(magic, kKbMagicV2, sizeof(kKbMagicV2)) == 0) {
+    TENET_ASSIGN_OR_RETURN(MmapFile file,
+                           MmapFile::Open(path, options.prefer_mmap));
+    TENET_ASSIGN_OR_RETURN(KnowledgeBase kb,
+                           LoadKnowledgeBaseBinary(file.bytes(), options));
+    RecordLoad("kb", file.zero_copy() ? "binary_mmap" : "binary",
+               timer.ElapsedMillis(), file.zero_copy() ? file.size() : 0);
+    return kb;
+  }
+  TENET_ASSIGN_OR_RETURN(KnowledgeBase kb,
+                         LoadKnowledgeBaseText(path, options));
+  RecordLoad("kb", "text", timer.ElapsedMillis(), 0);
   return kb;
 }
 
@@ -304,10 +873,115 @@ Status SaveEmbeddings(const embedding::EmbeddingStore& store,
   return Status::Ok();
 }
 
-Result<embedding::EmbeddingStore> LoadEmbeddings(const std::string& path) {
+Result<embedding::EmbeddingStore> LoadEmbeddings(
+    const std::string& path, const KbLoadOptions& options) {
   if (TENET_FAULT_POINT("kb/io/load_embeddings")) {
     return Status::DataLoss("injected fault: embedding load failed: " + path);
   }
+  WallTimer timer;
+  TENET_ASSIGN_OR_RETURN(MmapFile file,
+                         MmapFile::Open(path, options.prefer_mmap));
+  std::span<const std::byte> bytes = file.bytes();
+  constexpr size_t kMagicBytes = sizeof(kEmbMagic) - 1;
+  constexpr size_t kEmbHeaderBytes = kMagicBytes + 3 * sizeof(int32_t);
+  if (bytes.size() < kEmbHeaderBytes ||
+      std::memcmp(bytes.data(), kEmbMagic, kMagicBytes) != 0) {
+    return Status::InvalidArgument("not a TENETEMB1 file: " + path);
+  }
+  int32_t header[3];
+  std::memcpy(header, bytes.data() + kMagicBytes, sizeof(header));
+  if (header[0] <= 0 || header[1] < 0 || header[2] < 0) {
+    return Status::InvalidArgument("bad embedding header");
+  }
+  const uint64_t count = static_cast<uint64_t>(header[0]) *
+                         (static_cast<uint64_t>(header[1]) +
+                          static_cast<uint64_t>(header[2]));
+  const uint64_t expected = kEmbHeaderBytes + count * sizeof(float);
+  if (bytes.size() != expected) {
+    // Declared counts disagree with the actual payload: a truncated write
+    // or trailing bytes.  Either way, nothing is populated.
+    return Status::InvalidArgument(
+        "truncated embedding file: declared " + std::to_string(expected) +
+        " bytes, actual " + std::to_string(bytes.size()));
+  }
+  embedding::EmbeddingStore store(header[0], header[1], header[2]);
+  // Bulk load straight from the mapped payload into the unit-normalized
+  // matrix — one copy, one pass, non-finite payloads rejected as DataLoss.
+  TENET_RETURN_IF_ERROR(store.LoadMatrix(
+      bytes.data() + kEmbHeaderBytes, static_cast<size_t>(count)));
+  RecordLoad("embeddings", file.zero_copy() ? "binary_mmap" : "binary",
+             timer.ElapsedMillis(), file.zero_copy() ? file.size() : 0);
+  return store;
+}
+
+Result<KbFileInfo> InspectKnowledgeBaseFile(const std::string& path) {
+  char magic[sizeof(kKbMagicV2)];
+  size_t sniffed = 0;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (!probe) return Status::NotFound("cannot open " + path);
+    probe.read(magic, sizeof(magic));
+    sniffed = static_cast<size_t>(probe.gcount());
+  }
+  KbFileInfo info;
+  if (sniffed == sizeof(kKbMagicV2) &&
+      std::memcmp(magic, kKbMagicV2, sizeof(kKbMagicV2)) == 0) {
+    TENET_ASSIGN_OR_RETURN(MmapFile file, MmapFile::Open(path));
+    TENET_ASSIGN_OR_RETURN(SnapshotLayout layout,
+                           ParseSnapshotLayout(file.bytes()));
+    info.format = "TENETKB2";
+    info.file_bytes = file.size();
+    for (const SectionEntry& entry : layout.all) {
+      info.sections.push_back(KbSectionInfo{SectionName(entry.id),
+                                            entry.byte_size,
+                                            entry.item_count});
+    }
+    info.entities =
+        static_cast<int64_t>(layout.known[kSectionEntities - 1].item_count);
+    info.predicates = static_cast<int64_t>(
+        layout.known[kSectionPredicates - 1].item_count);
+    info.aliases =
+        static_cast<int64_t>(layout.known[kSectionAliases - 1].item_count);
+    info.facts =
+        static_cast<int64_t>(layout.known[kSectionFacts - 1].item_count);
+    return info;
+  }
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  TENET_ASSIGN_OR_RETURN(std::string line, ReadLine(in, "magic"));
+  if (line != kKbMagicV1) {
+    return Status::InvalidArgument("not a TENET KB file: " + path);
+  }
+  info.format = kKbMagicV1;
+  {
+    std::ifstream sizer(path, std::ios::binary | std::ios::ate);
+    info.file_bytes = static_cast<uint64_t>(sizer.tellg());
+  }
+  for (const char* tag : {"E", "P", "A", "F"}) {
+    TENET_ASSIGN_OR_RETURN(std::string header, ReadLine(in, tag));
+    std::vector<std::string> fields = SplitTabs(header);
+    if (fields.size() != 2 || fields[0] != tag) {
+      return Status::InvalidArgument(std::string("bad section header for ") +
+                                     tag);
+    }
+    TENET_ASSIGN_OR_RETURN(int64_t count, ParseInt(fields[1], tag));
+    if (count < 0) {
+      return Status::InvalidArgument(std::string("negative count in ") + tag);
+    }
+    for (int64_t i = 0; i < count; ++i) {
+      TENET_RETURN_IF_ERROR(ReadLine(in, tag).status());
+    }
+    switch (tag[0]) {
+      case 'E': info.entities = count; break;
+      case 'P': info.predicates = count; break;
+      case 'A': info.aliases = count; break;
+      case 'F': info.facts = count; break;
+    }
+  }
+  return info;
+}
+
+Result<EmbFileInfo> InspectEmbeddingsFile(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return Status::NotFound("cannot open " + path);
   char magic[sizeof(kEmbMagic) - 1];
@@ -320,29 +994,22 @@ Result<embedding::EmbeddingStore> LoadEmbeddings(const std::string& path) {
   if (!in || header[0] <= 0 || header[1] < 0 || header[2] < 0) {
     return Status::InvalidArgument("bad embedding header");
   }
-  embedding::EmbeddingStore store(header[0], header[1], header[2]);
-  // Reject non-finite payloads before Finalize: NaN/Inf vectors would
-  // silently poison every cosine downstream (kDataLoss, not a crash).
-  auto slurp = [&in, &store](ConceptRef ref) -> Status {
-    std::span<float> v = store.MutableVector(ref);
-    in.read(reinterpret_cast<char*>(v.data()),
-            static_cast<std::streamsize>(v.size() * sizeof(float)));
-    if (!in) return Status::InvalidArgument("truncated embedding file");
-    for (float x : v) {
-      if (!std::isfinite(x)) {
-        return Status::DataLoss("non-finite embedding payload");
-      }
-    }
-    return Status::Ok();
-  };
-  for (EntityId e = 0; e < header[1]; ++e) {
-    TENET_RETURN_IF_ERROR(slurp(ConceptRef::Entity(e)));
+  in.seekg(0, std::ios::end);
+  EmbFileInfo info;
+  info.file_bytes = static_cast<uint64_t>(in.tellg());
+  info.dimension = header[0];
+  info.entities = header[1];
+  info.predicates = header[2];
+  const uint64_t expected =
+      sizeof(magic) + sizeof(header) +
+      static_cast<uint64_t>(header[0]) *
+          (static_cast<uint64_t>(header[1]) +
+           static_cast<uint64_t>(header[2])) *
+          sizeof(float);
+  if (info.file_bytes != expected) {
+    return Status::InvalidArgument("truncated embedding file");
   }
-  for (PredicateId p = 0; p < header[2]; ++p) {
-    TENET_RETURN_IF_ERROR(slurp(ConceptRef::Predicate(p)));
-  }
-  store.Finalize();
-  return store;
+  return info;
 }
 
 text::Gazetteer DeriveGazetteer(const KnowledgeBase& kb) {

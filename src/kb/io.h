@@ -1,7 +1,9 @@
 #ifndef TENET_KB_IO_H_
 #define TENET_KB_IO_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "embedding/embedding_store.h"
@@ -9,6 +11,9 @@
 #include "text/gazetteer.h"
 
 namespace tenet {
+
+class ThreadPool;
+
 namespace kb {
 
 // Serialization of the knowledge base and the embedding store — the
@@ -16,26 +21,95 @@ namespace kb {
 // JSON dump, storing PBG vectors in a memory-mapped array): build the
 // substrates once, persist them, and reload in O(size of file).
 //
-// Format: a line-oriented text container ("TENETKB v1") for the KB —
-// entities, predicates, aliases with weights, and facts — and a small
-// binary container ("TENETEMB1") for the embeddings.  Both formats are
-// versioned and validated on load; Load* never aborts on malformed input,
-// it returns InvalidArgument.
+// Two KB formats are supported (DESIGN.md §11):
+//  - "TENETKB2": the binary snapshot — length-prefixed sections (string
+//    table, entities, predicates, alias postings, facts) behind a
+//    checksummed header, loaded zero-copy through common/mmap_file (with a
+//    buffered fallback) and restored without re-tokenizing a single float.
+//    This is the production format and the default for saves.
+//  - "TENETKB v1": the legacy line-oriented text container, still loaded
+//    transparently (LoadKnowledgeBase auto-detects by magic) and still
+//    writable for debugging/diffing.
+// Embeddings persist as the "TENETEMB1" binary container either way; the
+// loader maps it and bulk-loads the matrix straight into the store's
+// unit-normalized form (EmbeddingStore::LoadMatrix — one copy, no per-row
+// reads).
+//
+// Round-trip contract: alias priors are persisted as the *finalized*
+// probabilities with max_digits10 precision and restored bit-exactly
+// (AliasIndex::FinalizeMode::kRestorePriors) — a save→load cycle reproduces
+// candidate distributions to the last bit, so near-tie disambiguation never
+// flips across a restart.  All loaders validate declared counts and section
+// lengths against the actual bytes before anything is returned; malformed
+// or truncated input yields InvalidArgument (DataLoss for non-finite
+// embedding payloads), never a crash, never a partially populated store.
 
-/// Writes `kb` (which must be finalized) to `path`.  Alias priors are
-/// persisted as the original weights, so a reloaded KB reproduces the
-/// exact candidate distributions.
-Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path);
+/// On-disk format selector for SaveKnowledgeBase.
+enum class KbFormat {
+  kTextV1,    // "TENETKB v1" line-oriented text
+  kBinaryV2,  // "TENETKB2" binary snapshot (default)
+};
 
-/// Reads a KB written by SaveKnowledgeBase and finalizes it.
-Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path);
+/// Knobs of the load path.
+struct KbLoadOptions {
+  /// Map binary snapshots zero-copy when the platform allows it; false
+  /// forces the buffered (streamed-read) path.
+  bool prefer_mmap = true;
+  /// Builds the alias-index shards in parallel when non-null.
+  ThreadPool* pool = nullptr;
+};
 
-/// Writes the embedding store (finalized) to `path` (binary).
+/// Writes `kb` (which must be finalized) to `path` in `format`.  Alias
+/// priors are persisted as the finalized probabilities, so a reloaded KB
+/// reproduces the exact candidate distributions.
+Status SaveKnowledgeBase(const KnowledgeBase& kb, const std::string& path,
+                         KbFormat format = KbFormat::kBinaryV2);
+
+/// Reads a KB written by SaveKnowledgeBase — either format, auto-detected
+/// by magic — and finalizes it in prior-restoring mode.
+Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path,
+                                        const KbLoadOptions& options = {});
+
+/// Writes the embedding store (finalized) to `path` (binary "TENETEMB1").
 Status SaveEmbeddings(const embedding::EmbeddingStore& store,
                       const std::string& path);
 
 /// Reads embeddings written by SaveEmbeddings and finalizes the store.
-Result<embedding::EmbeddingStore> LoadEmbeddings(const std::string& path);
+Result<embedding::EmbeddingStore> LoadEmbeddings(
+    const std::string& path, const KbLoadOptions& options = {});
+
+// Snapshot introspection for `tenet_cli kb inspect` and tests: format,
+// logical counts, and (for binary snapshots) the section table.
+struct KbSectionInfo {
+  std::string name;
+  uint64_t bytes = 0;
+  uint64_t items = 0;
+};
+
+struct KbFileInfo {
+  std::string format;  // "TENETKB v1" or "TENETKB2"
+  uint64_t file_bytes = 0;
+  int64_t entities = 0;
+  int64_t predicates = 0;
+  int64_t aliases = 0;
+  int64_t facts = 0;
+  std::vector<KbSectionInfo> sections;  // binary snapshots only
+};
+
+/// Reads only the metadata of a KB file (either format).  Validates the
+/// same header/section invariants as the loader without materializing the
+/// KB.
+Result<KbFileInfo> InspectKnowledgeBaseFile(const std::string& path);
+
+struct EmbFileInfo {
+  uint64_t file_bytes = 0;
+  int32_t dimension = 0;
+  int32_t entities = 0;
+  int32_t predicates = 0;
+};
+
+/// Reads only the header of a TENETEMB1 file and validates its size.
+Result<EmbFileInfo> InspectEmbeddingsFile(const std::string& path);
 
 /// Derives an NER gazetteer from a (finalized) KB: every alias surface is
 /// registered under the type of its most probable entity sense; surfaces

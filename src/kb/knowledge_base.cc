@@ -53,6 +53,20 @@ void KnowledgeBase::AddPredicateAlias(PredicateId id,
   alias_index_.Add(surface, ConceptRef::Predicate(id), w);
 }
 
+void KnowledgeBase::Reserve(int32_t num_entities, int32_t num_predicates,
+                            int32_t num_facts) {
+  TENET_CHECK(!finalized_);
+  entities_.reserve(num_entities);
+  predicates_.reserve(num_predicates);
+  facts_.reserve(num_facts);
+}
+
+void KnowledgeBase::RestoreAliasPostings(
+    std::span<const AliasIndex::RestoreEntry> entries, ThreadPool* pool) {
+  TENET_CHECK(!finalized_);
+  alias_index_.RestorePostings(entries, pool);
+}
+
 Status KnowledgeBase::AddFact(EntityId subject, PredicateId predicate,
                               EntityId object_entity) {
   TENET_CHECK(!finalized_);
@@ -92,18 +106,41 @@ Status KnowledgeBase::AddLiteralFact(EntityId subject, PredicateId predicate,
   return Status::Ok();
 }
 
-void KnowledgeBase::Finalize() {
+void KnowledgeBase::Finalize(const FinalizeOptions& options) {
   TENET_CHECK(!finalized_) << "KnowledgeBase::Finalize called twice";
-  alias_index_.Finalize();
-  facts_of_entity_.assign(entities_.size(), {});
-  facts_of_predicate_.assign(predicates_.size(), {});
+  alias_index_.Finalize(options.alias_mode, options.pool);
+  // Counted two-pass CSR build: degree count, prefix sums, then a fill
+  // pass through cursor copies of the offsets.  Two arena allocations per
+  // concept kind instead of one vector per concept — the dominant cost of
+  // reconstructing a large KB is small mallocs, not arithmetic.
+  entity_fact_offsets_.assign(entities_.size() + 1, 0);
+  predicate_fact_offsets_.assign(predicates_.size() + 1, 0);
+  for (const Triple& t : facts_) {
+    ++entity_fact_offsets_[t.subject + 1];
+    if (t.object_is_entity && t.object_entity != t.subject) {
+      ++entity_fact_offsets_[t.object_entity + 1];
+    }
+    ++predicate_fact_offsets_[t.predicate + 1];
+  }
+  for (size_t i = 1; i < entity_fact_offsets_.size(); ++i) {
+    entity_fact_offsets_[i] += entity_fact_offsets_[i - 1];
+  }
+  for (size_t i = 1; i < predicate_fact_offsets_.size(); ++i) {
+    predicate_fact_offsets_[i] += predicate_fact_offsets_[i - 1];
+  }
+  entity_fact_ids_.resize(entity_fact_offsets_.back());
+  predicate_fact_ids_.resize(predicate_fact_offsets_.back());
+  std::vector<uint32_t> entity_cursor(entity_fact_offsets_.begin(),
+                                      entity_fact_offsets_.end() - 1);
+  std::vector<uint32_t> predicate_cursor(predicate_fact_offsets_.begin(),
+                                         predicate_fact_offsets_.end() - 1);
   for (int32_t i = 0; i < num_facts(); ++i) {
     const Triple& t = facts_[i];
-    facts_of_entity_[t.subject].push_back(i);
+    entity_fact_ids_[entity_cursor[t.subject]++] = i;
     if (t.object_is_entity && t.object_entity != t.subject) {
-      facts_of_entity_[t.object_entity].push_back(i);
+      entity_fact_ids_[entity_cursor[t.object_entity]++] = i;
     }
-    facts_of_predicate_[t.predicate].push_back(i);
+    predicate_fact_ids_[predicate_cursor[t.predicate]++] = i;
   }
   finalized_ = true;
 }
@@ -157,17 +194,21 @@ std::vector<PredicateCandidate> KnowledgeBase::CandidatePredicates(
   return out;
 }
 
-const std::vector<int32_t>& KnowledgeBase::FactsOfEntity(EntityId id) const {
+std::span<const int32_t> KnowledgeBase::FactsOfEntity(EntityId id) const {
   TENET_CHECK(finalized_);
   TENET_CHECK(id >= 0 && id < num_entities());
-  return facts_of_entity_[id];
+  return std::span<const int32_t>(entity_fact_ids_)
+      .subspan(entity_fact_offsets_[id],
+               entity_fact_offsets_[id + 1] - entity_fact_offsets_[id]);
 }
 
-const std::vector<int32_t>& KnowledgeBase::FactsOfPredicate(
+std::span<const int32_t> KnowledgeBase::FactsOfPredicate(
     PredicateId id) const {
   TENET_CHECK(finalized_);
   TENET_CHECK(id >= 0 && id < num_predicates());
-  return facts_of_predicate_[id];
+  return std::span<const int32_t>(predicate_fact_ids_)
+      .subspan(predicate_fact_offsets_[id],
+               predicate_fact_offsets_[id + 1] - predicate_fact_offsets_[id]);
 }
 
 std::vector<EntityId> KnowledgeBase::NeighborEntities(EntityId id) const {

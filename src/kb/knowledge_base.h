@@ -2,6 +2,7 @@
 #define TENET_KB_KNOWLEDGE_BASE_H_
 
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -90,6 +91,17 @@ class KnowledgeBase {
   void AddPredicateAlias(PredicateId id, std::string_view surface,
                          double weight = 0.0);
 
+  /// Pre-sizes the entity/predicate/fact storage.  The deserialization
+  /// path knows the exact counts up front; anything else may skip this.
+  void Reserve(int32_t num_entities, int32_t num_predicates,
+               int32_t num_facts);
+
+  /// Deserialization fast path: bulk-inserts decoded posting lists into
+  /// the alias index, sharded in parallel on `pool` when given (see
+  /// AliasIndex::RestorePostings).  Caller validates the concept ids.
+  void RestoreAliasPostings(std::span<const AliasIndex::RestoreEntry> entries,
+                            ThreadPool* pool = nullptr);
+
   /// Adds the fact (subject, predicate, object_entity).
   Status AddFact(EntityId subject, PredicateId predicate,
                  EntityId object_entity);
@@ -97,9 +109,20 @@ class KnowledgeBase {
   Status AddLiteralFact(EntityId subject, PredicateId predicate,
                         std::string_view literal);
 
+  // How Finalize treats the registered alias weights; see
+  // AliasIndex::FinalizeMode for why deserialization must restore rather
+  // than renormalize.
+  struct FinalizeOptions {
+    AliasIndex::FinalizeMode alias_mode =
+        AliasIndex::FinalizeMode::kNormalizeWeights;
+    /// Builds the alias-index shards in parallel when non-null.
+    ThreadPool* pool = nullptr;
+  };
+
   /// Freezes the KB: normalizes alias priors, builds adjacency.  Must be
   /// called exactly once before any query.
-  void Finalize();
+  void Finalize() { Finalize(FinalizeOptions{}); }
+  void Finalize(const FinalizeOptions& options);
   bool finalized() const { return finalized_; }
 
   // ---- Query phase -------------------------------------------------------
@@ -130,10 +153,12 @@ class KnowledgeBase {
   std::vector<PredicateCandidate> CandidatePredicates(
       std::string_view surface, int max_candidates) const;
 
-  /// Indices into facts() where `id` appears as subject or object.
-  const std::vector<int32_t>& FactsOfEntity(EntityId id) const;
+  /// Indices into facts() where `id` appears as subject or object.  The
+  /// span points into a flat CSR arena owned by the KB, valid as long as
+  /// the KB lives.
+  std::span<const int32_t> FactsOfEntity(EntityId id) const;
   /// Indices into facts() using predicate `id`.
-  const std::vector<int32_t>& FactsOfPredicate(PredicateId id) const;
+  std::span<const int32_t> FactsOfPredicate(PredicateId id) const;
 
   /// Distinct entities adjacent to `id` through any fact.
   std::vector<EntityId> NeighborEntities(EntityId id) const;
@@ -145,8 +170,14 @@ class KnowledgeBase {
   std::vector<PredicateRecord> predicates_;
   std::vector<Triple> facts_;
   AliasIndex alias_index_;
-  std::vector<std::vector<int32_t>> facts_of_entity_;
-  std::vector<std::vector<int32_t>> facts_of_predicate_;
+  // Adjacency in CSR form: ids_[offsets_[i] .. offsets_[i + 1]) are the
+  // fact indices of concept i.  Two allocations total instead of one
+  // vector per concept — the difference between reconstructing a snapshot
+  // in linear time and drowning in small mallocs.
+  std::vector<int32_t> entity_fact_ids_;
+  std::vector<uint32_t> entity_fact_offsets_;
+  std::vector<int32_t> predicate_fact_ids_;
+  std::vector<uint32_t> predicate_fact_offsets_;
   bool finalized_ = false;
 };
 

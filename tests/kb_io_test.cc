@@ -1,9 +1,13 @@
 #include "kb/io.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -252,6 +256,173 @@ KnowledgeBase TinyKb() {
   kb.AddPredicate("visited", /*domain=*/0, /*popularity=*/1.0);
   kb.Finalize();
   return kb;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+// One (surface, kind, concept, prior) row per posting, in visit order.
+using PostingRows =
+    std::vector<std::tuple<std::string, ConceptRef::Kind, int32_t, double>>;
+
+PostingRows AllPostings(const KnowledgeBase& kb) {
+  PostingRows rows;
+  kb.alias_index().VisitPostings(
+      [&rows](std::string_view surface, const AliasPosting& posting) {
+        rows.emplace_back(std::string(surface), posting.concept_ref.kind,
+                          posting.concept_ref.id, posting.prior);
+      });
+  std::sort(rows.begin(), rows.end());
+  return rows;
+}
+
+TEST(KbIoTest, PriorsRoundTripBitExactInBothFormats) {
+  // Alias priors are probabilities computed once at build time; each load
+  // must restore them bit-exactly (max_digits10 text, raw doubles binary).
+  // Renormalizing on load would drift near-tie disambiguations by an ulp
+  // per save/load generation.
+  Rng rng(64);
+  SyntheticKbOptions options;
+  options.num_domains = 5;
+  options.entities_per_domain = 30;
+  SyntheticKb world = SyntheticKbGenerator(options).Generate(rng);
+  PostingRows original = AllPostings(world.kb);
+  ASSERT_FALSE(original.empty());
+
+  for (KbFormat format : {KbFormat::kTextV1, KbFormat::kBinaryV2}) {
+    SCOPED_TRACE(format == KbFormat::kTextV1 ? "text" : "binary");
+    std::string path = TempPath("prior_exact.tenetkb");
+    ASSERT_TRUE(SaveKnowledgeBase(world.kb, path, format).ok());
+    Result<KnowledgeBase> gen1 = LoadKnowledgeBase(path);
+    ASSERT_TRUE(gen1.ok()) << gen1.status();
+    EXPECT_EQ(AllPostings(*gen1), original);
+
+    // Second generation: save the loaded KB and load again — still exact.
+    ASSERT_TRUE(SaveKnowledgeBase(*gen1, path, format).ok());
+    Result<KnowledgeBase> gen2 = LoadKnowledgeBase(path);
+    ASSERT_TRUE(gen2.ok()) << gen2.status();
+    EXPECT_EQ(AllPostings(*gen2), original);
+  }
+}
+
+TEST(KbIoCorruptionTest, TextLoadRejectsTrailingGarbage) {
+  std::string path = TempPath("trailing.tenetkb");
+  ASSERT_TRUE(SaveKnowledgeBase(TinyKb(), path, KbFormat::kTextV1).ok());
+  std::string content = ReadFileBytes(path);
+  WriteFile(path, content + "one more line\n");
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+// --- TENETKB2 corruption matrix --------------------------------------------
+// Layout recap (mirrors io.cc): 32-byte header, then section_count 32-byte
+// table entries {u32 id, u32 pad, u64 offset, u64 size, u64 count}, then
+// the section payloads.  The header checksum covers the table.
+
+struct BinarySection {
+  uint32_t id;
+  uint64_t offset;
+  uint64_t size;
+  uint64_t count;
+};
+
+std::vector<BinarySection> ReadSectionTable(const std::string& bytes) {
+  uint32_t section_count = 0;
+  std::memcpy(&section_count, bytes.data() + 12, sizeof(section_count));
+  std::vector<BinarySection> sections;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const char* entry = bytes.data() + 32 + i * 32;
+    BinarySection s;
+    std::memcpy(&s.id, entry, sizeof(s.id));
+    std::memcpy(&s.offset, entry + 8, sizeof(s.offset));
+    std::memcpy(&s.size, entry + 16, sizeof(s.size));
+    std::memcpy(&s.count, entry + 24, sizeof(s.count));
+    sections.push_back(s);
+  }
+  return sections;
+}
+
+std::string SavedBinaryKb(const std::string& name) {
+  Rng rng(65);
+  SyntheticKbOptions options;
+  options.num_domains = 2;
+  options.entities_per_domain = 8;
+  SyntheticKb world = SyntheticKbGenerator(options).Generate(rng);
+  std::string path = TempPath(name);
+  EXPECT_TRUE(SaveKnowledgeBase(world.kb, path, KbFormat::kBinaryV2).ok());
+  return path;
+}
+
+TEST(KbIoCorruptionTest, BinaryTruncationAtEverySectionBoundaryIsRejected) {
+  std::string path = SavedBinaryKb("matrix_boundary.tenetkb");
+  std::string content = ReadFileBytes(path);
+  std::vector<BinarySection> sections = ReadSectionTable(content);
+  ASSERT_EQ(sections.size(), 5u);
+  // Cut exactly at each section's start, one byte into it, and one byte
+  // before its end — plus the header/table edges.
+  std::vector<size_t> cuts = {0, 1, 31, 32, 33, 32 + 5 * 32 - 1, 32 + 5 * 32};
+  for (const BinarySection& s : sections) {
+    cuts.push_back(s.offset);
+    cuts.push_back(s.offset + 1);
+    if (s.size > 0) cuts.push_back(s.offset + s.size - 1);
+  }
+  for (size_t cut : cuts) {
+    ASSERT_LT(cut, content.size());
+    std::string truncated_path = TempPath("matrix_truncated.tenetkb");
+    WriteFile(truncated_path, content.substr(0, cut));
+    Result<KnowledgeBase> loaded = LoadKnowledgeBase(truncated_path);
+    ASSERT_FALSE(loaded.ok()) << "prefix of " << cut << " bytes";
+    EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument)
+        << "prefix of " << cut << " bytes";
+  }
+}
+
+TEST(KbIoCorruptionTest, BinaryChecksumMismatchIsRejected) {
+  std::string path = SavedBinaryKb("matrix_checksum.tenetkb");
+  std::string content = ReadFileBytes(path);
+  // Flip one byte inside the section table; the header checksum covers
+  // exactly these bytes, so the load must fail before touching payloads.
+  content[40] = static_cast<char>(content[40] ^ 0x01);
+  WriteFile(path, content);
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status().message().find("checksum"), std::string::npos);
+}
+
+TEST(KbIoCorruptionTest, BinaryNonMonotonicStringTableIsRejected) {
+  std::string path = SavedBinaryKb("matrix_strings.tenetkb");
+  std::string content = ReadFileBytes(path);
+  std::vector<BinarySection> sections = ReadSectionTable(content);
+  ASSERT_GE(sections[0].count, 2u);  // string table is section id 1, first
+  ASSERT_EQ(sections[0].id, 1u);
+  // The section begins with count uint64 end-offsets; make them decrease.
+  uint64_t huge = ~uint64_t{0};
+  std::memcpy(content.data() + sections[0].offset, &huge, sizeof(huge));
+  WriteFile(path, content);
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(KbIoCorruptionTest, BinaryAliasWithOutOfRangeEntityIdIsRejected) {
+  std::string path = SavedBinaryKb("matrix_alias.tenetkb");
+  std::string content = ReadFileBytes(path);
+  std::vector<BinarySection> sections = ReadSectionTable(content);
+  ASSERT_EQ(sections[3].id, 4u);  // aliases
+  ASSERT_GE(sections[3].count, 1u);
+  // Records are {u32 surface_ref, i32 concept_id, i32 kind, i32 pad, f64
+  // prior}; point the first concept id far out of range.
+  int32_t bogus = INT32_MAX;
+  std::memcpy(content.data() + sections[3].offset + 4, &bogus, sizeof(bogus));
+  WriteFile(path, content);
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(KbIoCorruptionTest, WrongMagicIsRejected) {

@@ -1,5 +1,7 @@
 #include "common/string_util.h"
 
+#include <ios>
+
 #include <gtest/gtest.h>
 
 namespace tenet {
@@ -10,6 +12,45 @@ TEST(StringUtilTest, AsciiToLower) {
   EXPECT_EQ(AsciiToLower("AAAS"), "aaas");
   EXPECT_EQ(AsciiToLower(""), "");
   EXPECT_EQ(AsciiToLower("a1-B2"), "a1-b2");
+}
+
+TEST(StringUtilTest, AsciiFoldLeavesHighBitBytesAlone) {
+  // Regression for the locale-tolower bug: bytes >= 0x80 sit in the middle
+  // of UTF-8 sequences, and a Latin-1 locale's tolower would rewrite them
+  // (0xC9 'É' -> 0xE9 'é'), silently corrupting alias-index keys.  The
+  // explicit ASCII fold must pass every high-bit byte through unchanged.
+  for (int b = 0x80; b <= 0xFF; ++b) {
+    char c = static_cast<char>(static_cast<unsigned char>(b));
+    EXPECT_EQ(AsciiFoldChar(c), c) << "byte 0x" << std::hex << b;
+  }
+  // "Café" in UTF-8: only the ASCII 'C' folds, the C3 A9 pair survives.
+  EXPECT_EQ(AsciiToLower("Caf\xC3\xA9"), "caf\xC3\xA9");
+  // Uppercase 'É' (C3 89) is NOT folded to 'é' (C3 A9) — ASCII-only fold.
+  EXPECT_EQ(AsciiToLower("\xC3\x89"), "\xC3\x89");
+}
+
+TEST(StringUtilTest, ParseInt64AcceptsOnlyWholeDecimalIntegers) {
+  EXPECT_EQ(ParseInt64("42").value(), 42);
+  EXPECT_EQ(ParseInt64("-7").value(), -7);
+  EXPECT_EQ(ParseInt64("0").value(), 0);
+  // The atoi trap: "4x" must be an error, never silently 4.
+  EXPECT_TRUE(ParseInt64("4x").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64(" 4").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("4 ").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("0x10").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseInt64("99999999999999999999").status()
+                  .IsInvalidArgument());  // overflow
+}
+
+TEST(StringUtilTest, ParseFloat64AcceptsOnlyWholeNumbers) {
+  EXPECT_DOUBLE_EQ(ParseFloat64("1.5").value(), 1.5);
+  EXPECT_DOUBLE_EQ(ParseFloat64("1e3").value(), 1000.0);
+  EXPECT_DOUBLE_EQ(ParseFloat64("-0.25").value(), -0.25);
+  EXPECT_TRUE(ParseFloat64("10ms").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFloat64("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFloat64("1.5.2").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseFloat64(" 1").status().IsInvalidArgument());
 }
 
 TEST(StringUtilTest, EqualsIgnoreCase) {

@@ -30,6 +30,21 @@
 //       computed ones, so scores are unchanged) and reports the cache hit
 //       rate afterwards.  --metrics-out writes the run's metrics registry
 //       to FILE in Prometheus text format (JSON when FILE ends in .json).
+//
+//   tenet_cli kb build [--seed N] [--kb PATH] [--emb PATH]
+//             [--format text|binary]
+//       Like build-world, with an explicit snapshot format: binary writes
+//       the TENETKB2 snapshot (the default everywhere), text the legacy
+//       TENETKB v1 container (for diffing/debugging).
+//
+//   tenet_cli kb inspect [--kb PATH] [--emb PATH]
+//       Prints the format, logical counts and (for binary snapshots) the
+//       section table of a KB file without materializing it, plus the
+//       embedding header when --emb is given.  Validates the same
+//       header/section invariants as the loader.
+//
+// All numeric flags are parsed strictly: "--threads 4x" is an error (exit
+// code 2 + usage), not silently 4.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -49,6 +64,7 @@
 #include "datasets/world.h"
 #include "datasets/corpus_generator.h"
 #include "datasets/io.h"
+#include "common/string_util.h"
 #include "eval/harness.h"
 #include "kb/io.h"
 
@@ -58,9 +74,12 @@ namespace {
 
 struct Args {
   std::string command;
+  std::string subcommand;  // of the "kb" command: build or inspect
   uint64_t seed = 2021;
   std::string kb_path = "world.tenetkb";
   std::string emb_path = "world.tenetemb";
+  bool emb_path_set = false;
+  kb::KbFormat format = kb::KbFormat::kBinaryV2;
   std::optional<std::string> document_text;
   int candidates = 4;
   double deadline_ms = std::numeric_limits<double>::infinity();
@@ -70,11 +89,37 @@ struct Args {
   bool trace = false;
 };
 
+// Strict integer flag: the whole value must parse (no "4x", no empty), and
+// it must lie in [min, max].  Anything else fails the parse -> exit 2.
+bool ParseIntFlag(const char* flag, const char* value, int64_t min,
+                  int64_t max, int64_t* out) {
+  Result<int64_t> parsed = ParseInt64(value);
+  if (!parsed.ok() || *parsed < min || *parsed > max) {
+    std::fprintf(stderr, "%s expects an integer in [%lld, %lld], got: %s\n",
+                 flag, static_cast<long long>(min),
+                 static_cast<long long>(max), value);
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
 std::optional<Args> Parse(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   Args args;
   args.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
+  int first_flag = 2;
+  if (args.command == "kb") {
+    if (argc < 3) return std::nullopt;
+    args.subcommand = argv[2];
+    if (args.subcommand != "build" && args.subcommand != "inspect") {
+      std::fprintf(stderr, "unknown kb subcommand: %s\n",
+                   args.subcommand.c_str());
+      return std::nullopt;
+    }
+    first_flag = 3;
+  }
+  for (int i = first_flag; i < argc; ++i) {
     std::string flag = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
@@ -82,7 +127,12 @@ std::optional<Args> Parse(int argc, char** argv) {
     if (flag == "--seed") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
-      args.seed = std::strtoull(v, nullptr, 10);
+      int64_t seed = 0;
+      if (!ParseIntFlag("--seed", v, 0,
+                        std::numeric_limits<int64_t>::max(), &seed)) {
+        return std::nullopt;
+      }
+      args.seed = static_cast<uint64_t>(seed);
     } else if (flag == "--kb") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -91,6 +141,18 @@ std::optional<Args> Parse(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       args.emb_path = v;
+      args.emb_path_set = true;
+    } else if (flag == "--format") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      if (std::string_view(v) == "text") {
+        args.format = kb::KbFormat::kTextV1;
+      } else if (std::string_view(v) == "binary") {
+        args.format = kb::KbFormat::kBinaryV2;
+      } else {
+        std::fprintf(stderr, "--format expects text or binary, got: %s\n", v);
+        return std::nullopt;
+      }
     } else if (flag == "--text") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -98,36 +160,39 @@ std::optional<Args> Parse(int argc, char** argv) {
     } else if (flag == "--candidates") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
-      args.candidates = std::atoi(v);
+      int64_t candidates = 0;
+      if (!ParseIntFlag("--candidates", v, 1,
+                        std::numeric_limits<int>::max(), &candidates)) {
+        return std::nullopt;
+      }
+      args.candidates = static_cast<int>(candidates);
     } else if (flag == "--deadline-ms") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
-      char* end = nullptr;
-      args.deadline_ms = std::strtod(v, &end);
-      if (end == v || *end != '\0') {
-        std::fprintf(stderr, "--deadline-ms expects a number, got: %s\n", v);
+      Result<double> deadline = ParseFloat64(v);
+      if (!deadline.ok() || *deadline < 0.0) {
+        std::fprintf(stderr,
+                     "--deadline-ms expects a non-negative number, got: %s\n",
+                     v);
         return std::nullopt;
       }
+      args.deadline_ms = *deadline;
     } else if (flag == "--threads") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
-      args.threads = std::atoi(v);
-      if (args.threads < 1) {
-        std::fprintf(stderr, "--threads expects a positive count, got: %s\n",
-                     v);
+      int64_t threads = 0;
+      if (!ParseIntFlag("--threads", v, 1, 4096, &threads)) {
         return std::nullopt;
       }
+      args.threads = static_cast<int>(threads);
     } else if (flag == "--similarity-cache-mb") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
-      args.similarity_cache_mb = std::atoi(v);
-      if (args.similarity_cache_mb < 0) {
-        std::fprintf(stderr,
-                     "--similarity-cache-mb expects a non-negative size, "
-                     "got: %s\n",
-                     v);
+      int64_t mb = 0;
+      if (!ParseIntFlag("--similarity-cache-mb", v, 0, 1 << 20, &mb)) {
         return std::nullopt;
       }
+      args.similarity_cache_mb = static_cast<int>(mb);
     } else if (flag == "--metrics-out") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -152,7 +217,10 @@ void PrintUsage() {
       "  tenet_cli demo [--seed N]\n"
       "  tenet_cli dump-corpora [--seed N]\n"
       "  tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS] "
-      "[--similarity-cache-mb N] [--metrics-out FILE]\n");
+      "[--similarity-cache-mb N] [--metrics-out FILE]\n"
+      "  tenet_cli kb build [--seed N] [--kb PATH] [--emb PATH] "
+      "[--format text|binary]\n"
+      "  tenet_cli kb inspect [--kb PATH] [--emb PATH]\n");
 }
 
 std::string ReadStdin() {
@@ -221,6 +289,65 @@ int LinkAndPrint(const kb::KnowledgeBase& knowledge_base,
   return 0;
 }
 
+int CmdBuildWorld(const Args& args) {
+  datasets::WorldOptions options;
+  options.seed = args.seed;
+  datasets::SyntheticWorld world = datasets::BuildWorld(options);
+  Status kb_status =
+      kb::SaveKnowledgeBase(world.kb(), args.kb_path, args.format);
+  if (!kb_status.ok()) {
+    std::fprintf(stderr, "%s\n", kb_status.ToString().c_str());
+    return 1;
+  }
+  Status emb_status = kb::SaveEmbeddings(world.embeddings, args.emb_path);
+  if (!emb_status.ok()) {
+    std::fprintf(stderr, "%s\n", emb_status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%d entities, %d predicates, %d facts) and %s\n",
+              args.kb_path.c_str(), world.kb().num_entities(),
+              world.kb().num_predicates(), world.kb().num_facts(),
+              args.emb_path.c_str());
+  return 0;
+}
+
+int CmdKbInspect(const Args& args) {
+  Result<kb::KbFileInfo> info = kb::InspectKnowledgeBaseFile(args.kb_path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args.kb_path.c_str(),
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s: %s, %llu bytes\n", args.kb_path.c_str(),
+              info->format.c_str(),
+              static_cast<unsigned long long>(info->file_bytes));
+  std::printf("  entities %lld, predicates %lld, aliases %lld, facts %lld\n",
+              static_cast<long long>(info->entities),
+              static_cast<long long>(info->predicates),
+              static_cast<long long>(info->aliases),
+              static_cast<long long>(info->facts));
+  for (const kb::KbSectionInfo& section : info->sections) {
+    std::printf("  section %-12s %10llu bytes, %llu items\n",
+                section.name.c_str(),
+                static_cast<unsigned long long>(section.bytes),
+                static_cast<unsigned long long>(section.items));
+  }
+  if (args.emb_path_set) {
+    Result<kb::EmbFileInfo> emb = kb::InspectEmbeddingsFile(args.emb_path);
+    if (!emb.ok()) {
+      std::fprintf(stderr, "%s: %s\n", args.emb_path.c_str(),
+                   emb.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s: TENETEMB1, %llu bytes, dim %d, %d entities, "
+                "%d predicates\n",
+                args.emb_path.c_str(),
+                static_cast<unsigned long long>(emb->file_bytes),
+                emb->dimension, emb->entities, emb->predicates);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -231,24 +358,12 @@ int main(int argc, char** argv) {
   }
 
   if (args->command == "build-world") {
-    datasets::WorldOptions options;
-    options.seed = args->seed;
-    datasets::SyntheticWorld world = datasets::BuildWorld(options);
-    Status kb_status = kb::SaveKnowledgeBase(world.kb(), args->kb_path);
-    if (!kb_status.ok()) {
-      std::fprintf(stderr, "%s\n", kb_status.ToString().c_str());
-      return 1;
-    }
-    Status emb_status = kb::SaveEmbeddings(world.embeddings, args->emb_path);
-    if (!emb_status.ok()) {
-      std::fprintf(stderr, "%s\n", emb_status.ToString().c_str());
-      return 1;
-    }
-    std::printf("wrote %s (%d entities, %d predicates, %d facts) and %s\n",
-                args->kb_path.c_str(), world.kb().num_entities(),
-                world.kb().num_predicates(), world.kb().num_facts(),
-                args->emb_path.c_str());
-    return 0;
+    return CmdBuildWorld(*args);
+  }
+
+  if (args->command == "kb") {
+    return args->subcommand == "build" ? CmdBuildWorld(*args)
+                                       : CmdKbInspect(*args);
   }
 
   if (args->command == "link") {
