@@ -19,6 +19,7 @@
 #include "common/timer.h"
 #include "embedding/trainer.h"
 #include "json_out.h"
+#include "kb/delta.h"
 #include "kb/io.h"
 #include "kb/synthetic_kb.h"
 
@@ -135,6 +136,67 @@ int main(int argc, char** argv) {
           variant.name == std::string("text") ? 0.0 : speedup});
     }
 
+    // Delta replay (DESIGN.md §12): the live-update cold-start path —
+    // binary snapshot + embeddings + a stack of TENETDELTA1 segments
+    // loaded, validated and folded in.  The column quantifies the replay
+    // tax an updater pays before compaction catches up.
+    constexpr int kDeltaSegments = 8;
+    constexpr int kEntitiesPerSegment = 16;
+    std::vector<std::string> delta_paths;
+    {
+      Rng delta_rng(1789);
+      const int dim = embeddings.dimension();
+      int32_t entities = world.kb.num_entities();
+      const int32_t predicates = world.kb.num_predicates();
+      for (int s = 0; s < kDeltaSegments; ++s) {
+        kb::DeltaBuilder builder(entities, predicates);
+        for (int e = 0; e < kEntitiesPerSegment; ++e) {
+          std::string label = std::string("delta entity ") + size.name + " " +
+                              std::to_string(s) + "-" + std::to_string(e);
+          kb::EntityId id = builder.AddEntity(
+              label, static_cast<kb::EntityType>(e % kb::kNumEntityTypes));
+          builder.AddEntityAlias(id, label + " alias", 1.0);
+          std::vector<float> row(static_cast<size_t>(dim));
+          for (float& v : row) {
+            v = static_cast<float>(delta_rng.NextGaussian());
+          }
+          builder.SetEmbedding(kb::ConceptRef::Entity(id), row);
+        }
+        entities = builder.num_entities();
+        std::string path = std::string("bench_kb_load_") + size.name +
+                           ".delta" + std::to_string(s) + ".tenetdelta";
+        if (!builder.Write(path).ok()) {
+          std::fprintf(stderr, "writing %s failed\n", path.c_str());
+          return 1;
+        }
+        delta_paths.push_back(std::move(path));
+      }
+    }
+    {
+      double ms = BestMillis(reps, [&]() -> Result<kb::AppliedDelta> {
+        kb::KbLoadOptions options;
+        options.prefer_mmap = true;
+        TENET_ASSIGN_OR_RETURN(kb::KnowledgeBase kb,
+                               kb::LoadKnowledgeBase(bin_path, options));
+        TENET_ASSIGN_OR_RETURN(embedding::EmbeddingStore store,
+                               kb::LoadEmbeddings(emb_path, options));
+        std::vector<kb::DeltaSegment> segments;
+        segments.reserve(delta_paths.size());
+        for (const std::string& path : delta_paths) {
+          TENET_ASSIGN_OR_RETURN(kb::DeltaSegment segment,
+                                 kb::LoadDeltaSegment(path));
+          segments.push_back(std::move(segment));
+        }
+        return kb::ApplyDeltas(kb, store, segments);
+      });
+      double speedup = text_ms > 0.0 ? text_ms / ms : 0.0;
+      std::printf("%-8s %-16s %12.3f %12.0f %9.2fx\n", size.name,
+                  "delta_replay", ms, items / (ms / 1e3), speedup);
+      records.push_back(bench::JsonRecord{
+          std::string("kb_load/delta_replay/") + size.name, ms * 1e6,
+          items / (ms / 1e3), speedup});
+    }
+
     const double emb_items = static_cast<double>(world.kb.num_entities()) +
                              world.kb.num_predicates();
     for (bool prefer_mmap : {false, true}) {
@@ -155,6 +217,7 @@ int main(int argc, char** argv) {
     std::remove(text_path.c_str());
     std::remove(bin_path.c_str());
     std::remove(emb_path.c_str());
+    for (const std::string& path : delta_paths) std::remove(path.c_str());
   }
 
   if (!json_args.json_path.empty() &&

@@ -1,0 +1,113 @@
+#include "common/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#ifdef _WIN32
+#include <fstream>
+#else
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace tenet {
+namespace {
+
+std::string ErrnoMessage(const char* op, const std::string& path) {
+  return std::string(op) + " " + path + ": " + std::strerror(errno);
+}
+
+std::string ParentDirectory(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+#ifdef _WIN32
+
+// No POSIX fd durability on Windows; fall back to stream writes + rename.
+// The rename is still atomic-enough for the test environments this build
+// targets; production serving is POSIX.
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) return Status::Internal("cannot open " + tmp + " for writing");
+    out.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+    out.flush();
+    if (!out) return Status::Internal("write to " + tmp + " failed");
+  }
+  std::remove(path.c_str());
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal(ErrnoMessage("rename", tmp));
+  }
+  return Status::Ok();
+}
+
+#else
+
+Status AtomicWriteFile(const std::string& path, const void* data,
+                       size_t size) {
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::Internal(ErrnoMessage("open", tmp));
+
+  const char* p = static_cast<const char*>(data);
+  size_t remaining = size;
+  while (remaining > 0) {
+    ssize_t written = ::write(fd, p, remaining);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::Internal(ErrnoMessage("write", tmp));
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return status;
+    }
+    p += written;
+    remaining -= static_cast<size_t>(written);
+  }
+
+  // fsync the payload before the rename makes it visible: the rename must
+  // never outrun the data, or a crash could publish an empty file.
+  if (::fsync(fd) != 0) {
+    Status status = Status::Internal(ErrnoMessage("fsync", tmp));
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return status;
+  }
+  if (::close(fd) != 0) {
+    Status status = Status::Internal(ErrnoMessage("close", tmp));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    Status status = Status::Internal(ErrnoMessage("rename", tmp));
+    ::unlink(tmp.c_str());
+    return status;
+  }
+
+  // fsync the directory so the new entry survives a crash.  Failure here
+  // is reported (the caller may want to retry), but the file is already in
+  // place and self-consistent either way.
+  const std::string dir = ParentDirectory(path);
+  int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd < 0) return Status::Internal(ErrnoMessage("open dir", dir));
+  if (::fsync(dir_fd) != 0) {
+    Status status = Status::Internal(ErrnoMessage("fsync dir", dir));
+    ::close(dir_fd);
+    return status;
+  }
+  ::close(dir_fd);
+  return Status::Ok();
+}
+
+#endif  // _WIN32
+
+}  // namespace tenet

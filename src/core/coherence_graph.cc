@@ -63,7 +63,8 @@ CoherenceGraph CoherenceGraphBuilder::Build(MentionSet mentions) const {
 }
 
 CoherenceGraph CoherenceGraphBuilder::Build(
-    MentionSet mentions, embedding::SimilarityCache* cache) const {
+    MentionSet mentions, embedding::SimilarityCache* cache,
+    uint64_t cache_epoch) const {
   // Pass 1: candidate generation, to size the node space.
   const int num_mentions = mentions.num_mentions();
   std::vector<CoherenceGraph::ConceptNode> concept_nodes;
@@ -152,9 +153,12 @@ CoherenceGraph CoherenceGraphBuilder::Build(
       const double* ri = rows.data() + static_cast<size_t>(i) * dim;
       const double* rj = rows.data() + static_cast<size_t>(j) * dim;
       if (cache != nullptr) {
-        return cache->GetOrCompute(refs[i], refs[j], [&] {
-          return embedding::ClampCosine(embedding::DotUnit(ri, rj, dim));
-        });
+        return cache->GetOrCompute(
+            refs[i], refs[j],
+            [&] {
+              return embedding::ClampCosine(embedding::DotUnit(ri, rj, dim));
+            },
+            cache_epoch);
       }
       return embedding::ClampCosine(embedding::DotUnit(ri, rj, dim));
     };

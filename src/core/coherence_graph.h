@@ -122,9 +122,13 @@ class CoherenceGraphBuilder {
   CoherenceGraph Build(MentionSet mentions) const;
 
   /// Same, with an explicit similarity cache (null: compute every pair).
-  /// The per-request path: the pipeline passes the LinkContext's cache.
+  /// The per-request path: the pipeline passes the LinkContext's cache and
+  /// epoch — the KB generation id tagging this request's cache entries,
+  /// so a shared cache survives live KB swaps without serving stale
+  /// cosines (see SimilarityCache's epoch contract).
   CoherenceGraph Build(MentionSet mentions,
-                       embedding::SimilarityCache* cache) const;
+                       embedding::SimilarityCache* cache,
+                       uint64_t cache_epoch = 0) const;
 
   const CoherenceGraphOptions& options() const { return options_; }
 

@@ -1,6 +1,7 @@
 #ifndef TENET_CORE_LINK_CONTEXT_H_
 #define TENET_CORE_LINK_CONTEXT_H_
 
+#include <cstdint>
 #include <optional>
 
 #include "common/deadline.h"
@@ -42,6 +43,14 @@ struct LinkContext {
   /// serves, so recurring concept pairs are computed once per workload.
   /// SimilarityCache is thread-safe and must outlive the call.
   embedding::SimilarityCache* similarity_cache = nullptr;
+
+  /// KB-generation epoch of this request's similarity lookups.  A shared
+  /// cache outlives KB swaps, and a cached cosine is only valid for the
+  /// substrate that computed it — so entries are tagged with this value
+  /// and a lookup under a different epoch is a miss (see SimilarityCache).
+  /// The serving layer sets it to the pinned generation's id; 0 (the
+  /// default) is the single-substrate world where staleness cannot arise.
+  uint64_t similarity_epoch = 0;
 
   /// The deadline this request should run under, given the callee's
   /// default policy.

@@ -265,7 +265,8 @@ Result<LinkingResult> TenetPipeline::LinkMentionSetWithTimings(
       std::move(mentions),
       context.similarity_cache != nullptr
           ? context.similarity_cache
-          : graph_builder_.options().similarity_cache);
+          : graph_builder_.options().similarity_cache,
+      context.similarity_epoch);
   timings.graph_ms = graph_scope.Finish();
 
   // ---- Tree cover: B = bound_factor * |M| (Sec. 6.1), growing on the

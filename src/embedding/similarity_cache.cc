@@ -84,16 +84,27 @@ const SimilarityCache::Shard& SimilarityCache::ShardOf(uint64_t key) const {
 }
 
 std::optional<double> SimilarityCache::Lookup(kb::ConceptRef a,
-                                              kb::ConceptRef b) {
+                                              kb::ConceptRef b,
+                                              uint64_t epoch) {
   const uint64_t key = PairKey(a, b);
   Shard& shard = ShardOf(key);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      hits_->Increment();
-      return it->second->value;
+      if (it->second->epoch == epoch) {
+        shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+        hits_->Increment();
+        return it->second->value;
+      }
+      if (it->second->epoch < epoch) {
+        // Stale: computed by a superseded generation.  Erase on sight so a
+        // swap invalidates lazily, key by key, with no sweep.
+        shard.lru.erase(it->second);
+        shard.index.erase(it);
+      }
+      // A newer entry than this lookup's epoch stays: a request still
+      // pinned to an old generation just recomputes for itself.
     }
   }
   misses_->Increment();
@@ -101,7 +112,7 @@ std::optional<double> SimilarityCache::Lookup(kb::ConceptRef a,
 }
 
 void SimilarityCache::Insert(kb::ConceptRef a, kb::ConceptRef b,
-                             double similarity) {
+                             double similarity, uint64_t epoch) {
   const uint64_t key = PairKey(a, b);
   Shard& shard = ShardOf(key);
   int64_t evicted = 0;
@@ -109,11 +120,13 @@ void SimilarityCache::Insert(kb::ConceptRef a, kb::ConceptRef b,
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.index.find(key);
     if (it != shard.index.end()) {
+      if (it->second->epoch > epoch) return;  // never regress an entry
       it->second->value = similarity;
+      it->second->epoch = epoch;
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return;
     }
-    shard.lru.push_front(Entry{key, similarity});
+    shard.lru.push_front(Entry{key, similarity, epoch});
     shard.index.emplace(key, shard.lru.begin());
     while (shard.lru.size() > max_entries_per_shard_) {
       shard.index.erase(shard.lru.back().key);

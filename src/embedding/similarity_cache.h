@@ -55,6 +55,19 @@ struct SimilarityCacheOptions {
 // Thread safety: every operation takes only its shard's mutex.  Two
 // threads racing to fill the same key may both compute the value; both
 // writes store the identical number, so the race is benign.
+//
+// Epochs: a serving-layer cache outlives live KB swaps, and a cached
+// cosine is only valid for the substrate that computed it — generation N+1
+// may carry different embedding rows for the same concept ids.  Every
+// entry is therefore tagged with the epoch (KB generation id) that
+// computed it, and a lookup under a different epoch is a miss.  A stale
+// entry (older epoch than the lookup's) is erased on sight, so swaps
+// invalidate lazily with no sweep; an entry *newer* than the lookup's
+// epoch is left alone and never overwritten — requests still pinned to an
+// old generation must not clobber the new generation's values.  The
+// determinism contract then holds per epoch.  Epoch 0 (the default
+// everywhere) is the single-substrate world, where staleness cannot
+// arise and behavior is exactly the pre-epoch cache.
 class SimilarityCache {
  public:
   struct Stats {
@@ -74,22 +87,28 @@ class SimilarityCache {
   SimilarityCache(const SimilarityCache&) = delete;
   SimilarityCache& operator=(const SimilarityCache&) = delete;
 
-  /// The cached similarity of {a, b}, refreshing its recency; nullopt on a
-  /// miss.  Counts one hit or one miss.
-  std::optional<double> Lookup(kb::ConceptRef a, kb::ConceptRef b);
+  /// The cached similarity of {a, b} under `epoch`, refreshing its
+  /// recency; nullopt on a miss.  An entry from an older epoch is erased
+  /// and reported as a miss; one from a newer epoch is a miss but stays.
+  /// Counts one hit or one miss.
+  std::optional<double> Lookup(kb::ConceptRef a, kb::ConceptRef b,
+                               uint64_t epoch = 0);
 
-  /// Stores the similarity of {a, b}, evicting the shard's least recently
-  /// used entry when it is full.  Overwriting an existing key refreshes
-  /// recency (the value is the same by the determinism contract).
-  void Insert(kb::ConceptRef a, kb::ConceptRef b, double similarity);
+  /// Stores the similarity of {a, b} computed under `epoch`, evicting the
+  /// shard's least recently used entry when it is full.  Overwriting an
+  /// existing same-or-older-epoch key refreshes recency; an entry already
+  /// holding a newer epoch is left untouched.
+  void Insert(kb::ConceptRef a, kb::ConceptRef b, double similarity,
+              uint64_t epoch = 0);
 
   /// Lookup, falling back to `compute()` + Insert on a miss.  `compute`
   /// runs outside the shard lock.
   template <typename Fn>
-  double GetOrCompute(kb::ConceptRef a, kb::ConceptRef b, Fn&& compute) {
-    if (std::optional<double> hit = Lookup(a, b)) return *hit;
+  double GetOrCompute(kb::ConceptRef a, kb::ConceptRef b, Fn&& compute,
+                      uint64_t epoch = 0) {
+    if (std::optional<double> hit = Lookup(a, b, epoch)) return *hit;
     double value = compute();
-    Insert(a, b, value);
+    Insert(a, b, value, epoch);
     return value;
   }
 
@@ -101,6 +120,8 @@ class SimilarityCache {
   struct Entry {
     uint64_t key = 0;
     double value = 0.0;
+    /// KB generation that computed `value`; see the epoch contract above.
+    uint64_t epoch = 0;
   };
 
   struct Shard {

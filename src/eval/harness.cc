@@ -1,6 +1,7 @@
 #include "eval/harness.h"
 
 #include <cstdio>
+#include <latch>
 #include <limits>
 #include <utility>
 #include <vector>
@@ -103,6 +104,56 @@ SystemScores EvaluateEndToEndParallel(const baselines::Linker& linker,
 SystemScores EvaluateEndToEnd(const baselines::Linker& linker,
                               const datasets::Dataset& dataset) {
   return EvaluateEndToEnd(linker, dataset, EvalOptions{});
+}
+
+SystemScores EvaluateEndToEndLive(const baselines::Linker& linker,
+                                  serving::BatchLinkingService& service,
+                                  const datasets::Dataset& dataset,
+                                  const KbUpdatePlan& plan) {
+  SystemScores scores;
+  scores.system = std::string(linker.name());
+  scores.dataset = dataset.name;
+  WallTimer wall;
+
+  // Documents are submitted one at a time (not LinkBatch) so updates can
+  // land between submissions: every document before an update pins the old
+  // generation, every one after pins the new.
+  const size_t n = dataset.documents.size();
+  std::vector<serving::ServedResult> served(n);
+  std::latch drained(static_cast<ptrdiff_t>(n));
+  int updates = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (plan.every > 0 && plan.apply && i > 0 &&
+        i % static_cast<size_t>(plan.every) == 0) {
+      plan.apply(service, updates++);
+    }
+    Status submitted = service.Submit(
+        dataset.documents[i].text, [&served, &drained, i](
+                                       serving::ServedResult result) {
+          served[i] = std::move(result);
+          drained.count_down();
+        });
+    if (!submitted.ok()) {
+      // Shed at the door: the callback never runs, account for it here.
+      served[i].result = submitted;
+      served[i].shed = true;
+      drained.count_down();
+    }
+  }
+  drained.wait();
+
+  // Deterministic merge: dataset order, independent of completion order.
+  for (size_t i = 0; i < n; ++i) {
+    scores.total_ms += served[i].latency_ms;
+    if (served[i].latency_ms > scores.max_doc_ms) {
+      scores.max_doc_ms = served[i].latency_ms;
+    }
+    ScoreDocument(linker, dataset, dataset.documents[i], served[i].result,
+                  &scores);
+  }
+  scores.wall_ms = wall.ElapsedMillis();
+  scores.metrics = service.metrics()->Snapshot();
+  return scores;
 }
 
 SystemScores EvaluateEndToEnd(const baselines::Linker& linker,

@@ -1,6 +1,7 @@
 #ifndef TENET_EVAL_HARNESS_H_
 #define TENET_EVAL_HARNESS_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,11 @@
 #include "text/gazetteer.h"
 
 namespace tenet {
+
+namespace serving {
+class BatchLinkingService;
+}  // namespace serving
+
 namespace eval {
 
 // One document the system errored on.  Failures are isolated per document:
@@ -69,6 +75,32 @@ SystemScores EvaluateEndToEnd(const baselines::Linker& linker,
 SystemScores EvaluateEndToEnd(const baselines::Linker& linker,
                               const datasets::Dataset& dataset,
                               const EvalOptions& options);
+
+// The live-update drill (`tenet_cli eval --kb-update-every N`): what to do
+// to the serving KB, and how often, while an evaluation batch is in
+// flight.
+struct KbUpdatePlan {
+  /// Documents between updates; 0 disables the plan entirely.
+  int every = 0;
+  /// Invoked synchronously from the submitting thread after every `every`
+  /// documents, with the running update index (0, 1, ...).  Typically
+  /// builds a delta generation from service.generation() and calls
+  /// SwapGeneration; failures are the callback's to report.  Documents
+  /// submitted before the call finish on the generation they pinned.
+  std::function<void(serving::BatchLinkingService& service, int update)>
+      apply;
+};
+
+/// Runs `dataset` through a caller-owned (typically generation-aware)
+/// service, interleaving `plan`'s updates with document submissions, and
+/// scores exactly as EvaluateEndToEnd does.  `linker` is only consulted
+/// for scoring policy (name, links_relations) — the documents are linked
+/// by whatever generation each one pinned at submission, so with a plan
+/// that changes answers, scores can legitimately differ from a static run.
+SystemScores EvaluateEndToEndLive(const baselines::Linker& linker,
+                                  serving::BatchLinkingService& service,
+                                  const datasets::Dataset& dataset,
+                                  const KbUpdatePlan& plan);
 
 /// Disambiguation-only evaluation (Figure 6(b)): gold mentions are handed
 /// to the system as input.

@@ -15,6 +15,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/atomic_file.h"
+#include "common/checksum.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/mmap_file.h"
@@ -61,13 +63,21 @@ const char* SectionName(uint32_t id) {
   }
 }
 
-uint64_t Fnv1a64(const unsigned char* data, size_t size) {
-  uint64_t hash = 0xcbf29ce484222325ull;
-  for (size_t i = 0; i < size; ++i) {
-    hash ^= data[i];
-    hash *= 0x100000001b3ull;
+// Simulated crash mid-write for the corruption matrix: the injected fault
+// leaves half-written debris at `<path>.tmp` — exactly what a real crash
+// between the temp write and the rename leaves behind — and NEVER touches
+// `path` itself.  The previous snapshot (if any) survives intact; loaders
+// never look at the temp name.
+Status SimulateTornWrite(const std::string& path, const void* data,
+                         size_t size, const char* what) {
+  std::ofstream debris(path + ".tmp", std::ios::trunc | std::ios::binary);
+  if (debris) {
+    debris.write(static_cast<const char*>(data),
+                 static_cast<std::streamsize>(size / 2));
   }
-  return hash;
+  return Status::DataLoss(std::string("injected fault: write of ") + path +
+                          " crashed mid-" + what +
+                          "; previous file left intact");
 }
 
 // Append-only little-endian buffer for the writer.
@@ -426,37 +436,27 @@ Status SaveKnowledgeBaseBinary(const KnowledgeBase& kb,
   }
   const uint64_t file_size = offset;
 
-  ByteWriter header;
-  header.AppendBytes(kKbMagicV2, sizeof(kKbMagicV2));
-  header.Append<uint32_t>(kEndianTag);
-  header.Append<uint32_t>(kNumKnownSections);
-  header.Append<uint64_t>(file_size);
-  header.Append<uint64_t>(Fnv1a64(table.data(), table.size()));
-
-  std::ofstream out(path, std::ios::trunc | std::ios::binary);
-  if (!out) return Status::Internal("cannot open " + path + " for writing");
-  out.write(reinterpret_cast<const char*>(header.data()),
-            static_cast<std::streamsize>(header.size()));
-  out.write(reinterpret_cast<const char*>(table.data()),
-            static_cast<std::streamsize>(table.size()));
+  // The whole snapshot is assembled in memory and lands on disk through
+  // AtomicWriteFile (temp + fsync + rename): a crash mid-write can no
+  // longer tear `path` — the previous snapshot stays readable until the
+  // rename, and the rename is atomic.
+  ByteWriter file;
+  file.AppendBytes(kKbMagicV2, sizeof(kKbMagicV2));
+  file.Append<uint32_t>(kEndianTag);
+  file.Append<uint32_t>(kNumKnownSections);
+  file.Append<uint64_t>(file_size);
+  file.Append<uint64_t>(Fnv1a64(table.data(), table.size()));
+  file.AppendBytes(table.data(), table.size());
   for (const Pending& s : sections) {
-    ByteWriter padded;
-    padded.AppendBytes(s.payload->data(), s.payload->size());
-    padded.PadTo8();
-    out.write(reinterpret_cast<const char*>(padded.data()),
-              static_cast<std::streamsize>(padded.size()));
-    // Simulates a crash / full disk mid-write: the header already promises
-    // file_size bytes, so the loader rejects the torn file by length alone.
-    if (s.id == kSectionEntities &&
-        TENET_FAULT_POINT("kb/io/write_truncation")) {
-      out.flush();
-      return Status::DataLoss(
-          "injected fault: write truncated after entities");
-    }
+    file.AppendBytes(s.payload->data(), s.payload->size());
+    file.PadTo8();
   }
-  out.flush();
-  if (!out) return Status::Internal("write to " + path + " failed");
-  return Status::Ok();
+  TENET_CHECK_EQ(file.size(), file_size);
+
+  if (TENET_FAULT_POINT("kb/io/write_truncation")) {
+    return SimulateTornWrite(path, file.data(), file.size(), "snapshot");
+  }
+  return AtomicWriteFile(path, file.data(), file.size());
 }
 
 // ---- TENETKB2 reader ------------------------------------------------------
@@ -599,8 +599,7 @@ Result<KnowledgeBase> LoadKnowledgeBaseBinary(std::span<const std::byte> bytes,
 
 Status SaveKnowledgeBaseText(const KnowledgeBase& kb,
                              const std::string& path) {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) return Status::Internal("cannot open " + path + " for writing");
+  std::ostringstream out;
 
   // max_digits10 so every double survives the decimal round trip bit-exact.
   out << std::setprecision(std::numeric_limits<double>::max_digits10);
@@ -614,12 +613,6 @@ Status SaveKnowledgeBaseText(const KnowledgeBase& kb,
     }
     out << static_cast<int>(rec.type) << '\t' << rec.domain << '\t'
         << rec.popularity << '\t' << rec.label << "\n";
-  }
-  // Simulates a crash / full disk mid-write: the file is left truncated
-  // after the entity section, which LoadKnowledgeBase must reject cleanly.
-  if (TENET_FAULT_POINT("kb/io/write_truncation")) {
-    out.flush();
-    return Status::DataLoss("injected fault: write truncated after entities");
   }
   out << "P\t" << kb.num_predicates() << "\n";
   for (PredicateId id = 0; id < kb.num_predicates(); ++id) {
@@ -659,9 +652,11 @@ Status SaveKnowledgeBaseText(const KnowledgeBase& kb,
           << "\n";
     }
   }
-  out.flush();
-  if (!out) return Status::Internal("write to " + path + " failed");
-  return Status::Ok();
+  const std::string bytes = out.str();
+  if (TENET_FAULT_POINT("kb/io/write_truncation")) {
+    return SimulateTornWrite(path, bytes.data(), bytes.size(), "snapshot");
+  }
+  return AtomicWriteFile(path, bytes.data(), bytes.size());
 }
 
 Result<KnowledgeBase> LoadKnowledgeBaseText(const std::string& path,
@@ -846,21 +841,14 @@ Status SaveEmbeddings(const embedding::EmbeddingStore& store,
     return Status::FailedPrecondition(
         "embeddings must be finalized before saving");
   }
-  std::ofstream out(path, std::ios::trunc | std::ios::binary);
-  if (!out) return Status::Internal("cannot open " + path + " for writing");
-  out.write(kEmbMagic, sizeof(kEmbMagic) - 1);
+  ByteWriter out;
+  out.AppendBytes(kEmbMagic, sizeof(kEmbMagic) - 1);
   int32_t header[3] = {store.dimension(), store.num_entities(),
                        store.num_predicates()};
-  out.write(reinterpret_cast<const char*>(header), sizeof(header));
-  // Simulates a crash mid-write: header present, payload missing.
-  if (TENET_FAULT_POINT("kb/io/write_truncation")) {
-    out.flush();
-    return Status::DataLoss("injected fault: write truncated after header");
-  }
+  out.AppendBytes(header, sizeof(header));
   auto dump = [&out, &store](ConceptRef ref) {
     std::span<const float> v = store.Vector(ref);
-    out.write(reinterpret_cast<const char*>(v.data()),
-              static_cast<std::streamsize>(v.size() * sizeof(float)));
+    out.AppendBytes(v.data(), v.size() * sizeof(float));
   };
   for (EntityId e = 0; e < store.num_entities(); ++e) {
     dump(ConceptRef::Entity(e));
@@ -868,9 +856,10 @@ Status SaveEmbeddings(const embedding::EmbeddingStore& store,
   for (PredicateId p = 0; p < store.num_predicates(); ++p) {
     dump(ConceptRef::Predicate(p));
   }
-  out.flush();
-  if (!out) return Status::Internal("write to " + path + " failed");
-  return Status::Ok();
+  if (TENET_FAULT_POINT("kb/io/write_truncation")) {
+    return SimulateTornWrite(path, out.data(), out.size(), "matrix");
+  }
+  return AtomicWriteFile(path, out.data(), out.size());
 }
 
 Result<embedding::EmbeddingStore> LoadEmbeddings(

@@ -5,8 +5,10 @@
 #include <mutex>
 #include <utility>
 
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "serving/kb_generation.h"
 
 namespace tenet {
 namespace serving {
@@ -65,6 +67,27 @@ ThreadPool::Options PoolOptions(const ServingOptions& options) {
 
 constexpr const char* kCompletedHelp =
     "Requests that reached a worker and resolved, by outcome.";
+constexpr const char* kSwapHelp =
+    "KB generation swap attempts: ok = published, rolled_back = failed "
+    "(injected fault, id regression, or all RCU slots pinned) with the old "
+    "generation kept serving.";
+constexpr const char* kMergeHelp =
+    "Background delta merges (compact + reload + swap), by outcome.";
+
+std::shared_ptr<const ServingTarget> LegacyTarget(
+    const baselines::Linker* linker) {
+  TENET_CHECK(linker != nullptr);
+  return std::make_shared<const ServingTarget>(
+      ServingTarget{linker, nullptr});
+}
+
+std::shared_ptr<const ServingTarget> GenerationTarget(
+    std::shared_ptr<const KbGeneration> generation) {
+  TENET_CHECK(generation != nullptr);
+  const baselines::Linker* linker = &generation->linker();
+  return std::make_shared<const ServingTarget>(
+      ServingTarget{linker, std::move(generation)});
+}
 
 }  // namespace
 
@@ -109,6 +132,24 @@ BatchLinkingService::Instruments BatchLinkingService::MakeInstruments(
       "tenet_request_latency_ms",
       "Worker-side processing latency per completed request in "
       "milliseconds, degraded answers included.");
+  m.generation = registry->GetGauge(
+      "tenet_kb_generation",
+      "Id of the KB generation currently serving new requests (0 = legacy "
+      "fixed substrate).");
+  m.swaps_ok = registry->GetCounter(
+      "tenet_kb_swaps_total", kSwapHelp, obs::LabelPair("outcome", "ok"));
+  m.swaps_rolled_back =
+      registry->GetCounter("tenet_kb_swaps_total", kSwapHelp,
+                           obs::LabelPair("outcome", "rolled_back"));
+  m.merges_ok = registry->GetCounter(
+      "tenet_kb_merges_total", kMergeHelp, obs::LabelPair("outcome", "ok"));
+  m.merges_failed =
+      registry->GetCounter("tenet_kb_merges_total", kMergeHelp,
+                           obs::LabelPair("outcome", "failed"));
+  m.swap_latency = registry->GetHistogram(
+      "tenet_kb_swap_latency_ms",
+      "Wall time of a successful SwapGeneration, from the call to the "
+      "epoch publish, in milliseconds.");
   return m;
 }
 
@@ -120,8 +161,16 @@ void BatchLinkingService::BreakerObserver::ObserveDependency(
 
 BatchLinkingService::BatchLinkingService(const baselines::Linker* linker,
                                          ServingOptions options)
-    : linker_(linker),
-      options_(options),
+    : BatchLinkingService(LegacyTarget(linker), std::move(options)) {}
+
+BatchLinkingService::BatchLinkingService(
+    std::shared_ptr<const KbGeneration> generation, ServingOptions options)
+    : BatchLinkingService(GenerationTarget(std::move(generation)),
+                          std::move(options)) {}
+
+BatchLinkingService::BatchLinkingService(
+    std::shared_ptr<const ServingTarget> target, ServingOptions options)
+    : options_(options),
       registry_(ResolveRegistry(options)),
       m_(MakeInstruments(registry_)),
       kb_alias_breaker_(kKbAliasDependency, ResolveBreaker(options)),
@@ -130,10 +179,11 @@ BatchLinkingService::BatchLinkingService(const baselines::Linker* linker,
       retry_budget_(ResolveRetryBudget(options)),
       admission_(ResolveAdmission(options)),
       similarity_cache_(MakeSimilarityCache(options)),
+      target_(target),
       observer_(this),
       observer_scope_(&observer_),
       pool_(PoolOptions(options)) {
-  TENET_CHECK(linker != nullptr);
+  m_.generation->Set(static_cast<double>(target->generation_id()));
 }
 
 BatchLinkingService::~BatchLinkingService() { pool_.Shutdown(); }
@@ -177,8 +227,11 @@ Status BatchLinkingService::Submit(std::string text, core::LinkContext context,
   embedding::SimilarityCache* cache = context.similarity_cache != nullptr
                                           ? context.similarity_cache
                                           : similarity_cache_.get();
-  Request request{std::move(text), deadline, context.trace, cache,
-                  std::move(done)};
+  // Pin the serving target at the door: whatever generation swaps land
+  // while this request waits in the queue, it links against the substrate
+  // that admitted it, and that substrate cannot be freed under it.
+  Request request{std::move(text), deadline,          context.trace,
+                  cache,           target_.Acquire(), std::move(done)};
   Status queued = pool_.Submit(
       [this, request = std::move(request)]() mutable {
         Process(std::move(request));
@@ -203,7 +256,8 @@ Result<core::LinkingResult> BatchLinkingService::LinkOnce(
   if (!request.deadline.infinite()) context.deadline = request.deadline;
   context.trace = request.trace;
   context.similarity_cache = request.similarity_cache;
-  return linker_->LinkDocument(request.text, context);
+  context.similarity_epoch = request.target->generation_id();
+  return request.target->linker->LinkDocument(request.text, context);
 }
 
 void BatchLinkingService::Process(Request request) {
@@ -232,7 +286,9 @@ void BatchLinkingService::Process(Request request) {
         core::LinkContext::WithDeadline(Deadline::Expired());
     degraded_context.trace = request.trace;
     degraded_context.similarity_cache = request.similarity_cache;
-    result = linker_->LinkDocument(request.text, degraded_context);
+    degraded_context.similarity_epoch = request.target->generation_id();
+    result = request.target->linker->LinkDocument(request.text,
+                                                  degraded_context);
   } else {
     RetrySchedule schedule(options_.retry, /*initial_value=*/0.0);
     for (;;) {
@@ -268,7 +324,110 @@ void BatchLinkingService::Process(Request request) {
   // it would make the tail look better exactly when the ladder engages.
   m_.request_latency->Observe(served.latency_ms);
   m_.inflight->Add(-1.0);
+  // Unpin before the callback: the callback may be the last thing keeping
+  // a swap waiting (e.g. a test draining requests to free RCU slots), and
+  // this request is done with the substrate.
+  request.target.Release();
   request.done(std::move(served));
+}
+
+Status BatchLinkingService::SwapGeneration(
+    std::shared_ptr<const KbGeneration> next) {
+  if (next == nullptr) {
+    return Status::InvalidArgument("SwapGeneration: null generation");
+  }
+  WallTimer timer;
+  std::lock_guard<std::mutex> lock(swap_mu_);
+  const uint64_t current_id = target_.Current()->generation_id();
+  if (next->id() <= current_id) {
+    m_.swaps_rolled_back->Increment();
+    TENET_OBSERVE_DEPENDENCY("serving/kb_swap", false);
+    return Status::FailedPrecondition(
+        "SwapGeneration: generation ids must advance (serving " +
+        std::to_string(current_id) + ", offered " +
+        std::to_string(next->id()) + ")");
+  }
+  const uint64_t next_id = next->id();
+  if (TENET_FAULT_POINT("serving/kb_swap")) {
+    m_.swaps_rolled_back->Increment();
+    TENET_OBSERVE_DEPENDENCY("serving/kb_swap", false);
+    return Status::DataLoss(
+        "injected fault: kb swap failed; still serving generation " +
+        std::to_string(current_id));
+  }
+  Result<uint64_t> published = target_.Publish(
+      GenerationTarget(std::move(next)));
+  if (!published.ok()) {
+    m_.swaps_rolled_back->Increment();
+    TENET_OBSERVE_DEPENDENCY("serving/kb_swap", false);
+    return published.status();
+  }
+  m_.generation->Set(static_cast<double>(next_id));
+  m_.swaps_ok->Increment();
+  m_.swap_latency->Observe(timer.ElapsedMillis());
+  TENET_OBSERVE_DEPENDENCY("serving/kb_swap", true);
+  return Status::Ok();
+}
+
+void BatchLinkingService::RunMerge(std::string kb_path,
+                                   std::string embeddings_path,
+                                   uint64_t next_id,
+                                   std::function<void(Status)> done) {
+  const auto finish = [&](Status status) {
+    (status.ok() ? m_.merges_ok : m_.merges_failed)->Increment();
+    if (done != nullptr) done(std::move(status));
+  };
+  // Compact the generation serving *now*; anything swapped in after this
+  // point simply is not part of this merge.
+  std::shared_ptr<const KbGeneration> current =
+      target_.Current()->generation;
+  if (current == nullptr) {
+    finish(Status::FailedPrecondition(
+        "merge: the service serves a legacy fixed substrate, not a "
+        "KbGeneration"));
+    return;
+  }
+  Status compacted = current->Compact(kb_path, embeddings_path);
+  if (!compacted.ok()) {
+    finish(std::move(compacted));
+    return;
+  }
+  // Reload serially: this worker must not fan subtasks into its own pool.
+  KbGenerationOptions reload;
+  reload.linker_options = current->linker().pipeline().options();
+  Result<std::shared_ptr<const KbGeneration>> merged =
+      KbGeneration::Load(kb_path, embeddings_path, {}, next_id, reload);
+  if (!merged.ok()) {
+    finish(merged.status());
+    return;
+  }
+  finish(SwapGeneration(std::move(merged).value()));
+}
+
+Status BatchLinkingService::ScheduleMerge(std::string kb_path,
+                                          std::string embeddings_path,
+                                          uint64_t next_id,
+                                          std::function<void(Status)> done) {
+  Status queued = pool_.Submit(
+      [this, kb_path = std::move(kb_path),
+       embeddings_path = std::move(embeddings_path), next_id,
+       done = std::move(done)]() mutable {
+        RunMerge(std::move(kb_path), std::move(embeddings_path), next_id,
+                 std::move(done));
+      });
+  if (!queued.ok()) {
+    return Status::ResourceExhausted("merge not scheduled: " +
+                                     queued.message());
+  }
+  return Status::Ok();
+}
+
+std::shared_ptr<const KbGeneration> BatchLinkingService::generation() const {
+  return target_.Current()->generation;
+}
+
+uint64_t BatchLinkingService::generation_id() const {
+  return target_.Current()->generation_id();
 }
 
 std::vector<ServedResult> BatchLinkingService::LinkBatch(
@@ -309,6 +468,11 @@ ServiceStats BatchLinkingService::Stats() const {
   stats.completed = stats.full + stats.degraded + stats.failed;
   stats.breaker_degraded = m_.breaker_degraded->Value();
   stats.retries = m_.retries->Value();
+  stats.generation = static_cast<int64_t>(m_.generation->Value());
+  stats.swaps_ok = m_.swaps_ok->Value();
+  stats.swaps_rolled_back = m_.swaps_rolled_back->Value();
+  stats.merges_ok = m_.merges_ok->Value();
+  stats.merges_failed = m_.merges_failed->Value();
   stats.kb_alias_breaker = kb_alias_breaker_.state();
   stats.embedding_breaker = embedding_breaker_.state();
   stats.cover_breaker = cover_breaker_.state();

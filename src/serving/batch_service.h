@@ -5,6 +5,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -14,12 +15,14 @@
 #include "common/circuit_breaker.h"
 #include "common/deadline.h"
 #include "common/dependency_health.h"
+#include "common/rcu.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "core/link_context.h"
 #include "embedding/similarity_cache.h"
 #include "obs/metrics.h"
 #include "serving/admission_controller.h"
+#include "serving/kb_generation.h"
 
 namespace tenet {
 namespace serving {
@@ -94,6 +97,11 @@ struct ServiceStats {
   int64_t breaker_degraded = 0;  // of `degraded`: routed by an open breaker
   int64_t failed = 0;     // non-OK results
   int64_t retries = 0;    // request-level retry attempts
+  int64_t generation = 0;        // id of the serving KB generation
+  int64_t swaps_ok = 0;          // successful generation swaps
+  int64_t swaps_rolled_back = 0;  // failed swaps (old generation kept)
+  int64_t merges_ok = 0;         // background merges that landed
+  int64_t merges_failed = 0;     // background merges rolled back
   BreakerState kb_alias_breaker = BreakerState::kClosed;
   BreakerState embedding_breaker = BreakerState::kClosed;
   BreakerState cover_breaker = BreakerState::kClosed;
@@ -105,7 +113,22 @@ struct ServiceStats {
   double latency_p99_ms = 0.0;
 };
 
-// The concurrent batch serving layer over one immutable linking substrate.
+// What a request links against: an immutable linker, plus the KbGeneration
+// that owns its substrate when the service was built generation-aware (null
+// under the legacy raw-Linker constructor, whose substrate the caller owns
+// and never swaps).  Published through the RCU cell below; requests pin one
+// target at the front door and keep it to the end.
+struct ServingTarget {
+  const baselines::Linker* linker = nullptr;
+  std::shared_ptr<const KbGeneration> generation;
+
+  uint64_t generation_id() const {
+    return generation != nullptr ? generation->id() : 0;
+  }
+};
+
+// The concurrent batch serving layer over an immutable linking substrate,
+// hot-swappable between requests.
 //
 // A BatchLinkingService owns a fixed worker pool and wraps a Linker (in
 // production, TenetLinker over one shared KB / embedding / gazetteer
@@ -123,15 +146,35 @@ struct ServiceStats {
 // the pipeline's degradation ladder by linking under an already-expired
 // deadline — load on the sick dependency drops, answers keep flowing.
 //
+// Live KB updates (DESIGN.md §12): a service built over a KbGeneration can
+// be re-pointed at a newer generation with SwapGeneration, with zero locks
+// on the read path.  Every request pins the then-current generation inside
+// Submit — before it is queued — so a request that was waiting in the queue
+// across a swap still links against the generation that admitted it, and
+// two calls on the same thread straddling a swap may legitimately see
+// different KBs.  A pinned generation cannot be freed until its last
+// request finishes; a failed swap (injected fault, id regression, or all
+// RCU slots pinned) rolls back: the old generation keeps serving, the
+// failure is counted and reported to the dependency-health plumbing as
+// "serving/kb_swap".  ScheduleMerge runs the delta-folding compaction on
+// the worker pool and swaps in the merged snapshot the same way.
+//
 // The service must outlive every callback; the destructor drains queued
 // requests and joins the workers.
 class BatchLinkingService {
  public:
   using Callback = std::function<void(ServedResult)>;
 
-  /// `linker` must outlive the service.
+  /// `linker` must outlive the service.  This legacy entry point serves a
+  /// fixed substrate: generation() is null and SwapGeneration still works,
+  /// provided the new generation's id is >= 1.
   explicit BatchLinkingService(const baselines::Linker* linker,
                                ServingOptions options = {});
+  /// The generation-aware entry point: the service shares ownership of
+  /// `generation` and serves its linker until a successful SwapGeneration.
+  explicit BatchLinkingService(
+      std::shared_ptr<const KbGeneration> generation,
+      ServingOptions options = {});
   ~BatchLinkingService();
 
   BatchLinkingService(const BatchLinkingService&) = delete;
@@ -157,6 +200,32 @@ class BatchLinkingService {
   /// in.  Shed requests (possible under kReject overflow) surface as
   /// entries with shed == true and a kResourceExhausted status.
   std::vector<ServedResult> LinkBatch(const std::vector<std::string>& texts);
+
+  /// Atomically re-points the service at `next`.  Requests submitted after
+  /// the call see the new generation; requests already admitted or queued
+  /// finish on the one they pinned.  Fails — and keeps the old generation
+  /// serving — when `next` is null, its id does not exceed the current
+  /// generation's, the "serving/kb_swap" fault point fires, or every RCU
+  /// slot is still pinned by in-flight readers (kResourceExhausted; retry
+  /// after requests drain).  Thread-safe; swaps are serialized internally.
+  Status SwapGeneration(std::shared_ptr<const KbGeneration> next);
+
+  /// Schedules the merge on the worker pool: compact the current
+  /// generation into a fresh TENETKB2/TENETEMB1 pair at the given paths
+  /// (atomic writes), reload it as generation `next_id`, and swap it in.
+  /// Any failure — write, reload, or swap — rolls back to the serving
+  /// generation.  `done` (optional) receives the outcome from the worker.
+  /// kResourceExhausted if the queue refuses the merge task.
+  Status ScheduleMerge(std::string kb_path, std::string embeddings_path,
+                       uint64_t next_id,
+                       std::function<void(Status)> done = nullptr);
+
+  /// The currently serving generation (null under the legacy raw-Linker
+  /// constructor before any swap).
+  std::shared_ptr<const KbGeneration> generation() const;
+
+  /// Id of the currently serving generation (0 = legacy fixed substrate).
+  uint64_t generation_id() const;
 
   /// Accounting snapshot, read from the backing registry.
   ServiceStats Stats() const;
@@ -189,6 +258,11 @@ class BatchLinkingService {
     /// Resolved at the door: the request's own cache, else the
     /// service-owned one, else null.
     embedding::SimilarityCache* similarity_cache = nullptr;
+    /// Pinned at the door: the substrate this request links against,
+    /// whatever swaps land while it waits in the queue.  Copies of the
+    /// request (ThreadPool tasks are copyable std::functions) each hold
+    /// their own pin.
+    RcuCell<ServingTarget>::Pin target;
     Callback done;
   };
 
@@ -205,6 +279,12 @@ class BatchLinkingService {
     obs::Gauge* queue_depth;
     obs::Gauge* inflight;
     obs::Histogram* request_latency;
+    obs::Gauge* generation;
+    obs::Counter* swaps_ok;
+    obs::Counter* swaps_rolled_back;
+    obs::Counter* merges_ok;
+    obs::Counter* merges_failed;
+    obs::Histogram* swap_latency;
   };
 
   // Fans the dependency outcome stream out to the service's breakers.
@@ -220,12 +300,16 @@ class BatchLinkingService {
 
   static Instruments MakeInstruments(obs::MetricsRegistry* registry);
 
+  BatchLinkingService(std::shared_ptr<const ServingTarget> target,
+                      ServingOptions options);
+
   Deadline DefaultDeadline() const;
   void Process(Request request);
   Result<core::LinkingResult> LinkOnce(const Request& request) const;
   CircuitBreaker* MutableBreaker(const char* dependency);
+  void RunMerge(std::string kb_path, std::string embeddings_path,
+                uint64_t next_id, std::function<void(Status)> done);
 
-  const baselines::Linker* linker_;
   const ServingOptions options_;
   obs::MetricsRegistry* registry_;
   Instruments m_;
@@ -237,9 +321,15 @@ class BatchLinkingService {
   AdmissionController admission_;
   std::unique_ptr<embedding::SimilarityCache> similarity_cache_;
 
+  // Serializes SwapGeneration/merge bookkeeping (the RCU cell serializes
+  // its own publishes; this covers the id check + metrics as one unit).
+  std::mutex swap_mu_;
+
   // Declaration order is the destruction contract: the pool (last member)
-  // is destroyed first, joining every worker before the observer scope
-  // uninstalls and the breakers die.
+  // is destroyed first, joining every worker — which releases every
+  // Request's generation pin — before the target cell, the observer scope
+  // and the breakers die.
+  RcuCell<ServingTarget> target_;
   BreakerObserver observer_;
   ScopedDependencyObserver observer_scope_;
   ThreadPool pool_;

@@ -28,8 +28,11 @@
 #include "common/fault_injection.h"
 #include "datasets/corpus_generator.h"
 #include "datasets/world.h"
+#include "kb/delta.h"
+#include "kb/types.h"
 #include "obs/metrics.h"
 #include "serving/batch_service.h"
+#include "serving/kb_generation.h"
 
 namespace tenet {
 namespace serving {
@@ -264,6 +267,146 @@ TEST_F(ChaosSoakTest, SurvivesFaultStormsAndRecovers) {
        {kKbAliasDependency, kEmbeddingDependency, kCoverSolveDependency}) {
     ExpectBreakerTransitionCountersConsistent(dependency);
   }
+}
+
+// The live-update storm (`kbupdate` tier, DESIGN.md §12): driver threads
+// hammer the service while a swapper performs 120 generation swap
+// attempts, each appending a one-entity delta, with "serving/kb_swap"
+// faults injected at 10%.  The acceptance contract: the service survives,
+// failed swaps roll back (the old generation keeps serving), in-flight
+// requests all resolve, the ledger balances, and afterwards the serving
+// generation is exactly base + one entity per *successful* swap.
+class SwapStormTest : public ::testing::Test {
+ protected:
+  SwapStormTest() {
+    datasets::SyntheticWorld world = datasets::BuildWorld();
+    datasets::CorpusGenerator generator(&world.kb_world);
+    Rng rng(4242);
+    datasets::DatasetSpec spec = datasets::TRex42Spec();
+    spec.num_docs = kDocsPerRound;
+    for (const datasets::Document& doc :
+         generator.Generate(spec, rng).documents) {
+      texts_.push_back(doc.text);
+    }
+    // The corpus is generated; the world's substrate can now move into
+    // generation 1, which owns it for the rest of the storm.
+    generation_ = KbGeneration::FromSubstrate(std::move(world.kb_world.kb),
+                                              std::move(world.embeddings),
+                                              /*id=*/1);
+    base_entities_ = generation_->kb().num_entities();
+
+    ServingOptions options;
+    options.metrics = &registry_;
+    options.num_threads = 4;
+    options.queue_capacity = 16;
+    options.overflow = QueueOverflowPolicy::kReject;
+    service_ = std::make_unique<BatchLinkingService>(generation_, options);
+  }
+
+  std::vector<std::string> texts_;
+  std::shared_ptr<const KbGeneration> generation_;
+  int32_t base_entities_ = 0;
+  obs::MetricsRegistry registry_;  // declared before the service it feeds
+  std::unique_ptr<BatchLinkingService> service_;
+  Tally tally_;
+};
+
+TEST_F(SwapStormTest, SurvivesAHundredFaultySwapsUnderConcurrentLoad) {
+  constexpr int kSwapAttempts = 120;  // acceptance floor is 100
+  FaultInjector faults(424242);
+  faults.Arm("serving/kb_swap", 0.10);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> drivers;
+  for (int t = 0; t < kDriverThreads; ++t) {
+    drivers.emplace_back([this, &stop] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        std::vector<ServedResult> served = service_->LinkBatch(texts_);
+        tally_.submitted.fetch_add(static_cast<int64_t>(served.size()));
+        for (const ServedResult& r : served) {
+          if (r.shed) {
+            EXPECT_EQ(r.result.status().code(),
+                      StatusCode::kResourceExhausted);
+            tally_.shed.fetch_add(1);
+          } else if (!r.result.ok()) {
+            tally_.failed.fetch_add(1);
+          } else if (r.result->degradation.degraded()) {
+            tally_.degraded.fetch_add(1);
+          } else {
+            tally_.full.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+
+  // The swapper: each attempt stacks a one-entity delta on the last
+  // *successfully serving* generation.  A rolled-back candidate is
+  // discarded — exactly what an updater would do after a failed swap.
+  std::shared_ptr<const KbGeneration> current = generation_;
+  uint64_t expected_id = 1;
+  int64_t swaps_ok = 0;
+  int64_t swaps_rolled_back = 0;
+  for (int attempt = 0; attempt < kSwapAttempts; ++attempt) {
+    kb::DeltaBuilder builder(current->kb());
+    builder.AddEntity("storm entity " + std::to_string(attempt),
+                      kb::EntityType::kPerson);
+    std::vector<kb::DeltaSegment> segments{builder.Build()};
+    Result<std::shared_ptr<const KbGeneration>> next =
+        current->WithDeltas(segments, expected_id + 1);
+    ASSERT_TRUE(next.ok()) << next.status();
+    Status swapped = service_->SwapGeneration(*next);
+    if (swapped.ok()) {
+      current = *next;
+      ++expected_id;
+      ++swaps_ok;
+    } else {
+      // Injected mid-swap fault, or every RCU slot pinned under load —
+      // both roll back to the old generation.
+      EXPECT_TRUE(swapped.code() == StatusCode::kDataLoss ||
+                  swapped.code() == StatusCode::kResourceExhausted)
+          << swapped;
+      ++swaps_rolled_back;
+    }
+    if ((attempt & 7) == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& driver : drivers) driver.join();
+
+  // Both outcomes occurred, and the service's ledger matches ours.
+  EXPECT_GT(swaps_ok, 0);
+  EXPECT_GT(swaps_rolled_back, 0);
+  EXPECT_EQ(swaps_ok + swaps_rolled_back, kSwapAttempts);
+  EXPECT_GT(faults.FireCount("serving/kb_swap"), 0);
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.swaps_ok, swaps_ok);
+  EXPECT_EQ(stats.swaps_rolled_back, swaps_rolled_back);
+  EXPECT_EQ(stats.generation, static_cast<int64_t>(expected_id));
+  EXPECT_EQ(service_->generation_id(), expected_id);
+  EXPECT_EQ(registry_.GetGauge("tenet_kb_generation", "")->Value(),
+            static_cast<double>(expected_id));
+  EXPECT_EQ(registry_.GetHistogram("tenet_kb_swap_latency_ms", "")->Count(),
+            swaps_ok);
+
+  // The serving KB is exactly base + one entity per successful swap: no
+  // rolled-back delta leaked in, none that landed was lost.
+  ASSERT_NE(service_->generation(), nullptr);
+  EXPECT_EQ(service_->generation()->kb().num_entities(),
+            base_entities_ + static_cast<int32_t>(swaps_ok));
+  EXPECT_EQ(service_->generation()->delta_stats().added_entities, swaps_ok);
+
+  // Nothing was lost or double-counted under the storm, and real traffic
+  // flowed throughout.
+  EXPECT_EQ(stats.submitted, tally_.submitted.load());
+  EXPECT_EQ(stats.submitted, stats.shed + stats.completed);
+  EXPECT_EQ(stats.completed, stats.full + stats.degraded + stats.failed);
+  EXPECT_EQ(tally_.resolved(), tally_.submitted.load())
+      << "a request vanished during a swap";
+  EXPECT_EQ(tally_.failed.load(), 0);
+  EXPECT_GT(tally_.full.load(), 0);
+  EXPECT_GT(stats.completed, 0);
 }
 
 }  // namespace

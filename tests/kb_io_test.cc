@@ -515,11 +515,12 @@ TEST(KbIoCorruptionTest, TruncatedEmbeddingPayloadIsRejected) {
   EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
 }
 
-TEST(KbIoCorruptionTest, InjectedWriteTruncationIsReportedAndRejectedOnLoad) {
-  // The fault point simulates a crash / full disk mid-write: the save
-  // reports DataLoss, and the half-written file on disk must then be
-  // rejected by the loader — this is the end-to-end torn-write story.
+TEST(KbIoCorruptionTest, InjectedWriteTruncationNeverPublishesATornFile) {
+  // The fault point simulates a crash / full disk mid-write.  Snapshots go
+  // through AtomicWriteFile, so the crash leaves half-written debris at
+  // `<path>.tmp` — never a torn `path`: the target simply does not exist.
   std::string path = TempPath("torn_write.tenetkb");
+  std::remove(path.c_str());
   {
     FaultInjector faults(41);
     faults.Arm("kb/io/write_truncation", 1.0);
@@ -530,12 +531,43 @@ TEST(KbIoCorruptionTest, InjectedWriteTruncationIsReportedAndRejectedOnLoad) {
   }
   Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+  // The realistic crash residue is there, and loaders never look at it.
+  std::ifstream debris(path + ".tmp", std::ios::binary);
+  EXPECT_TRUE(debris.good());
 }
 
-TEST(KbIoCorruptionTest, InjectedEmbeddingTruncationIsRejectedOnLoad) {
+TEST(KbIoCorruptionTest, KillMidWriteLeavesThePreviousSnapshotIntact) {
+  // The live-update story depends on this: a crash while re-snapshotting
+  // (e.g. the background merge) must leave the previous generation's file
+  // loadable, or a reboot after the crash has no KB at all.
+  std::string path = TempPath("overwritten.tenetkb");
+  ASSERT_TRUE(SaveKnowledgeBase(TinyKb(), path).ok());
+
+  KnowledgeBase bigger;
+  EntityId a = bigger.AddEntity("Alpha", EntityType::kPerson, 0, 2.0);
+  EntityId b = bigger.AddEntity("Beta", EntityType::kLocation, 0, 1.0);
+  PredicateId p = bigger.AddPredicate("linked to", 0, 1.0);
+  ASSERT_TRUE(bigger.AddFact(a, p, b).ok());
+  bigger.Finalize();
+  {
+    FaultInjector faults(44);
+    faults.Arm("kb/io/write_truncation", 1.0);
+    Status save = SaveKnowledgeBase(bigger, path);
+    ASSERT_FALSE(save.ok());
+    EXPECT_TRUE(save.IsDataLoss());
+  }
+
+  // The old snapshot survives, byte-for-byte loadable.
+  Result<KnowledgeBase> loaded = LoadKnowledgeBase(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_entities(), TinyKb().num_entities());
+}
+
+TEST(KbIoCorruptionTest, InjectedEmbeddingTruncationNeverPublishesATornFile) {
   datasets::SyntheticWorld world = datasets::BuildWorld();
   std::string path = TempPath("torn_write.tenetemb");
+  std::remove(path.c_str());
   {
     FaultInjector faults(42);
     faults.Arm("kb/io/write_truncation", 1.0);
@@ -545,7 +577,7 @@ TEST(KbIoCorruptionTest, InjectedEmbeddingTruncationIsRejectedOnLoad) {
   }
   Result<embedding::EmbeddingStore> loaded = LoadEmbeddings(path);
   ASSERT_FALSE(loaded.ok());
-  EXPECT_EQ(loaded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
 }
 
 TEST(KbIoCorruptionTest, LoaderFaultPointsSurfaceAsDataLoss) {

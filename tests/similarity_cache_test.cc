@@ -154,6 +154,81 @@ TEST(SimilarityCacheConcurrencyTest, ParallelGetOrComputeIsExact) {
   EXPECT_LE(stats.entries, cache.max_entries());
 }
 
+// Epoch semantics (KB generation swaps, DESIGN.md §12): entries are
+// tagged with the generation that computed them; a lookup from a newer
+// generation must never be served a value computed against an older KB.
+TEST(SimilarityCacheEpochTest, NewerEpochLookupEvictsTheStaleEntry) {
+  SimilarityCache cache;
+  cache.Insert(E(1), E(2), 0.9, /*epoch=*/1);
+  // Same generation: hit.
+  ASSERT_TRUE(cache.Lookup(E(1), E(2), 1).has_value());
+  // Post-swap lookup: the stale entry must miss AND be lazily erased.
+  EXPECT_FALSE(cache.Lookup(E(1), E(2), 2).has_value());
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  // Nothing left even for the old epoch.
+  EXPECT_FALSE(cache.Lookup(E(1), E(2), 1).has_value());
+}
+
+TEST(SimilarityCacheEpochTest, PinnedOldGenerationMissesButKeepsNewEntries) {
+  SimilarityCache cache;
+  cache.Insert(E(1), E(2), 0.4, /*epoch=*/5);
+  // A request still pinned to generation 3 must not consume the newer
+  // value — but it must not evict it either (the newer generation is the
+  // one that will be asking from now on).
+  EXPECT_FALSE(cache.Lookup(E(1), E(2), 3).has_value());
+  std::optional<double> hit = cache.Lookup(E(1), E(2), 5);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0.4);
+}
+
+TEST(SimilarityCacheEpochTest, InsertNeverRegressesANewerEntry) {
+  SimilarityCache cache;
+  cache.Insert(E(1), E(2), 0.7, /*epoch=*/4);
+  // A straggler pinned to generation 2 computed against the old KB; its
+  // insert must not clobber the generation-4 value.
+  cache.Insert(E(1), E(2), 0.1, /*epoch=*/2);
+  std::optional<double> hit = cache.Lookup(E(1), E(2), 4);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 0.7);
+}
+
+TEST(SimilarityCacheEpochTest, GetOrComputeRecomputesAcrossASwap) {
+  SimilarityCache cache;
+  int computes = 0;
+  EXPECT_EQ(cache.GetOrCompute(
+                E(1), E(2),
+                [&] {
+                  ++computes;
+                  return 0.9;
+                },
+                /*epoch=*/1),
+            0.9);
+  // Same pair after the swap: the value changed with the KB, and the
+  // cache must recompute rather than serve the stale 0.9.
+  EXPECT_EQ(cache.GetOrCompute(
+                E(1), E(2),
+                [&] {
+                  ++computes;
+                  return -0.3;
+                },
+                /*epoch=*/2),
+            -0.3);
+  EXPECT_EQ(computes, 2);
+  // And the recomputed value is sticky for the new generation.
+  EXPECT_EQ(cache.GetOrCompute(
+                E(1), E(2), [&] { return 99.0; }, /*epoch=*/2),
+            -0.3);
+}
+
+TEST(SimilarityCacheEpochTest, EpochZeroIsTheSingleSubstrateWorld) {
+  // Default-epoch callers (no generations anywhere) behave exactly like
+  // the pre-epoch cache: insert once, hit forever.
+  SimilarityCache cache;
+  cache.Insert(E(1), E(2), 0.5);
+  ASSERT_TRUE(cache.Lookup(E(1), E(2)).has_value());
+  ASSERT_TRUE(cache.Lookup(E(1), E(2), 0).has_value());
+}
+
 }  // namespace
 }  // namespace embedding
 }  // namespace tenet

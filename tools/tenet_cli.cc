@@ -21,6 +21,7 @@
 //
 //   tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS]
 //             [--similarity-cache-mb N] [--metrics-out FILE]
+//             [--kb-update-every N]
 //       Builds the synthetic world, generates the evaluation corpora and
 //       scores TENET end-to-end on each.  With --threads N > 1 the batch
 //       is served through the concurrent BatchLinkingService.  Exits
@@ -30,6 +31,12 @@
 //       computed ones, so scores are unchanged) and reports the cache hit
 //       rate afterwards.  --metrics-out writes the run's metrics registry
 //       to FILE in Prometheus text format (JSON when FILE ends in .json).
+//       --kb-update-every N is the live-update drill (DESIGN.md §12): the
+//       run serves through a generation-aware service and hot-swaps in a
+//       fresh delta generation after every N documents while the batch is
+//       in flight.  The drill's deltas only add concepts no corpus
+//       mentions, so scores are unchanged; the swap/rollback accounting is
+//       reported afterwards.
 //
 //   tenet_cli kb build [--seed N] [--kb PATH] [--emb PATH]
 //             [--format text|binary]
@@ -43,6 +50,22 @@
 //       embedding header when --emb is given.  Validates the same
 //       header/section invariants as the loader.
 //
+//   tenet_cli kb delta --kb PATH --emb PATH --out PATH [--seed N]
+//             [--add-entities N]
+//       Builds a synthetic TENETDELTA1 segment against the given snapshot
+//       pair: N fresh entities, each with an extra alias and an embedding
+//       row.  Only the snapshot headers are read (the delta needs the
+//       concept counts and the embedding dimension, not the data).  The
+//       segment is written atomically; apply it with `kb merge` or serve
+//       it live via KbGeneration.
+//
+//   tenet_cli kb merge --kb PATH --emb PATH --delta PATH [--delta PATH...]
+//             --out-kb PATH --out-emb PATH
+//       Compaction: loads the snapshot pair, applies the delta segments in
+//       order, and persists the merged substrate as a fresh
+//       TENETKB2/TENETEMB1 pair (both writes atomic).  Prints what the
+//       apply did.
+//
 // All numeric flags are parsed strictly: "--threads 4x" is an error (exit
 // code 2 + usage), not silently 4.
 #include <cstdio>
@@ -54,6 +77,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/tenet_linker.h"
 #include "core/link_context.h"
@@ -66,7 +91,11 @@
 #include "datasets/io.h"
 #include "common/string_util.h"
 #include "eval/harness.h"
+#include "kb/delta.h"
 #include "kb/io.h"
+#include "kb/types.h"
+#include "serving/batch_service.h"
+#include "serving/kb_generation.h"
 
 using namespace tenet;
 
@@ -74,7 +103,7 @@ namespace {
 
 struct Args {
   std::string command;
-  std::string subcommand;  // of the "kb" command: build or inspect
+  std::string subcommand;  // of "kb": build, inspect, delta or merge
   uint64_t seed = 2021;
   std::string kb_path = "world.tenetkb";
   std::string emb_path = "world.tenetemb";
@@ -87,6 +116,13 @@ struct Args {
   int similarity_cache_mb = 0;
   std::optional<std::string> metrics_out;
   bool trace = false;
+  // kb delta / kb merge / eval --kb-update-every.
+  std::string out_path = "update.tenetdelta";
+  std::vector<std::string> delta_paths;
+  std::string out_kb_path = "merged.tenetkb";
+  std::string out_emb_path = "merged.tenetemb";
+  int add_entities = 8;
+  int kb_update_every = 0;
 };
 
 // Strict integer flag: the whole value must parse (no "4x", no empty), and
@@ -112,7 +148,8 @@ std::optional<Args> Parse(int argc, char** argv) {
   if (args.command == "kb") {
     if (argc < 3) return std::nullopt;
     args.subcommand = argv[2];
-    if (args.subcommand != "build" && args.subcommand != "inspect") {
+    if (args.subcommand != "build" && args.subcommand != "inspect" &&
+        args.subcommand != "delta" && args.subcommand != "merge") {
       std::fprintf(stderr, "unknown kb subcommand: %s\n",
                    args.subcommand.c_str());
       return std::nullopt;
@@ -197,6 +234,39 @@ std::optional<Args> Parse(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
       args.metrics_out = std::string(v);
+    } else if (flag == "--out") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.out_path = v;
+    } else if (flag == "--delta") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.delta_paths.push_back(v);
+    } else if (flag == "--out-kb") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.out_kb_path = v;
+    } else if (flag == "--out-emb") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.out_emb_path = v;
+    } else if (flag == "--add-entities") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      int64_t n = 0;
+      if (!ParseIntFlag("--add-entities", v, 1, 1 << 20, &n)) {
+        return std::nullopt;
+      }
+      args.add_entities = static_cast<int>(n);
+    } else if (flag == "--kb-update-every") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      int64_t n = 0;
+      if (!ParseIntFlag("--kb-update-every", v, 1,
+                        std::numeric_limits<int>::max(), &n)) {
+        return std::nullopt;
+      }
+      args.kb_update_every = static_cast<int>(n);
     } else if (flag == "--trace") {
       args.trace = true;
     } else {
@@ -217,10 +287,15 @@ void PrintUsage() {
       "  tenet_cli demo [--seed N]\n"
       "  tenet_cli dump-corpora [--seed N]\n"
       "  tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS] "
-      "[--similarity-cache-mb N] [--metrics-out FILE]\n"
+      "[--similarity-cache-mb N] [--metrics-out FILE] "
+      "[--kb-update-every N]\n"
       "  tenet_cli kb build [--seed N] [--kb PATH] [--emb PATH] "
       "[--format text|binary]\n"
-      "  tenet_cli kb inspect [--kb PATH] [--emb PATH]\n");
+      "  tenet_cli kb inspect [--kb PATH] [--emb PATH]\n"
+      "  tenet_cli kb delta --kb PATH --emb PATH --out PATH [--seed N] "
+      "[--add-entities N]\n"
+      "  tenet_cli kb merge --kb PATH --emb PATH --delta PATH "
+      "[--delta PATH...] --out-kb PATH --out-emb PATH\n");
 }
 
 std::string ReadStdin() {
@@ -348,6 +423,96 @@ int CmdKbInspect(const Args& args) {
   return 0;
 }
 
+int CmdKbDelta(const Args& args) {
+  // The builder only needs the base id space and the embedding dimension —
+  // both live in the snapshot headers, so a delta against a huge KB costs
+  // two header reads, not a load.
+  Result<kb::KbFileInfo> info = kb::InspectKnowledgeBaseFile(args.kb_path);
+  if (!info.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args.kb_path.c_str(),
+                 info.status().ToString().c_str());
+    return 1;
+  }
+  Result<kb::EmbFileInfo> emb = kb::InspectEmbeddingsFile(args.emb_path);
+  if (!emb.ok()) {
+    std::fprintf(stderr, "%s: %s\n", args.emb_path.c_str(),
+                 emb.status().ToString().c_str());
+    return 1;
+  }
+  if (emb->entities != info->entities ||
+      emb->predicates != info->predicates) {
+    std::fprintf(stderr, "KB and embeddings disagree on concept counts\n");
+    return 1;
+  }
+
+  kb::DeltaBuilder builder(static_cast<int32_t>(info->entities),
+                           static_cast<int32_t>(info->predicates));
+  Rng rng(args.seed);
+  for (int i = 0; i < args.add_entities; ++i) {
+    std::string label = "delta entity " + std::to_string(args.seed) + "-" +
+                        std::to_string(i);
+    kb::EntityId id = builder.AddEntity(
+        label, static_cast<kb::EntityType>(i % kb::kNumEntityTypes),
+        /*domain=*/0, /*popularity=*/1.0 + rng.NextDouble());
+    builder.AddEntityAlias(id, label + " (alias)", 1.0);
+    std::vector<float> row(emb->dimension);
+    for (float& v : row) v = static_cast<float>(rng.NextGaussian());
+    builder.SetEmbedding(kb::ConceptRef::Entity(id), row);
+  }
+  Status written = builder.Write(args.out_path);
+  if (!written.ok()) {
+    std::fprintf(stderr, "%s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%zu records: %d entities with aliases + "
+              "embeddings over base %lld/%lld)\n",
+              args.out_path.c_str(), builder.num_records(),
+              args.add_entities, static_cast<long long>(info->entities),
+              static_cast<long long>(info->predicates));
+  return 0;
+}
+
+int CmdKbMerge(const Args& args) {
+  if (args.delta_paths.empty()) {
+    std::fprintf(stderr, "kb merge needs at least one --delta segment\n");
+    return 2;
+  }
+  Result<std::shared_ptr<const serving::KbGeneration>> merged =
+      serving::KbGeneration::Load(args.kb_path, args.emb_path,
+                                  args.delta_paths, /*id=*/1);
+  if (!merged.ok()) {
+    std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
+    return 1;
+  }
+  const kb::DeltaApplyStats& stats = (*merged)->delta_stats();
+  std::fprintf(stderr,
+               "applied %zu segment(s): +%lld entities, +%lld predicates, "
+               "+%lld aliases, %lld prior adjustments, %lld tombstones, "
+               "+%lld facts (%lld dropped), %lld embedding rows, "
+               "%lld surfaces renormalized\n",
+               args.delta_paths.size(),
+               static_cast<long long>(stats.added_entities),
+               static_cast<long long>(stats.added_predicates),
+               static_cast<long long>(stats.added_aliases),
+               static_cast<long long>(stats.adjusted_priors),
+               static_cast<long long>(stats.tombstones),
+               static_cast<long long>(stats.added_facts),
+               static_cast<long long>(stats.dropped_facts),
+               static_cast<long long>(stats.set_embeddings),
+               static_cast<long long>(stats.touched_surfaces));
+  Status compacted =
+      (*merged)->Compact(args.out_kb_path, args.out_emb_path);
+  if (!compacted.ok()) {
+    std::fprintf(stderr, "%s\n", compacted.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %s (%d entities, %d predicates, %d facts) and %s\n",
+              args.out_kb_path.c_str(), (*merged)->kb().num_entities(),
+              (*merged)->kb().num_predicates(),
+              (*merged)->kb().num_facts(), args.out_emb_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -362,8 +527,10 @@ int main(int argc, char** argv) {
   }
 
   if (args->command == "kb") {
-    return args->subcommand == "build" ? CmdBuildWorld(*args)
-                                       : CmdKbInspect(*args);
+    if (args->subcommand == "build") return CmdBuildWorld(*args);
+    if (args->subcommand == "delta") return CmdKbDelta(*args);
+    if (args->subcommand == "merge") return CmdKbMerge(*args);
+    return CmdKbInspect(*args);
   }
 
   if (args->command == "link") {
@@ -430,27 +597,26 @@ int main(int argc, char** argv) {
           std::make_unique<embedding::SimilarityCache>(cache_options);
       graph_options.similarity_cache = similarity_cache.get();
     }
-    baselines::TenetLinker tenet(
-        baselines::BaselineSubstrate{&world.kb(), &world.embeddings,
-                                     &world.gazetteer(), graph_options},
-        tenet_options);
-    eval::EvalOptions eval_options;
-    eval_options.num_threads = args->threads;
 
+    // The corpora are generated up front — in spec order off one rng, so
+    // the documents are byte-identical to the per-spec loop's — because
+    // the live drill below consumes the world's KB before evaluating.
     datasets::CorpusGenerator generator(&world.kb_world);
     Rng rng(77);  // the bench corpus seed
-    int total_failed = 0;
-    std::printf("%-10s %-23s %-23s %s\n", "dataset", "entity P/R/F",
-                "relation P/R/F", "documents");
+    std::vector<datasets::Dataset> corpora;
     for (const datasets::DatasetSpec& spec :
          {datasets::NewsSpec(), datasets::TRex42Spec(),
           datasets::Kore50Spec(), datasets::Msnbc19Spec()}) {
-      datasets::Dataset dataset = generator.Generate(spec, rng);
-      eval::SystemScores scores =
-          eval::EvaluateEndToEnd(tenet, dataset, eval_options);
+      corpora.push_back(generator.Generate(spec, rng));
+    }
+
+    int total_failed = 0;
+    std::printf("%-10s %-23s %-23s %s\n", "dataset", "entity P/R/F",
+                "relation P/R/F", "documents");
+    auto report = [&total_failed](const eval::SystemScores& scores,
+                                  const std::string& name) {
       std::printf("%-10s %-23s %-23s %s | total %.1f ms | wall %.1f ms\n",
-                  dataset.name.c_str(),
-                  eval::FormatPRF(scores.entity_linking).c_str(),
+                  name.c_str(), eval::FormatPRF(scores.entity_linking).c_str(),
                   eval::FormatPRF(scores.relation_linking).c_str(),
                   eval::FormatDegradation(scores).c_str(), scores.total_ms,
                   scores.wall_ms);
@@ -460,6 +626,89 @@ int main(int argc, char** argv) {
                      failure.status.ToString().c_str());
       }
       total_failed += scores.failed_documents;
+    };
+
+    if (args->kb_update_every > 0) {
+      // Live-update drill: the world moves into generation 1, a
+      // generation-aware service serves every corpus, and after every N
+      // documents a fresh delta generation is swapped in under the load.
+      serving::KbGenerationOptions gen_options;
+      gen_options.linker_options = tenet_options;
+      gen_options.linker_options.graph = graph_options;
+      std::shared_ptr<const serving::KbGeneration> base =
+          serving::KbGeneration::FromSubstrate(std::move(world.kb_world.kb),
+                                               std::move(world.embeddings),
+                                               /*id=*/1, gen_options);
+      serving::ServingOptions sopts;
+      sopts.num_threads = args->threads;
+      sopts.overflow = QueueOverflowPolicy::kBlock;
+      size_t max_docs = 1;
+      for (const datasets::Dataset& dataset : corpora) {
+        max_docs = std::max(max_docs, dataset.documents.size());
+      }
+      sopts.queue_capacity = max_docs + 1;
+      sopts.admission.max_pending = std::numeric_limits<int>::max();
+      serving::BatchLinkingService service(base, sopts);
+
+      eval::KbUpdatePlan plan;
+      plan.every = args->kb_update_every;
+      plan.apply = [&args, &gen_options](
+                       serving::BatchLinkingService& svc, int update) {
+        std::shared_ptr<const serving::KbGeneration> current =
+            svc.generation();
+        kb::DeltaBuilder builder(current->kb());
+        Rng delta_rng(args->seed * 1000003ull + static_cast<uint64_t>(update));
+        // One fresh, unmentioned entity per update: the full delta/apply/
+        // swap machinery runs, but no corpus surface is touched, so scores
+        // stay comparable to a static run.
+        std::string label = "zz live update " + std::to_string(update);
+        kb::EntityId id = builder.AddEntity(
+            label, kb::EntityType::kPerson, /*domain=*/0, /*popularity=*/1.0);
+        builder.AddEntityAlias(id, label + " (alias)", 1.0);
+        std::vector<float> row(current->embeddings().dimension());
+        for (float& v : row) {
+          v = static_cast<float>(delta_rng.NextGaussian());
+        }
+        builder.SetEmbedding(kb::ConceptRef::Entity(id), row);
+        std::vector<kb::DeltaSegment> segments;
+        segments.push_back(builder.Build());
+        Result<std::shared_ptr<const serving::KbGeneration>> next =
+            current->WithDeltas(segments, current->id() + 1, gen_options);
+        if (!next.ok()) {
+          std::fprintf(stderr, "update %d: %s\n", update,
+                       next.status().ToString().c_str());
+          return;
+        }
+        Status swapped = svc.SwapGeneration(*next);
+        if (!swapped.ok()) {
+          std::fprintf(stderr, "update %d: %s\n", update,
+                       swapped.ToString().c_str());
+        }
+      };
+
+      for (const datasets::Dataset& dataset : corpora) {
+        report(eval::EvaluateEndToEndLive(base->linker(), service, dataset,
+                                          plan),
+               dataset.name);
+      }
+      serving::ServiceStats stats = service.Stats();
+      std::fprintf(stderr,
+                   "live updates: generation %lld serving, %lld swaps ok, "
+                   "%lld rolled back\n",
+                   static_cast<long long>(stats.generation),
+                   static_cast<long long>(stats.swaps_ok),
+                   static_cast<long long>(stats.swaps_rolled_back));
+    } else {
+      baselines::TenetLinker tenet(
+          baselines::BaselineSubstrate{&world.kb(), &world.embeddings,
+                                       &world.gazetteer(), graph_options},
+          tenet_options);
+      eval::EvalOptions eval_options;
+      eval_options.num_threads = args->threads;
+      for (const datasets::Dataset& dataset : corpora) {
+        report(eval::EvaluateEndToEnd(tenet, dataset, eval_options),
+               dataset.name);
+      }
     }
     if (similarity_cache != nullptr) {
       embedding::SimilarityCache::Stats cache_stats =
