@@ -1,6 +1,5 @@
 #include "common/string_util.h"
 
-#include <cctype>
 #include <charconv>
 
 namespace tenet {
@@ -44,12 +43,12 @@ std::string JoinStrings(const std::vector<std::string>& pieces,
 std::string_view StripWhitespace(std::string_view s) {
   size_t begin = 0;
   while (begin < s.size() &&
-         std::isspace(static_cast<unsigned char>(s[begin]))) {
+         IsAsciiSpaceChar(s[begin])) {
     ++begin;
   }
   size_t end = s.size();
   while (end > begin &&
-         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+         IsAsciiSpaceChar(s[end - 1])) {
     --end;
   }
   return s.substr(begin, end - begin);
@@ -67,13 +66,13 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
 bool IsAsciiNumber(std::string_view s) {
   if (s.empty()) return false;
   for (char c : s) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    if (!IsAsciiDigitChar(c)) return false;
   }
   return true;
 }
 
 bool IsCapitalized(std::string_view s) {
-  return !s.empty() && std::isupper(static_cast<unsigned char>(s[0]));
+  return !s.empty() && IsAsciiUpperChar(s[0]);
 }
 
 Result<int64_t> ParseInt64(std::string_view s) {

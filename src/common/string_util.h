@@ -20,6 +20,30 @@ constexpr char AsciiFoldChar(char c) {
   return (c >= 'A' && c <= 'Z') ? static_cast<char>(c + ('a' - 'A')) : c;
 }
 
+// Locale-independent ASCII character classes.  The <cctype> functions
+// consult the global C locale, so under e.g. a Latin-1 locale
+// std::isalnum(0xE9) is true and the tokenizer would split tokens at
+// different byte positions than the ASCII-only case fold assumes.  Every
+// text-layer classifier routes through these instead: bytes >= 0x80 are
+// never space / digit / alpha here, the same contract AsciiFoldChar keeps.
+
+constexpr bool IsAsciiSpaceChar(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+constexpr bool IsAsciiDigitChar(char c) { return c >= '0' && c <= '9'; }
+
+constexpr bool IsAsciiUpperChar(char c) { return c >= 'A' && c <= 'Z'; }
+
+constexpr bool IsAsciiAlphaChar(char c) {
+  return (c >= 'a' && c <= 'z') || IsAsciiUpperChar(c);
+}
+
+constexpr bool IsAsciiAlnumChar(char c) {
+  return IsAsciiAlphaChar(c) || IsAsciiDigitChar(c);
+}
+
 /// Returns `s` with ASCII letters lower-cased (the alias index is
 /// case-insensitive, following the paper's Solr setup).  Locale-independent
 /// and byte-preserving outside [A-Z]; see AsciiFoldChar.

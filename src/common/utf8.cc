@@ -1,0 +1,70 @@
+#include "common/utf8.h"
+
+namespace tenet {
+
+size_t Utf8SequenceLength(const char* data, size_t size) {
+  if (size == 0) return 0;
+  const unsigned char b0 = static_cast<unsigned char>(data[0]);
+  if (b0 < 0x80) return 1;
+  // Continuation byte or an invalid lead (0xC0/0xC1 are always-overlong
+  // leads; 0xF5..0xFF encode values above U+10FFFF).
+  if (b0 < 0xC2 || b0 > 0xF4) return 0;
+
+  auto cont = [&](size_t i) {
+    return i < size &&
+           (static_cast<unsigned char>(data[i]) & 0xC0) == 0x80;
+  };
+
+  if (b0 < 0xE0) {  // 2 bytes: U+0080..U+07FF, no overlong possible (>=0xC2).
+    return cont(1) ? 2 : 0;
+  }
+  if (b0 < 0xF0) {  // 3 bytes: U+0800..U+FFFF minus surrogates.
+    if (!cont(1) || !cont(2)) return 0;
+    const unsigned char b1 = static_cast<unsigned char>(data[1]);
+    if (b0 == 0xE0 && b1 < 0xA0) return 0;  // overlong (< U+0800)
+    if (b0 == 0xED && b1 >= 0xA0) return 0;  // surrogate half
+    return 3;
+  }
+  // 4 bytes: U+10000..U+10FFFF.
+  if (!cont(1) || !cont(2) || !cont(3)) return 0;
+  const unsigned char b1 = static_cast<unsigned char>(data[1]);
+  if (b0 == 0xF0 && b1 < 0x90) return 0;  // overlong (< U+10000)
+  if (b0 == 0xF4 && b1 >= 0x90) return 0;  // above U+10FFFF
+  return 4;
+}
+
+Utf8Validation ValidateUtf8(std::string_view s) {
+  Utf8Validation v;
+  size_t i = 0;
+  while (i < s.size()) {
+    const size_t len = Utf8SequenceLength(s.data() + i, s.size() - i);
+    if (len == 0) {
+      if (v.valid) {
+        v.valid = false;
+        v.first_invalid = i;
+      }
+      ++v.invalid_bytes;
+      ++i;
+      continue;
+    }
+    i += len;
+  }
+  return v;
+}
+
+std::string SanitizeUtf8(std::string_view s, char replacement) {
+  std::string out(s);
+  size_t i = 0;
+  while (i < s.size()) {
+    const size_t len = Utf8SequenceLength(s.data() + i, s.size() - i);
+    if (len == 0) {
+      out[i] = replacement;
+      ++i;
+      continue;
+    }
+    i += len;
+  }
+  return out;
+}
+
+}  // namespace tenet

@@ -1,0 +1,50 @@
+#ifndef TENET_COMMON_UTF8_H_
+#define TENET_COMMON_UTF8_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace tenet {
+
+// Strict UTF-8 validation and sanitization for the text front door.
+//
+// The lemmatizer's case fold is ASCII-only by contract (see AsciiFoldChar):
+// it never inspects high-bit bytes, so a byte inside a *valid* multi-byte
+// sequence is safe everywhere downstream.  Invalid bytes are another story —
+// overlong encodings ("\xC0\x80" for NUL) are the classic alias-index
+// smuggling vector, truncated sequences make byte-slicing heuristics read
+// past their span, and surrogate halves break any later transcoding.  The
+// pipeline therefore sanitizes documents before tokenization: every byte
+// that is not part of a well-formed scalar-value encoding is replaced, so
+// invalid bytes never reach the tokenizer or the case fold.
+//
+// "Well-formed" is RFC 3629: 1-4 byte sequences, shortest form only, no
+// surrogates (U+D800..U+DFFF), nothing above U+10FFFF.
+
+// Length in bytes of the well-formed UTF-8 sequence starting at data[0],
+// or 0 if data[0] does not begin one (including truncation at `size`).
+size_t Utf8SequenceLength(const char* data, size_t size);
+
+struct Utf8Validation {
+  bool valid = true;
+  // Number of bytes not covered by any well-formed sequence.
+  size_t invalid_bytes = 0;
+  // Offset of the first invalid byte; meaningful only when !valid.
+  size_t first_invalid = 0;
+};
+
+Utf8Validation ValidateUtf8(std::string_view s);
+
+inline bool IsValidUtf8(std::string_view s) { return ValidateUtf8(s).valid; }
+
+// Returns `s` with every byte that is not part of a well-formed sequence
+// replaced by `replacement` (one byte per invalid byte, so offsets of the
+// surviving valid bytes are preserved).  The default replacement is a
+// space: the tokenizer treats it as a separator, so garbage bytes become
+// token boundaries instead of token content.
+std::string SanitizeUtf8(std::string_view s, char replacement = ' ');
+
+}  // namespace tenet
+
+#endif  // TENET_COMMON_UTF8_H_

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "embedding/dot_kernel.h"
+#include "text/limits.h"
 
 namespace tenet {
 namespace core {
@@ -65,29 +66,38 @@ CoherenceGraph CoherenceGraphBuilder::Build(MentionSet mentions) const {
 CoherenceGraph CoherenceGraphBuilder::Build(
     MentionSet mentions, embedding::SimilarityCache* cache,
     uint64_t cache_epoch) const {
-  // Pass 1: candidate generation, to size the node space.
+  // Pass 1: candidate generation, to size the node space.  Postings past
+  // the per-mention cap are counted (hostile surfaces with hundreds of
+  // candidates are exactly what the cap is for) but never fetched, so the
+  // returned top-k and its renormalized priors are unchanged.
   const int num_mentions = mentions.num_mentions();
   std::vector<CoherenceGraph::ConceptNode> concept_nodes;
   std::vector<std::vector<int>> of_mention(num_mentions);
+  int64_t candidate_overflow = 0;
   for (int m = 0; m < num_mentions; ++m) {
     const Mention& mention = mentions.mention(m);
+    int overflow = 0;
     if (mention.is_noun()) {
       for (const kb::EntityCandidate& c : kb_->CandidateEntities(
                mention.surface, mention.type,
-               options_.max_candidates_per_mention)) {
+               options_.max_candidates_per_mention, &overflow)) {
         of_mention[m].push_back(static_cast<int>(concept_nodes.size()));
         concept_nodes.push_back(CoherenceGraph::ConceptNode{
             m, kb::ConceptRef::Entity(c.entity), c.prior});
       }
     } else {
       for (const kb::PredicateCandidate& c : kb_->CandidatePredicates(
-               mention.surface, options_.max_candidates_per_mention)) {
+               mention.surface, options_.max_candidates_per_mention,
+               &overflow)) {
         of_mention[m].push_back(static_cast<int>(concept_nodes.size()));
         concept_nodes.push_back(CoherenceGraph::ConceptNode{
             m, kb::ConceptRef::Predicate(c.predicate), c.prior});
       }
     }
+    candidate_overflow += overflow;
   }
+  text::RecordInputTruncated(text::InputTruncateReason::kCandidates,
+                             candidate_overflow);
 
   CoherenceGraph cg(std::move(mentions),
                     static_cast<int>(concept_nodes.size()));

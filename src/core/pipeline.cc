@@ -188,6 +188,21 @@ std::string_view DegradationModeToString(DegradationInfo::Mode mode) {
   return "unknown";
 }
 
+namespace {
+
+// The guardrail candidate ceiling clamps the graph's per-mention top-k;
+// with the default (generous) limit the graph option wins unchanged.
+TenetOptions ClampToLimits(TenetOptions options) {
+  if (options.limits.max_candidates_per_mention > 0) {
+    options.graph.max_candidates_per_mention =
+        std::min(options.graph.max_candidates_per_mention,
+                 options.limits.max_candidates_per_mention);
+  }
+  return options;
+}
+
+}  // namespace
+
 TenetPipeline::TenetPipeline(const kb::KnowledgeBase* kb,
                              const embedding::EmbeddingStore* embeddings,
                              const text::Gazetteer* gazetteer,
@@ -195,9 +210,9 @@ TenetPipeline::TenetPipeline(const kb::KnowledgeBase* kb,
     : kb_(kb),
       embeddings_(embeddings),
       gazetteer_(gazetteer),
-      options_(options),
-      graph_builder_(kb, embeddings, options.graph),
-      disambiguator_(options.disambiguator) {
+      options_(ClampToLimits(std::move(options))),
+      graph_builder_(kb, embeddings, options_.graph),
+      disambiguator_(options_.disambiguator) {
   TENET_CHECK(gazetteer != nullptr);
   TENET_CHECK_GT(options_.bound_factor, 0.0);
   TENET_CHECK_GE(options_.bound_retry.max_retries, 0);
@@ -212,15 +227,38 @@ Result<LinkingResult> TenetPipeline::LinkDocument(
     std::string_view document_text, const LinkContext& context) const {
   // Extraction always runs: even a fully degraded answer needs the mention
   // universe, and the stage is cheap relative to the coherence machinery.
+  // The guarded front door enforces TenetOptions::limits — an oversized or
+  // (with sanitization disabled) invalid-UTF-8 document is rejected here
+  // with kInvalidArgument before any linking work.
   StageScope extract_scope(context, "extract", Metrics().stage_extract);
   text::Extractor extractor(gazetteer_);
-  text::ExtractionResult extraction =
-      extractor.ExtractFromText(document_text);
+  text::TextGuardReport guard_report;
+  Result<text::ExtractionResult> extraction =
+      extractor.ExtractFromText(document_text, options_.limits,
+                                &guard_report);
   PipelineTimings timings;
   timings.extract_ms = extract_scope.Finish();
+  if (!extraction.ok()) return extraction.status();
+  if (guard_report.truncated() && context.trace != nullptr) {
+    std::string what;
+    auto add = [&what](const char* name, int64_t n) {
+      if (n <= 0) return;
+      if (!what.empty()) what += ',';
+      what += name;
+      what += '=';
+      what += std::to_string(n);
+    };
+    add("invalid_utf8_bytes",
+        static_cast<int64_t>(guard_report.invalid_utf8_bytes));
+    add("truncated_tokens", guard_report.truncated_tokens);
+    add("token_cap_hit", guard_report.token_cap_hit ? 1 : 0);
+    add("dropped_mentions", guard_report.dropped_mentions);
+    add("dropped_relations", guard_report.dropped_relations);
+    context.trace->Annotate("input_truncated", what);
+  }
 
   MentionSet mentions =
-      BuildMentionSet(extraction, gazetteer_, options_.canopy);
+      BuildMentionSet(extraction.value(), gazetteer_, options_.canopy);
   return LinkMentionSetWithTimings(std::move(mentions), context, timings);
 }
 
@@ -411,23 +449,30 @@ Result<LinkingResult> TenetPipeline::PriorOnlyFromMentions(
   // Same candidate budget as the coherence graph, so the degraded path sees
   // the identical renormalized top-k prior distribution per mention.
   const int top_k = options_.graph.max_candidates_per_mention;
-  auto top = [this, &universe, top_k](int m) -> TopCandidate {
+  int64_t candidate_overflow = 0;
+  auto top = [this, &universe, top_k,
+              &candidate_overflow](int m) -> TopCandidate {
     const Mention& mention = universe.mention(m);
+    int overflow = 0;
     if (mention.is_noun()) {
-      std::vector<kb::EntityCandidate> candidates =
-          kb_->CandidateEntities(mention.surface, mention.type, top_k);
+      std::vector<kb::EntityCandidate> candidates = kb_->CandidateEntities(
+          mention.surface, mention.type, top_k, &overflow);
+      candidate_overflow += overflow;
       if (candidates.empty()) return std::nullopt;
       return std::make_pair(kb::ConceptRef::Entity(candidates.front().entity),
                             candidates.front().prior);
     }
     std::vector<kb::PredicateCandidate> candidates =
-        kb_->CandidatePredicates(mention.surface, top_k);
+        kb_->CandidatePredicates(mention.surface, top_k, &overflow);
+    candidate_overflow += overflow;
     if (candidates.empty()) return std::nullopt;
     return std::make_pair(
         kb::ConceptRef::Predicate(candidates.front().predicate),
         candidates.front().prior);
   };
   LinkingResult result = AssemblePriorOnly(universe, top);
+  text::RecordInputTruncated(text::InputTruncateReason::kCandidates,
+                             candidate_overflow);
   result.mentions = std::move(mentions);
   timings.disambiguate_ms = timer.ElapsedMillis();
   FinishPriorOnly(std::move(reason), stages_degraded, timings, context,

@@ -41,6 +41,11 @@ struct TenetOptions {
   /// the document.  When false those conditions surface as
   /// kDeadlineExceeded / the solver's error.
   bool degrade_to_prior = true;
+  /// Hostile-input guardrails applied by LinkDocument before any linking
+  /// work (DESIGN.md §13).  The defaults never fire on clean corpora; the
+  /// candidate cap additionally clamps
+  /// graph.max_candidates_per_mention at construction.
+  text::TextLimits limits;
 };
 
 // How a LinkingResult was produced — the rung of the degradation ladder

@@ -1,0 +1,299 @@
+#include "datasets/adversarial.h"
+
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace tenet {
+namespace datasets {
+namespace {
+
+// QWERTY adjacency for keyboard-typo substitution.
+std::string_view KeyboardNeighbors(char c) {
+  switch (c) {
+    case 'a': return "qwsz";
+    case 'b': return "vghn";
+    case 'c': return "xdfv";
+    case 'd': return "serfcx";
+    case 'e': return "wsdr";
+    case 'f': return "drtgvc";
+    case 'g': return "ftyhbv";
+    case 'h': return "gyujnb";
+    case 'i': return "ujko";
+    case 'j': return "huikmn";
+    case 'k': return "jiolm";
+    case 'l': return "kop";
+    case 'm': return "njk";
+    case 'n': return "bhjm";
+    case 'o': return "iklp";
+    case 'p': return "ol";
+    case 'q': return "wa";
+    case 'r': return "edft";
+    case 's': return "awedxz";
+    case 't': return "rfgy";
+    case 'u': return "yhji";
+    case 'v': return "cfgb";
+    case 'w': return "qase";
+    case 'x': return "zsdc";
+    case 'y': return "tghu";
+    case 'z': return "asx";
+    default: return "";
+  }
+}
+
+struct OcrPair {
+  std::string_view from;
+  std::string_view to;
+};
+
+// Classic OCR confusions, applied to the first occurrence in a word.
+constexpr OcrPair kOcrPairs[] = {
+    {"rn", "m"}, {"cl", "d"}, {"l", "1"}, {"I", "l"}, {"O", "0"},
+    {"S", "5"},  {"B", "8"},  {"e", "c"}, {"g", "q"},
+};
+
+struct Homoglyph {
+  char from;
+  std::string_view to;  // UTF-8 Cyrillic lookalike
+};
+
+constexpr Homoglyph kHomoglyphs[] = {
+    {'a', "\xD0\xB0"}, {'c', "\xD1\x81"}, {'e', "\xD0\xB5"},
+    {'o', "\xD0\xBE"}, {'p', "\xD1\x80"}, {'x', "\xD1\x85"},
+    {'A', "\xD0\x90"}, {'C', "\xD0\xA1"}, {'E', "\xD0\x95"},
+    {'O', "\xD0\x9E"}, {'P', "\xD0\xA0"}, {'X', "\xD0\xA5"},
+};
+
+// Hostile byte sequences: stray continuation, always-invalid lead,
+// overlong NUL, overlong slash, surrogate half, above U+10FFFF, truncated
+// 3-byte sequence.
+constexpr std::string_view kInvalidUtf8[] = {
+    "\x80", "\xFF", "\xC0\x80", "\xC1\xAF", "\xED\xA0\x80",
+    "\xF5\x80\x80\x80", "\xE2\x82",
+};
+
+constexpr std::string_view kPunctuationRuns[] = {
+    "!!!!!!!!!!", "??????????", ",,,,,,,,,,", "((((((((((", "))))))))))",
+    "----------", "::::::;;;;", "\"\"\"\"\"\"\"\"", ".... .... ....",
+    "\t\t\t\t    \t\t\t\t",
+};
+
+// Positions of ASCII letters within a word (mutations only touch letters,
+// so punctuation glued to the word survives and multi-byte sequences are
+// never split).
+std::vector<size_t> LetterPositions(const std::string& w) {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < w.size(); ++i) {
+    if (IsAsciiAlphaChar(w[i])) out.push_back(i);
+  }
+  return out;
+}
+
+void ApplyTypo(std::string& w, Rng& rng) {
+  std::vector<size_t> letters = LetterPositions(w);
+  if (letters.empty()) return;
+  const size_t pos = letters[rng.NextUint64(letters.size())];
+  switch (rng.NextUint64(4)) {
+    case 0: {  // adjacent-key substitution
+      std::string_view neighbors = AsciiFoldChar(w[pos]) == w[pos]
+                                       ? KeyboardNeighbors(w[pos])
+                                       : KeyboardNeighbors(AsciiFoldChar(w[pos]));
+      if (neighbors.empty()) return;
+      char sub = neighbors[rng.NextUint64(neighbors.size())];
+      if (IsAsciiUpperChar(w[pos])) sub = static_cast<char>(sub - ('a' - 'A'));
+      w[pos] = sub;
+      break;
+    }
+    case 1: {  // transpose with the next letter
+      for (size_t i = 0; i + 1 < letters.size(); ++i) {
+        if (letters[i] == pos && letters[i + 1] == pos + 1) {
+          std::swap(w[pos], w[pos + 1]);
+          return;
+        }
+      }
+      break;
+    }
+    case 2:  // deletion (keep at least one letter)
+      if (letters.size() > 1) w.erase(pos, 1);
+      break;
+    default:  // duplication
+      w.insert(pos, 1, w[pos]);
+      break;
+  }
+}
+
+bool ApplyOcr(std::string& w, Rng& rng) {
+  const OcrPair& pair =
+      kOcrPairs[rng.NextUint64(std::size(kOcrPairs))];
+  const size_t at = w.find(pair.from);
+  if (at == std::string::npos) return false;
+  w.replace(at, pair.from.size(), pair.to);
+  return true;
+}
+
+bool ApplyHomoglyph(std::string& w, Rng& rng) {
+  // Try a random rotation of the table so the choice is seed-driven but a
+  // word without any mappable letter is left alone.
+  const size_t n = std::size(kHomoglyphs);
+  const size_t start = rng.NextUint64(n);
+  for (size_t k = 0; k < n; ++k) {
+    const Homoglyph& h = kHomoglyphs[(start + k) % n];
+    const size_t at = w.find(h.from);
+    if (at == std::string::npos) continue;
+    w.replace(at, 1, h.to);
+    return true;
+  }
+  return false;
+}
+
+// Splits into whitespace-separated words, preserving exact reassembly.
+std::vector<std::string> SplitWords(const std::string& text) {
+  std::vector<std::string> words;
+  size_t i = 0;
+  while (i < text.size()) {
+    size_t end = text.find(' ', i);
+    if (end == std::string::npos) end = text.size();
+    if (end > i) words.push_back(text.substr(i, end - i));
+    i = end + 1;
+  }
+  return words;
+}
+
+// Gold surfaces usable as storm/near-duplicate material: linkable and
+// short enough to keep the storm text bounded.
+std::vector<std::string_view> UsableGoldSurfaces(const Document& doc) {
+  std::vector<std::string_view> out;
+  for (const GoldEntityLink& g : doc.gold_entities) {
+    if (g.linkable() && !g.surface.empty() && g.surface.size() <= 64) {
+      out.push_back(g.surface);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Document AdversarialMutator::Mutate(const Document& doc, uint64_t salt,
+                                    MutationStats* stats) const {
+  // Per-document stream derived from (seed, salt): mutation of document k
+  // is identical no matter which other documents are mutated around it.
+  Rng rng(spec_.seed ^ (salt * 0x9E3779B97F4A7C15ULL + 0xD1B54A32D192ED03ULL));
+  Document out = doc;
+  MutationStats local;
+
+  // ---- Word-level noise --------------------------------------------------
+  if (spec_.typo_noise || spec_.ocr_noise || spec_.homoglyphs) {
+    std::vector<std::string> words = SplitWords(out.text);
+    for (std::string& w : words) {
+      if (spec_.typo_noise && rng.NextBool(spec_.typo_word_rate)) {
+        ApplyTypo(w, rng);
+        ++local.typo_words;
+      }
+      if (spec_.ocr_noise && rng.NextBool(spec_.ocr_word_rate)) {
+        if (ApplyOcr(w, rng)) ++local.ocr_words;
+      }
+      if (spec_.homoglyphs && rng.NextBool(spec_.homoglyph_word_rate)) {
+        if (ApplyHomoglyph(w, rng)) ++local.homoglyph_words;
+      }
+    }
+    out.text = JoinStrings(words, " ");
+  }
+
+  // ---- Appended hostile structure ---------------------------------------
+  const std::vector<std::string_view> surfaces = UsableGoldSurfaces(doc);
+
+  if (spec_.near_duplicates && !surfaces.empty() &&
+      rng.NextBool(spec_.near_duplicate_doc_rate)) {
+    std::string dup(surfaces[rng.NextUint64(surfaces.size())]);
+    ApplyTypo(dup, rng);
+    out.text += " The " + dup + " report resurfaced.";
+    ++local.near_duplicate_docs;
+  }
+
+  if (spec_.ambiguity_storm && surfaces.size() >= 2 &&
+      rng.NextBool(spec_.ambiguity_storm_doc_rate)) {
+    int emitted = 0;
+    while (emitted < spec_.ambiguity_storm_mentions) {
+      // Feature-linked chains keep the mentions in one group, growing the
+      // canopy until the enumeration cap and the ladder take over.
+      const int chain = 2 + static_cast<int>(rng.NextUint64(3));
+      std::string sentence;
+      for (int c = 0; c < chain; ++c) {
+        if (c > 0) sentence += " of ";
+        sentence += surfaces[rng.NextUint64(surfaces.size())];
+        ++emitted;
+      }
+      out.text += " " + sentence + ".";
+    }
+    ++local.ambiguity_storm_docs;
+  }
+
+  if (spec_.degenerate_punctuation &&
+      rng.NextBool(spec_.punctuation_doc_rate)) {
+    for (int i = 0; i < spec_.punctuation_runs; ++i) {
+      out.text += ' ';
+      out.text +=
+          kPunctuationRuns[rng.NextUint64(std::size(kPunctuationRuns))];
+    }
+    ++local.punctuation_docs;
+  }
+
+  if (spec_.oversized_tokens && spec_.oversized_token_bytes > 1 &&
+      rng.NextBool(spec_.oversized_token_doc_rate)) {
+    std::string giant(static_cast<size_t>(spec_.oversized_token_bytes), 'q');
+    giant[0] = 'Z';  // capitalized: lands in the mention path, not filler
+    out.text += " " + giant + ".";
+    ++local.oversized_token_docs;
+  }
+
+  if (spec_.invalid_utf8 && rng.NextBool(spec_.invalid_utf8_doc_rate)) {
+    for (int i = 0; i < spec_.invalid_utf8_splices; ++i) {
+      const std::string_view bytes =
+          kInvalidUtf8[rng.NextUint64(std::size(kInvalidUtf8))];
+      const size_t at = rng.NextUint64(out.text.size() + 1);
+      out.text.insert(at, bytes.data(), bytes.size());
+    }
+    ++local.invalid_utf8_docs;
+  }
+
+  if (spec_.oversized_document_bytes > 0 &&
+      rng.NextBool(spec_.oversized_document_doc_rate)) {
+    constexpr std::string_view kFiller =
+        " The archive mirrors the archive again.";
+    while (out.text.size() <= spec_.oversized_document_bytes) {
+      out.text += kFiller;
+    }
+    ++local.oversized_docs;
+  }
+
+  if (stats != nullptr) {
+    stats->typo_words += local.typo_words;
+    stats->ocr_words += local.ocr_words;
+    stats->homoglyph_words += local.homoglyph_words;
+    stats->near_duplicate_docs += local.near_duplicate_docs;
+    stats->ambiguity_storm_docs += local.ambiguity_storm_docs;
+    stats->punctuation_docs += local.punctuation_docs;
+    stats->oversized_token_docs += local.oversized_token_docs;
+    stats->invalid_utf8_docs += local.invalid_utf8_docs;
+    stats->oversized_docs += local.oversized_docs;
+  }
+  return out;
+}
+
+Dataset AdversarialMutator::Mutate(const Dataset& dataset,
+                                   MutationStats* stats) const {
+  Dataset out;
+  out.name = dataset.name;
+  out.has_relation_gold = dataset.has_relation_gold;
+  out.documents.reserve(dataset.documents.size());
+  for (size_t i = 0; i < dataset.documents.size(); ++i) {
+    out.documents.push_back(Mutate(dataset.documents[i], i, stats));
+  }
+  return out;
+}
+
+}  // namespace datasets
+}  // namespace tenet

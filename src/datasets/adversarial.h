@@ -1,0 +1,122 @@
+#ifndef TENET_DATASETS_ADVERSARIAL_H_
+#define TENET_DATASETS_ADVERSARIAL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "datasets/document.h"
+
+namespace tenet {
+namespace datasets {
+
+// The adversarial corpus tier (DESIGN.md §13): a deterministic mutator
+// layered over the clean corpus generators that turns well-behaved
+// synthetic documents into the open-web mess the paper's setting implies —
+// typo/keyboard and OCR noise, homoglyph and near-duplicate aliases,
+// pathological ambiguity storms, degenerate punctuation/whitespace runs,
+// oversized tokens/documents, and invalid/overlong UTF-8.
+//
+// Every mutation class is individually toggleable and the whole tier is
+// reproducible from `seed` alone: each document's mutation stream is
+// derived from (seed, document index), so mutating a subset or mutating in
+// a different order yields byte-identical documents.
+//
+// Gold annotations are deliberately left untouched: a typo'd occurrence of
+// a gold surface is *supposed* to cost recall, and injected noise phrases
+// are *supposed* to cost precision.  The adversarial tier measures how
+// gracefully accuracy and latency degrade, while the guardrails keep the
+// pipeline alive; it never redefines the truth.
+struct AdversarialSpec {
+  uint64_t seed = 1337;
+
+  /// Keyboard typos: one of {adjacent-key substitution, transposition,
+  /// deletion, duplication} applied per word at this rate.
+  bool typo_noise = true;
+  double typo_word_rate = 0.08;
+
+  /// OCR confusions (l<->1, O<->0, rn->m, cl->d, S->5, ...).
+  bool ocr_noise = true;
+  double ocr_word_rate = 0.05;
+
+  /// Homoglyph aliases: one ASCII letter per hit word replaced by its
+  /// Cyrillic lookalike (valid multi-byte UTF-8 — exercises the
+  /// tokenizer's sequence handling, not the sanitizer).
+  bool homoglyphs = true;
+  double homoglyph_word_rate = 0.04;
+
+  /// Near-duplicate aliases: appends a sentence mentioning a typo'd copy
+  /// of one of the document's gold surfaces (unannotated, precision
+  /// noise).
+  bool near_duplicates = true;
+  double near_duplicate_doc_rate = 0.5;
+
+  /// Pathological ambiguity: appends feature-linked chains of the
+  /// document's gold surfaces ("A of B. B of C of A.") until roughly
+  /// `ambiguity_storm_mentions` extra mention occurrences exist — blows up
+  /// canopy sizes and candidate counts, exercising the group-size cap and
+  /// the degradation ladder.
+  bool ambiguity_storm = true;
+  double ambiguity_storm_doc_rate = 0.35;
+  int ambiguity_storm_mentions = 48;
+
+  /// Degenerate punctuation / whitespace runs spliced between sentences.
+  bool degenerate_punctuation = true;
+  double punctuation_doc_rate = 0.5;
+  int punctuation_runs = 4;
+
+  /// One capitalized token of `oversized_token_bytes` bytes appended as
+  /// its own sentence (trips TextLimits::max_token_bytes).
+  bool oversized_tokens = true;
+  double oversized_token_doc_rate = 0.3;
+  int oversized_token_bytes = 2048;
+
+  /// Invalid / overlong UTF-8: splices raw byte sequences (stray
+  /// continuation, overlong NUL, surrogate half, > U+10FFFF, truncated
+  /// sequence, 0xFF) at random byte offsets.
+  bool invalid_utf8 = true;
+  double invalid_utf8_doc_rate = 0.4;
+  int invalid_utf8_splices = 6;
+
+  /// Oversized-document drill: pads hit documents with filler sentences
+  /// past this many bytes so the front door's reject path fires.  0
+  /// disables the class entirely.
+  size_t oversized_document_bytes = 0;
+  double oversized_document_doc_rate = 0.1;
+};
+
+/// How often each mutation class actually fired over a dataset (for bench
+/// and CLI reporting; deterministic given the spec and input).
+struct MutationStats {
+  int typo_words = 0;
+  int ocr_words = 0;
+  int homoglyph_words = 0;
+  int near_duplicate_docs = 0;
+  int ambiguity_storm_docs = 0;
+  int punctuation_docs = 0;
+  int oversized_token_docs = 0;
+  int invalid_utf8_docs = 0;
+  int oversized_docs = 0;
+};
+
+class AdversarialMutator {
+ public:
+  explicit AdversarialMutator(AdversarialSpec spec) : spec_(spec) {}
+
+  /// Mutates one document.  `salt` (typically the document's index) and
+  /// the spec seed fully determine the mutation stream.
+  Document Mutate(const Document& doc, uint64_t salt,
+                  MutationStats* stats = nullptr) const;
+
+  /// Mutates every document of `dataset` (salt = document index).
+  Dataset Mutate(const Dataset& dataset, MutationStats* stats = nullptr) const;
+
+  const AdversarialSpec& spec() const { return spec_; }
+
+ private:
+  AdversarialSpec spec_;
+};
+
+}  // namespace datasets
+}  // namespace tenet
+
+#endif  // TENET_DATASETS_ADVERSARIAL_H_

@@ -1,7 +1,6 @@
 #include "datasets/corpus_generator.h"
 
 #include <algorithm>
-#include <cctype>
 #include <cmath>
 #include <span>
 #include <deque>
@@ -64,7 +63,7 @@ int CountWords(const std::string& sentence) {
   int words = 0;
   bool in_word = false;
   for (char c : sentence) {
-    bool is_word = std::isalnum(static_cast<unsigned char>(c)) != 0;
+    bool is_word = IsAsciiAlnumChar(c);
     if (is_word && !in_word) ++words;
     in_word = is_word;
   }

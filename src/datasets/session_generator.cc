@@ -1,0 +1,235 @@
+#include "datasets/session_generator.h"
+
+#include <algorithm>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "text/wordlists.h"
+
+namespace tenet {
+namespace datasets {
+namespace {
+
+// Past-tense rendering of a non-KB verb, so turn sentences read like the
+// clean corpus without adding relation gold.
+std::string PastVerb(Rng& rng) {
+  const std::string_view lemma = rng.Pick(text::NonKbVerbLemmas());
+  std::vector<std::string> words = SplitString(std::string(lemma), ' ');
+  const text::VerbForms* forms = text::FindVerbByLemma(words[0]);
+  TENET_CHECK(forms != nullptr) << "unknown verb lemma " << lemma;
+  words[0] = std::string(forms->past);
+  return JoinStrings(words, " ");
+}
+
+int CountWords(const std::string& text) {
+  int words = 0;
+  bool in_word = false;
+  for (char c : text) {
+    const bool is_word = IsAsciiAlnumChar(c);
+    if (is_word && !in_word) ++words;
+    in_word = is_word;
+  }
+  return words;
+}
+
+}  // namespace
+
+Dataset SessionDataset::Flatten() const {
+  Dataset out;
+  out.name = name;
+  out.has_relation_gold = false;
+  for (const Session& session : sessions) {
+    for (const Document& turn : session.turns) {
+      out.documents.push_back(turn);
+    }
+  }
+  return out;
+}
+
+SessionGenerator::SessionGenerator(const kb::SyntheticKb* world)
+    : world_(world) {
+  TENET_CHECK(world != nullptr);
+}
+
+SessionDataset SessionGenerator::Generate(const SessionSpec& spec,
+                                          Rng& rng) const {
+  TENET_CHECK_GT(spec.num_sessions, 0);
+  TENET_CHECK_GT(spec.turns_per_session, 0);
+  SessionDataset out;
+  out.name = spec.name;
+
+  const int num_domains =
+      static_cast<int>(world_->entities_by_domain.size());
+  TENET_CHECK_GT(num_domains, 0);
+
+  for (int s = 0; s < spec.num_sessions; ++s) {
+    // Deterministic per-session stream: sessions are independent of each
+    // other's consumption of the caller's rng.
+    Rng session_rng(spec.seed ^ ((static_cast<uint64_t>(s) + 1) *
+                                 0x9E3779B97F4A7C15ULL) ^
+                    rng.NextUint64());
+    Session session;
+    session.id = spec.name + "-" + std::to_string(s);
+
+    // The cast lives in one domain (coherent conversation); composite
+    // entities are excluded — their feature-bearing labels exercise the
+    // canopy machinery, not session coreference.
+    const int domain =
+        static_cast<int>(session_rng.NextUint64(num_domains));
+    std::unordered_set<kb::EntityId> composite(
+        world_->composites_by_domain[domain].begin(),
+        world_->composites_by_domain[domain].end());
+    std::vector<kb::EntityId> pool;
+    for (kb::EntityId id : world_->entities_by_domain[domain]) {
+      if (composite.count(id) == 0) pool.push_back(id);
+    }
+    TENET_CHECK(!pool.empty());
+    session_rng.Shuffle(pool);
+
+    std::vector<kb::EntityId> cast;
+    size_t next_pool = 0;
+    auto add_cast_member = [&]() -> bool {
+      if (next_pool >= pool.size()) return false;
+      cast.push_back(pool[next_pool++]);
+      return true;
+    };
+    for (int c = 0; c < spec.cast_size; ++c) add_cast_member();
+
+    // Renders a back-reference to `id`: the label, an alternate alias, or
+    // the pronoun-like short form (label's last word), per the spec rates.
+    auto render_reference = [&](kb::EntityId id, Rng& turn_rng) {
+      const std::vector<std::string>& surfaces = world_->entity_surfaces[id];
+      TENET_CHECK(!surfaces.empty());
+      const std::string& label = surfaces[0];
+      if (surfaces.size() > 1 &&
+          turn_rng.NextBool(spec.alias_reference_rate)) {
+        return surfaces[1 + turn_rng.NextUint64(surfaces.size() - 1)];
+      }
+      if (turn_rng.NextBool(spec.short_form_reference_rate)) {
+        std::vector<std::string> words = SplitString(label, ' ');
+        if (words.size() > 1) return words.back();
+      }
+      return label;
+    };
+
+    for (int t = 0; t < spec.turns_per_session; ++t) {
+      Document turn;
+      turn.id = session.id + "/turn-" + std::to_string(t);
+
+      // (surface -> entity) for this turn; a surface that would gold-map
+      // to two different entities in one turn is skipped (per-surface gold
+      // must stay unambiguous for the scorer).
+      std::unordered_map<std::string, kb::EntityId> gold_by_surface;
+      int sentence_index = 0;
+      std::vector<std::string> subjects;  // surfaces of this sentence pair
+
+      auto mention = [&](kb::EntityId id, const std::string& surface) {
+        std::string key = AsciiToLower(surface);
+        auto it = gold_by_surface.find(key);
+        if (it != gold_by_surface.end()) return it->second == id;
+        gold_by_surface.emplace(std::move(key), id);
+        GoldEntityLink gold;
+        gold.surface = surface;
+        gold.sentence = sentence_index;
+        gold.entity = id;
+        turn.gold_entities.push_back(std::move(gold));
+        return true;
+      };
+
+      // Gold hygiene is transactional: either both mentions are
+      // recordable (no surface gold-maps to two entities within the turn)
+      // and the sentence is emitted, or nothing is recorded at all — a
+      // half-recorded pair would leave gold for a surface absent from the
+      // text.
+      auto emit_pair_sentence = [&](kb::EntityId a_id, const std::string& a,
+                                    kb::EntityId b_id, const std::string& b) {
+        const std::string a_key = AsciiToLower(a);
+        const std::string b_key = AsciiToLower(b);
+        const auto a_it = gold_by_surface.find(a_key);
+        const auto b_it = gold_by_surface.find(b_key);
+        if (a_it != gold_by_surface.end() && a_it->second != a_id) return;
+        if (b_it != gold_by_surface.end() && b_it->second != b_id) return;
+        if (a_key == b_key && a_id != b_id) return;
+        mention(a_id, a);
+        mention(b_id, b);
+        if (!turn.text.empty()) turn.text += ' ';
+        turn.text += a + " " + PastVerb(session_rng) + " " + b + ".";
+        ++sentence_index;
+      };
+
+      if (t == 0) {
+        // Introduction turn: full labels only, pairing cast members.
+        for (size_t c = 0; c + 1 < cast.size(); c += 2) {
+          emit_pair_sentence(cast[c], world_->entity_surfaces[cast[c]][0],
+                             cast[c + 1],
+                             world_->entity_surfaces[cast[c + 1]][0]);
+        }
+        if (cast.size() % 2 == 1) {
+          emit_pair_sentence(cast.back(),
+                             world_->entity_surfaces[cast.back()][0],
+                             cast.front(),
+                             world_->entity_surfaces[cast.front()][0]);
+        }
+      } else {
+        // Back-reference turn.
+        std::vector<kb::EntityId> refs = cast;
+        session_rng.Shuffle(refs);
+        const int n_refs = std::min<int>(spec.references_per_turn,
+                                         static_cast<int>(refs.size()));
+        for (int r = 0; r + 1 < n_refs; r += 2) {
+          emit_pair_sentence(refs[r], render_reference(refs[r], session_rng),
+                             refs[r + 1],
+                             render_reference(refs[r + 1], session_rng));
+        }
+        if (n_refs % 2 == 1) {
+          // Odd reference pairs with a fresh or repeated cast member.
+          const kb::EntityId other =
+              refs[session_rng.NextUint64(refs.size())];
+          if (other != refs[n_refs - 1]) {
+            emit_pair_sentence(refs[n_refs - 1],
+                               render_reference(refs[n_refs - 1], session_rng),
+                               other, render_reference(other, session_rng));
+          } else {
+            const kb::EntityId id = refs[n_refs - 1];
+            const std::string surface = render_reference(id, session_rng);
+            if (mention(id, surface)) {
+              if (!turn.text.empty()) turn.text += ' ';
+              turn.text += surface + " " + PastVerb(session_rng) +
+                           " the outcome.";
+              ++sentence_index;
+            }
+          }
+        }
+        if (session_rng.NextBool(spec.new_entity_turn_rate) &&
+            add_cast_member()) {
+          const kb::EntityId fresh = cast.back();
+          emit_pair_sentence(
+              fresh, world_->entity_surfaces[fresh][0],
+              refs[0], render_reference(refs[0], session_rng));
+        }
+      }
+
+      // Degenerate render (every candidate sentence collided on gold
+      // hygiene): fall back to one full-label sentence so a turn is never
+      // empty.  Gold is empty here, so the mention cannot collide.
+      if (turn.text.empty()) {
+        const kb::EntityId id = cast[static_cast<size_t>(t) % cast.size()];
+        const std::string& label = world_->entity_surfaces[id][0];
+        mention(id, label);
+        turn.text = label + " " + PastVerb(session_rng) + " the outcome.";
+        ++sentence_index;
+      }
+
+      turn.num_words = CountWords(turn.text);
+      session.turns.push_back(std::move(turn));
+    }
+    out.sessions.push_back(std::move(session));
+  }
+  return out;
+}
+
+}  // namespace datasets
+}  // namespace tenet

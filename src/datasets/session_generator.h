@@ -1,0 +1,79 @@
+#ifndef TENET_DATASETS_SESSION_GENERATOR_H_
+#define TENET_DATASETS_SESSION_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datasets/document.h"
+#include "kb/synthetic_kb.h"
+
+namespace tenet {
+namespace datasets {
+
+// The streaming/conversational workload (DESIGN.md §13): multi-turn
+// sessions over the synthetic KB.  Turn 1 introduces a small cast of
+// entities by their full labels; later turns refer back to cast members by
+// alternate aliases (often ambiguous across the KB) and by pronoun-like
+// short forms — the bare last word of the label, which for persons is
+// frequently a shared bare-surname alias and for the rest may not be a KB
+// alias at all.  Linking a turn in isolation is therefore systematically
+// harder than linking it with the session's history in hand, which is
+// exactly the gap serving::SessionContext is built to close.
+struct SessionSpec {
+  std::string name = "Sessions";
+  int num_sessions = 16;
+  int turns_per_session = 6;
+  /// Cast entities introduced in turn 1.
+  int cast_size = 3;
+  /// Entities referenced per later turn (drawn from the cast, plus
+  /// occasionally one new cast member).
+  int references_per_turn = 2;
+  /// Probability that a back-reference uses an alternate KB alias of the
+  /// entity instead of its label.
+  double alias_reference_rate = 0.45;
+  /// Probability that a back-reference uses the label's short form (last
+  /// word) instead of the full label.
+  double short_form_reference_rate = 0.35;
+  /// Probability that a later turn also introduces one new cast member by
+  /// full label.
+  double new_entity_turn_rate = 0.3;
+  uint64_t seed = 4242;
+};
+
+struct Session {
+  std::string id;
+  /// One annotated document per turn, in conversation order.
+  std::vector<Document> turns;
+};
+
+struct SessionDataset {
+  std::string name;
+  std::vector<Session> sessions;
+
+  int TotalTurns() const {
+    int n = 0;
+    for (const Session& s : sessions) n += static_cast<int>(s.turns.size());
+    return n;
+  }
+
+  /// Flattens the turns (in session order) into a plain Dataset, for
+  /// evaluating the no-session-state baseline on identical text.
+  Dataset Flatten() const;
+};
+
+class SessionGenerator {
+ public:
+  /// `world` must be finalized and outlive the generator.
+  explicit SessionGenerator(const kb::SyntheticKb* world);
+
+  SessionDataset Generate(const SessionSpec& spec, Rng& rng) const;
+
+ private:
+  const kb::SyntheticKb* world_;
+};
+
+}  // namespace datasets
+}  // namespace tenet
+
+#endif  // TENET_DATASETS_SESSION_GENERATOR_H_

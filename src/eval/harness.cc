@@ -1,5 +1,7 @@
 #include "eval/harness.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <latch>
 #include <limits>
@@ -13,16 +15,42 @@ namespace tenet {
 namespace eval {
 namespace {
 
+// A deliberate guardrail refusal, as opposed to a malfunction.  The text
+// guardrails reject with kInvalidArgument (oversized / un-sanitizable
+// input) and admission control sheds with kResourceExhausted; anything
+// else that fails a document counts as a crash.
+bool IsRejection(const Status& status) {
+  return status.code() == StatusCode::kInvalidArgument ||
+         status.code() == StatusCode::kResourceExhausted;
+}
+
+// Linear-interpolated percentile over an unsorted sample (sorts in place).
+double Percentile(std::vector<double>& sample, double p) {
+  if (sample.empty()) return 0.0;
+  std::sort(sample.begin(), sample.end());
+  const double rank = p * static_cast<double>(sample.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  if (lo + 1 >= sample.size()) return sample.back();
+  const double frac = rank - static_cast<double>(lo);
+  return sample[lo] + frac * (sample[lo + 1] - sample[lo]);
+}
+
+// Folds the per-document latency sample into the score percentiles.
+void FinishLatencies(std::vector<double>& latencies, SystemScores* scores) {
+  scores->latency_p50_ms = Percentile(latencies, 0.50);
+  scores->latency_p99_ms = Percentile(latencies, 0.99);
+}
+
 // Merges one document's outcome into the running scores.  Shared by the
 // serial and parallel paths so the two merge byte-identically; callers
 // iterate documents in dataset order.
-void ScoreDocument(const baselines::Linker& linker,
-                   const datasets::Dataset& dataset,
+void ScoreDocument(const baselines::Linker& linker, bool has_relation_gold,
                    const datasets::Document& doc,
                    const Result<core::LinkingResult>& result,
                    SystemScores* scores) {
   if (!result.ok()) {
     ++scores->failed_documents;
+    if (IsRejection(result.status())) ++scores->rejected_documents;
     scores->failures.push_back(DocumentFailure{doc.id, result.status()});
     return;
   }
@@ -33,7 +61,7 @@ void ScoreDocument(const baselines::Linker& linker,
   }
   SystemPrediction prediction = FromLinkingResult(*result);
   scores->entity_linking.Add(ScoreEntityLinking(doc, prediction));
-  if (dataset.has_relation_gold && linker.links_relations()) {
+  if (has_relation_gold && linker.links_relations()) {
     scores->relation_linking.Add(ScoreRelationLinking(doc, prediction));
   }
   scores->mention_detection.Add(ScoreMentionDetection(doc, prediction));
@@ -46,15 +74,19 @@ SystemScores EvaluateEndToEndSerial(const baselines::Linker& linker,
   scores.system = std::string(linker.name());
   scores.dataset = dataset.name;
   WallTimer wall;
+  std::vector<double> latencies;
+  latencies.reserve(dataset.documents.size());
   for (const datasets::Document& doc : dataset.documents) {
     WallTimer doc_timer;
     Result<core::LinkingResult> result = linker.LinkDocument(doc.text);
     double doc_ms = doc_timer.ElapsedMillis();
     scores.total_ms += doc_ms;
     if (doc_ms > scores.max_doc_ms) scores.max_doc_ms = doc_ms;
-    ScoreDocument(linker, dataset, doc, result, &scores);
+    latencies.push_back(doc_ms);
+    ScoreDocument(linker, dataset.has_relation_gold, doc, result, &scores);
   }
   scores.wall_ms = wall.ElapsedMillis();
+  FinishLatencies(latencies, &scores);
   scores.metrics = obs::MetricsRegistry::Default()->Snapshot();
   return scores;
 }
@@ -86,15 +118,19 @@ SystemScores EvaluateEndToEndParallel(const baselines::Linker& linker,
   std::vector<serving::ServedResult> served = service.LinkBatch(texts);
 
   // Deterministic merge: dataset order, independent of completion order.
+  std::vector<double> latencies;
+  latencies.reserve(dataset.documents.size());
   for (size_t i = 0; i < dataset.documents.size(); ++i) {
     scores.total_ms += served[i].latency_ms;
     if (served[i].latency_ms > scores.max_doc_ms) {
       scores.max_doc_ms = served[i].latency_ms;
     }
-    ScoreDocument(linker, dataset, dataset.documents[i], served[i].result,
-                  &scores);
+    latencies.push_back(served[i].latency_ms);
+    ScoreDocument(linker, dataset.has_relation_gold, dataset.documents[i],
+                  served[i].result, &scores);
   }
   scores.wall_ms = wall.ElapsedMillis();
+  FinishLatencies(latencies, &scores);
   scores.metrics = service.metrics()->Snapshot();
   return scores;
 }
@@ -143,15 +179,19 @@ SystemScores EvaluateEndToEndLive(const baselines::Linker& linker,
   drained.wait();
 
   // Deterministic merge: dataset order, independent of completion order.
+  std::vector<double> latencies;
+  latencies.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     scores.total_ms += served[i].latency_ms;
     if (served[i].latency_ms > scores.max_doc_ms) {
       scores.max_doc_ms = served[i].latency_ms;
     }
-    ScoreDocument(linker, dataset, dataset.documents[i], served[i].result,
-                  &scores);
+    latencies.push_back(served[i].latency_ms);
+    ScoreDocument(linker, dataset.has_relation_gold, dataset.documents[i],
+                  served[i].result, &scores);
   }
   scores.wall_ms = wall.ElapsedMillis();
+  FinishLatencies(latencies, &scores);
   scores.metrics = service.metrics()->Snapshot();
   return scores;
 }
@@ -165,6 +205,46 @@ SystemScores EvaluateEndToEnd(const baselines::Linker& linker,
   return EvaluateEndToEndParallel(linker, dataset, options.num_threads);
 }
 
+SystemScores EvaluateSessions(const baselines::Linker& linker,
+                              const kb::KnowledgeBase& kb,
+                              const datasets::SessionDataset& sessions,
+                              const SessionEvalOptions& options) {
+  SystemScores scores;
+  scores.system = std::string(linker.name());
+  scores.dataset = sessions.name;
+  WallTimer wall;
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<size_t>(sessions.TotalTurns()));
+  for (const datasets::Session& session : sessions.sessions) {
+    // One context per conversation; turns replay strictly in order.
+    serving::SessionContext context(options.session);
+    for (const datasets::Document& turn : session.turns) {
+      WallTimer doc_timer;
+      Result<core::LinkingResult> result =
+          options.use_session_context
+              ? linker.LinkDocument(turn.text, context.MakeLinkContext())
+              : linker.LinkDocument(turn.text);
+      if (result.ok() && options.use_session_context) {
+        serving::SessionTurnStats stats =
+            context.ApplySessionCoherence(kb, &result.value());
+        scores.session_relinked += stats.relinked_to_memory;
+        scores.session_isolated_resolved += stats.isolated_resolved;
+        context.ObserveTurn(result.value());
+      }
+      double doc_ms = doc_timer.ElapsedMillis();
+      scores.total_ms += doc_ms;
+      if (doc_ms > scores.max_doc_ms) scores.max_doc_ms = doc_ms;
+      latencies.push_back(doc_ms);
+      ScoreDocument(linker, /*has_relation_gold=*/false, turn, result,
+                    &scores);
+    }
+  }
+  scores.wall_ms = wall.ElapsedMillis();
+  FinishLatencies(latencies, &scores);
+  scores.metrics = obs::MetricsRegistry::Default()->Snapshot();
+  return scores;
+}
+
 SystemScores EvaluateDisambiguation(const baselines::Linker& linker,
                                     const datasets::Dataset& dataset,
                                     const text::Gazetteer& gazetteer) {
@@ -172,6 +252,8 @@ SystemScores EvaluateDisambiguation(const baselines::Linker& linker,
   scores.system = std::string(linker.name());
   scores.dataset = dataset.name;
   WallTimer wall;
+  std::vector<double> latencies;
+  latencies.reserve(dataset.documents.size());
   for (const datasets::Document& doc : dataset.documents) {
     core::MentionSet mentions = MentionSetFromGold(doc, gazetteer);
     WallTimer doc_timer;
@@ -180,8 +262,10 @@ SystemScores EvaluateDisambiguation(const baselines::Linker& linker,
     double doc_ms = doc_timer.ElapsedMillis();
     scores.total_ms += doc_ms;
     if (doc_ms > scores.max_doc_ms) scores.max_doc_ms = doc_ms;
+    latencies.push_back(doc_ms);
     if (!result.ok()) {
       ++scores.failed_documents;
+      if (IsRejection(result.status())) ++scores.rejected_documents;
       scores.failures.push_back(DocumentFailure{doc.id, result.status()});
       continue;
     }
@@ -194,6 +278,7 @@ SystemScores EvaluateDisambiguation(const baselines::Linker& linker,
     scores.entity_linking.Add(ScoreEntityLinking(doc, prediction));
   }
   scores.wall_ms = wall.ElapsedMillis();
+  FinishLatencies(latencies, &scores);
   scores.metrics = obs::MetricsRegistry::Default()->Snapshot();
   return scores;
 }

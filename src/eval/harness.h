@@ -8,8 +8,11 @@
 #include "baselines/linker.h"
 #include "common/status.h"
 #include "datasets/document.h"
+#include "datasets/session_generator.h"
 #include "eval/metrics.h"
+#include "kb/knowledge_base.h"
 #include "obs/metrics.h"
+#include "serving/session.h"
 #include "text/gazetteer.h"
 
 namespace tenet {
@@ -46,18 +49,36 @@ struct SystemScores {
   /// thread count, wall_ms >= max_doc_ms: no document can finish after the
   /// evaluation that contains it.
   double max_doc_ms = 0.0;
+  /// Per-document latency percentiles (linear interpolation over the
+  /// sorted sample; 0 for an empty dataset).
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
   /// Snapshot of the metrics registry the run published to, taken after
   /// the last document resolved (counters are process-cumulative; diff two
   /// snapshots for a per-run window).
   std::vector<obs::MetricPoint> metrics;
   int failed_documents = 0; // documents the system errored on
+  /// Subset of failed_documents the guardrails rejected deliberately
+  /// (kInvalidArgument / kResourceExhausted): the input was refused, the
+  /// system did not malfunction.
+  int rejected_documents = 0;
   /// Documents answered by the full pipeline.
   int full_documents = 0;
   /// Documents answered by a degraded mode (ok() with
   /// DegradationInfo.degraded()); these still count toward the PRF scores.
   int degraded_documents = 0;
+  /// Session-layer interventions (EvaluateSessions only): links flipped to
+  /// a remembered entity, and isolated mentions resolved from memory.
+  int session_relinked = 0;
+  int session_isolated_resolved = 0;
   /// One record per failed document, in dataset order.
   std::vector<DocumentFailure> failures;
+
+  /// Failures that were NOT deliberate rejections — the signal a hardened
+  /// run must keep at zero (tenet_cli exits non-zero otherwise).
+  int CrashedDocuments() const {
+    return failed_documents - rejected_documents;
+  }
 };
 
 struct EvalOptions {
@@ -101,6 +122,24 @@ SystemScores EvaluateEndToEndLive(const baselines::Linker& linker,
                                   serving::BatchLinkingService& service,
                                   const datasets::Dataset& dataset,
                                   const KbUpdatePlan& plan);
+
+struct SessionEvalOptions {
+  /// When false, every turn is linked in isolation (no SessionContext):
+  /// the baseline the session-replay table compares against.
+  bool use_session_context = true;
+  serving::SessionOptions session;
+};
+
+/// Session-replay evaluation (DESIGN.md §13): turns of each session are
+/// linked in conversation order through one serving::SessionContext —
+/// turn k's result is re-ranked against the entities turns 0..k-1
+/// resolved, then observed into the memory — and scored per turn exactly
+/// as EvaluateEndToEnd scores documents.  `kb` is the serving KB the
+/// session layer probes for candidate overlap.
+SystemScores EvaluateSessions(const baselines::Linker& linker,
+                              const kb::KnowledgeBase& kb,
+                              const datasets::SessionDataset& sessions,
+                              const SessionEvalOptions& options = {});
 
 /// Disambiguation-only evaluation (Figure 6(b)): gold mentions are handed
 /// to the system as input.

@@ -157,15 +157,22 @@ const PredicateRecord& KnowledgeBase::predicate(PredicateId id) const {
 
 std::vector<EntityCandidate> KnowledgeBase::CandidateEntities(
     std::string_view surface, std::optional<EntityType> type,
-    int max_candidates) const {
+    int max_candidates, int* overflow) const {
   TENET_CHECK(finalized_);
+  if (overflow != nullptr) *overflow = 0;
   std::vector<EntityCandidate> out;
   if (max_candidates <= 0) return out;
   for (const AliasPosting& posting : alias_index_.LookupEntities(surface)) {
     EntityId id = posting.concept_ref.id;
     if (type.has_value() && entities_[id].type != *type) continue;
+    if (static_cast<int>(out.size()) == max_candidates) {
+      // Past the cap: only keep counting when the caller asked to observe
+      // truncation; the returned set and its renormalization are unchanged.
+      if (overflow == nullptr) break;
+      ++*overflow;
+      continue;
+    }
     out.push_back(EntityCandidate{id, posting.prior});
-    if (static_cast<int>(out.size()) == max_candidates) break;
   }
   // Renormalize so the truncated/filtered set is still a distribution.
   double total = 0.0;
@@ -177,14 +184,19 @@ std::vector<EntityCandidate> KnowledgeBase::CandidateEntities(
 }
 
 std::vector<PredicateCandidate> KnowledgeBase::CandidatePredicates(
-    std::string_view surface, int max_candidates) const {
+    std::string_view surface, int max_candidates, int* overflow) const {
   TENET_CHECK(finalized_);
+  if (overflow != nullptr) *overflow = 0;
   std::vector<PredicateCandidate> out;
   if (max_candidates <= 0) return out;
   for (const AliasPosting& posting :
        alias_index_.LookupPredicates(surface)) {
+    if (static_cast<int>(out.size()) == max_candidates) {
+      if (overflow == nullptr) break;
+      ++*overflow;
+      continue;
+    }
     out.push_back(PredicateCandidate{posting.concept_ref.id, posting.prior});
-    if (static_cast<int>(out.size()) == max_candidates) break;
   }
   double total = 0.0;
   for (const PredicateCandidate& c : out) total += c.prior;

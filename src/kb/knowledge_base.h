@@ -143,15 +143,20 @@ class KnowledgeBase {
   /// and whose type matches `type` when given (Sec. 3, Step 1).  At most
   /// `max_candidates` results, by descending prior; priors are renormalized
   /// over the returned set so they remain a distribution after type
-  /// filtering and truncation.
+  /// filtering and truncation.  When `overflow` is non-null it receives the
+  /// number of matching candidates *beyond* the cap — the hostile-input
+  /// guardrails count these into tenet_input_truncated_total{candidates}
+  /// without changing which candidates are returned or how their priors
+  /// renormalize (the clean path stays bit-identical).
   std::vector<EntityCandidate> CandidateEntities(
       std::string_view surface, std::optional<EntityType> type,
-      int max_candidates) const;
+      int max_candidates, int* overflow = nullptr) const;
 
   /// Candidate predicates for a (lemmatized) relational phrase
-  /// (Sec. 3, Step 2).
+  /// (Sec. 3, Step 2).  `overflow` as in CandidateEntities.
   std::vector<PredicateCandidate> CandidatePredicates(
-      std::string_view surface, int max_candidates) const;
+      std::string_view surface, int max_candidates,
+      int* overflow = nullptr) const;
 
   /// Indices into facts() where `id` appears as subject or object.  The
   /// span points into a flat CSR arena owned by the KB, valid as long as

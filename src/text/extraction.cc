@@ -1,9 +1,13 @@
 #include "text/extraction.h"
 
 #include <algorithm>
+#include <string>
 
+#include "common/dependency_health.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/utf8.h"
 #include "text/lemmatizer.h"
 #include "text/tokenizer.h"
 #include "text/wordlists.h"
@@ -45,6 +49,91 @@ Extractor::Extractor(const Gazetteer* gazetteer) : gazetteer_(gazetteer) {
 ExtractionResult Extractor::ExtractFromText(
     std::string_view document_text) const {
   return Extract(Tokenize(document_text));
+}
+
+Result<ExtractionResult> Extractor::ExtractFromText(
+    std::string_view document_text, const TextLimits& limits,
+    TextGuardReport* report) const {
+  TextGuardReport local;
+  TextGuardReport* rep = report != nullptr ? report : &local;
+
+  // Reject-before-work: past this size even tokenization cost can blow a
+  // serving deadline, so no partial output either.
+  if (document_text.size() > limits.max_document_bytes) {
+    RecordInputRejected(InputRejectReason::kDocumentBytes);
+    return Status::InvalidArgument(
+        "document of " + std::to_string(document_text.size()) +
+        " bytes exceeds max_document_bytes=" +
+        std::to_string(limits.max_document_bytes));
+  }
+
+  {
+    const bool faulted = TENET_FAULT_POINT("text/tokenize");
+    TENET_OBSERVE_DEPENDENCY("text/tokenize", !faulted);
+    if (faulted) {
+      RecordInputRejected(InputRejectReason::kTokenizeFault);
+      return Status::Internal("injected fault at text/tokenize");
+    }
+  }
+
+  // Invalid bytes never reach the tokenizer or the ASCII case fold: they
+  // are either replaced with spaces (offset-preserving, so the garbage
+  // becomes token boundaries) or the document is rejected.
+  std::string sanitized;
+  std::string_view input = document_text;
+  const Utf8Validation utf8 = ValidateUtf8(document_text);
+  if (!utf8.valid) {
+    if (!limits.sanitize_invalid_utf8) {
+      RecordInputRejected(InputRejectReason::kInvalidUtf8);
+      return Status::InvalidArgument(
+          "invalid UTF-8 at byte " + std::to_string(utf8.first_invalid) +
+          " (" + std::to_string(utf8.invalid_bytes) + " invalid bytes)");
+    }
+    sanitized = SanitizeUtf8(document_text);
+    input = sanitized;
+    rep->invalid_utf8_bytes = utf8.invalid_bytes;
+    RecordInputTruncated(InputTruncateReason::kInvalidUtf8,
+                         static_cast<int64_t>(utf8.invalid_bytes));
+  }
+
+  TokenizedDocument doc = Tokenize(input, limits, rep);
+  RecordInputTruncated(InputTruncateReason::kTokenBytes,
+                       rep->truncated_tokens);
+  if (rep->token_cap_hit) {
+    RecordInputTruncated(InputTruncateReason::kTokenCount);
+  }
+
+  {
+    const bool faulted = TENET_FAULT_POINT("text/extract");
+    TENET_OBSERVE_DEPENDENCY("text/extract", !faulted);
+    if (faulted) {
+      RecordInputRejected(InputRejectReason::kExtractFault);
+      return Status::Internal("injected fault at text/extract");
+    }
+  }
+
+  ExtractionResult result = Extract(doc);
+
+  // Truncate-and-annotate: a mention storm must degrade the document, not
+  // drop it.  The kept prefix preserves document order; the trailing
+  // feature link is cleared because its right-hand mention is gone.
+  if (static_cast<int>(result.mentions.size()) > limits.max_mentions) {
+    rep->dropped_mentions =
+        static_cast<int>(result.mentions.size()) - limits.max_mentions;
+    result.mentions.resize(limits.max_mentions);
+    result.link_after.resize(limits.max_mentions);
+    if (!result.link_after.empty()) result.link_after.back() = std::nullopt;
+    RecordInputTruncated(InputTruncateReason::kMentions,
+                         rep->dropped_mentions);
+  }
+  if (static_cast<int>(result.relations.size()) > limits.max_relations) {
+    rep->dropped_relations =
+        static_cast<int>(result.relations.size()) - limits.max_relations;
+    result.relations.resize(limits.max_relations);
+    RecordInputTruncated(InputTruncateReason::kRelations,
+                         rep->dropped_relations);
+  }
+  return result;
 }
 
 ExtractionResult Extractor::Extract(const TokenizedDocument& doc) const {

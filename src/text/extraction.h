@@ -6,9 +6,11 @@
 #include <string_view>
 #include <vector>
 
+#include "common/result.h"
 #include "kb/types.h"
 #include "text/features.h"
 #include "text/gazetteer.h"
+#include "text/limits.h"
 #include "text/token.h"
 
 namespace tenet {
@@ -63,6 +65,20 @@ class Extractor {
 
   /// Convenience: tokenizes then extracts.
   ExtractionResult ExtractFromText(std::string_view document_text) const;
+
+  /// The guarded front door (DESIGN.md §13): enforces `limits` end to end —
+  /// oversized documents are rejected with kInvalidArgument before any
+  /// work, invalid UTF-8 is sanitized (or rejected, per
+  /// `limits.sanitize_invalid_utf8`) so it never reaches the tokenizer or
+  /// the lemmatizer's case fold, word runs and token counts are clipped in
+  /// the tokenizer, and the mention/relation lists are truncated after
+  /// extraction.  Carries the fault points "text/tokenize" and
+  /// "text/extract" (observed as dependencies, like kb/alias_lookup).
+  /// Every effect is counted into tenet_input_*_total and, when `report`
+  /// is non-null, mirrored there for per-document accounting.
+  Result<ExtractionResult> ExtractFromText(std::string_view document_text,
+                                           const TextLimits& limits,
+                                           TextGuardReport* report) const;
 
  private:
   const Gazetteer* gazetteer_;

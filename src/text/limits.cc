@@ -1,0 +1,72 @@
+#include "text/limits.h"
+
+#include "obs/metrics.h"
+
+namespace tenet {
+namespace text {
+namespace {
+
+// Guardrail counter families, resolved once against the default registry
+// and cached (same idiom as PipelineMetrics in core/pipeline.cc).
+struct InputMetrics {
+  obs::Counter* rejected[4];
+  obs::Counter* truncated[6];
+};
+
+const InputMetrics& Metrics() {
+  static const InputMetrics* metrics = [] {
+    obs::MetricsRegistry* registry = obs::MetricsRegistry::Default();
+    constexpr const char* kRejectedHelp =
+        "Documents rejected at the text front door before any linking "
+        "work, by guardrail reason (DESIGN.md §13).";
+    constexpr const char* kTruncatedHelp =
+        "Truncate-and-annotate guardrail firings, by reason; units vary "
+        "per reason (bytes for invalid_utf8, list entries otherwise).";
+    auto* m = new InputMetrics;
+    auto rejected = [&](const char* reason) {
+      return registry->GetCounter("tenet_input_rejected_total", kRejectedHelp,
+                                  obs::LabelPair("reason", reason));
+    };
+    m->rejected[static_cast<int>(InputRejectReason::kDocumentBytes)] =
+        rejected("document_bytes");
+    m->rejected[static_cast<int>(InputRejectReason::kInvalidUtf8)] =
+        rejected("invalid_utf8");
+    m->rejected[static_cast<int>(InputRejectReason::kTokenizeFault)] =
+        rejected("tokenize_fault");
+    m->rejected[static_cast<int>(InputRejectReason::kExtractFault)] =
+        rejected("extract_fault");
+    auto truncated = [&](const char* reason) {
+      return registry->GetCounter("tenet_input_truncated_total",
+                                  kTruncatedHelp,
+                                  obs::LabelPair("reason", reason));
+    };
+    m->truncated[static_cast<int>(InputTruncateReason::kInvalidUtf8)] =
+        truncated("invalid_utf8");
+    m->truncated[static_cast<int>(InputTruncateReason::kTokenBytes)] =
+        truncated("token_bytes");
+    m->truncated[static_cast<int>(InputTruncateReason::kTokenCount)] =
+        truncated("token_count");
+    m->truncated[static_cast<int>(InputTruncateReason::kMentions)] =
+        truncated("mentions");
+    m->truncated[static_cast<int>(InputTruncateReason::kRelations)] =
+        truncated("relations");
+    m->truncated[static_cast<int>(InputTruncateReason::kCandidates)] =
+        truncated("candidates");
+    return m;
+  }();
+  return *metrics;
+}
+
+}  // namespace
+
+void RecordInputRejected(InputRejectReason reason) {
+  Metrics().rejected[static_cast<int>(reason)]->Increment();
+}
+
+void RecordInputTruncated(InputTruncateReason reason, int64_t n) {
+  if (n <= 0) return;
+  Metrics().truncated[static_cast<int>(reason)]->Increment(n);
+}
+
+}  // namespace text
+}  // namespace tenet

@@ -1,0 +1,103 @@
+#ifndef TENET_TEXT_LIMITS_H_
+#define TENET_TEXT_LIMITS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tenet {
+namespace text {
+
+// Hostile-input guardrails for the text front door (DESIGN.md §13).
+//
+// Every limit has an explicit policy — reject with kInvalidArgument before
+// any work is done, or truncate-and-annotate so the document still links —
+// and every firing is observable: rejections count into
+// tenet_input_rejected_total{reason} and truncations into
+// tenet_input_truncated_total{reason}.  The defaults are deliberately
+// generous: no document produced by the clean corpus generators comes
+// anywhere near them, so enabling guardrails leaves clean-corpus PRF and
+// golden edge lists byte-identical.
+struct TextLimits {
+  /// Documents larger than this are rejected outright (kInvalidArgument):
+  /// past this point tokenization cost alone can blow a serving deadline.
+  size_t max_document_bytes = 4u << 20;  // 4 MiB
+
+  /// Word tokens longer than this are clipped at a UTF-8 sequence boundary
+  /// and the remainder of the run is discarded (truncate-and-annotate).
+  size_t max_token_bytes = 256;
+
+  /// Tokenization stops after this many tokens; the tail of the document
+  /// is dropped (truncate-and-annotate).
+  int max_tokens = 100000;
+
+  /// Short mentions kept per document; extraction truncates the mention
+  /// list (and its feature links) past this, bounding the canopy feed.
+  int max_mentions = 4096;
+
+  /// Relational phrases kept per document.
+  int max_relations = 4096;
+
+  /// Ceiling on candidates fetched per mention.  The effective top-k is
+  /// min(this, CoherenceGraphOptions::max_candidates_per_mention), so the
+  /// default never changes the clean path; candidates matching beyond the
+  /// effective cap are counted into
+  /// tenet_input_truncated_total{reason="candidates"}.
+  int max_candidates_per_mention = 64;
+
+  /// When true (default), invalid UTF-8 bytes are replaced with spaces
+  /// before tokenization (truncate-and-annotate: offsets preserved, the
+  /// garbage becomes token boundaries).  When false, any invalid byte
+  /// rejects the document with kInvalidArgument.
+  bool sanitize_invalid_utf8 = true;
+};
+
+// What the guardrails did to one document.  Pipelines attach this to the
+// request trace ("input_truncated" annotation) and the fuzz harness uses it
+// to reconcile per-document effects against the tenet_input_*_total
+// counters.
+struct TextGuardReport {
+  size_t invalid_utf8_bytes = 0;  // bytes replaced by the sanitizer
+  int truncated_tokens = 0;       // word runs clipped at max_token_bytes
+  bool token_cap_hit = false;     // document cut at max_tokens
+  int dropped_mentions = 0;       // mentions past max_mentions
+  int dropped_relations = 0;      // relations past max_relations
+  int64_t truncated_candidates = 0;  // candidate postings past the top-k cap
+
+  bool truncated() const {
+    return invalid_utf8_bytes > 0 || truncated_tokens > 0 || token_cap_hit ||
+           dropped_mentions > 0 || dropped_relations > 0 ||
+           truncated_candidates > 0;
+  }
+};
+
+// Closed label sets for the input guardrail metrics (cardinality rules of
+// DESIGN.md §9: reasons are enums, never raw input).
+enum class InputRejectReason {
+  kDocumentBytes,   // document larger than max_document_bytes
+  kInvalidUtf8,     // invalid UTF-8 with sanitize_invalid_utf8 == false
+  kTokenizeFault,   // injected fault at text/tokenize
+  kExtractFault,    // injected fault at text/extract
+};
+
+enum class InputTruncateReason {
+  kInvalidUtf8,   // bytes replaced by the sanitizer
+  kTokenBytes,    // word run clipped at max_token_bytes
+  kTokenCount,    // document cut at max_tokens
+  kMentions,      // mention list cut at max_mentions
+  kRelations,     // relation list cut at max_relations
+  kCandidates,    // candidate postings past the per-mention cap
+};
+
+/// Counts one rejected document into tenet_input_rejected_total{reason}.
+void RecordInputRejected(InputRejectReason reason);
+
+/// Counts `n` truncation events into tenet_input_truncated_total{reason}.
+/// Each guardrail records its own firings at the enforcement site (guarded
+/// extraction for utf8/token/mention/relation truncation, the pipeline's
+/// candidate fetches for the candidate cap) so nothing is double counted.
+void RecordInputTruncated(InputTruncateReason reason, int64_t n = 1);
+
+}  // namespace text
+}  // namespace tenet
+
+#endif  // TENET_TEXT_LIMITS_H_

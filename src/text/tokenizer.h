@@ -3,6 +3,7 @@
 
 #include <string_view>
 
+#include "text/limits.h"
 #include "text/token.h"
 
 namespace tenet {
@@ -10,11 +11,30 @@ namespace text {
 
 // Rule-based tokenizer + sentence splitter (the NLTK stand-in).
 //
-// Tokens are maximal runs of letters/digits/apostrophes; the punctuation
-// characters . , : ; ! ? ( ) " become single-character punctuation tokens.
-// A hyphen between word characters stays inside the token ("co-author");
-// a free-standing hyphen becomes punctuation.  Sentences end at . ! ?
+// Tokens are maximal runs of ASCII letters/digits/apostrophes and
+// well-formed multi-byte UTF-8 sequences; the punctuation characters
+// . , : ; ! ? ( ) " become single-character punctuation tokens.  A hyphen
+// between word characters stays inside the token ("co-author"); a
+// free-standing hyphen becomes punctuation.  Sentences end at . ! ?
+//
+// Character classes are locale-independent (common/string_util.h ASCII
+// classifiers, never <cctype>), so the tokenizer agrees with the
+// ASCII-only case fold on every byte: a high-bit byte is either part of a
+// valid UTF-8 sequence — kept intact inside one token, passed through the
+// fold unchanged — or invalid, and skipped here exactly like the fold
+// leaves it untouched.  The guarded pipeline sanitizes invalid bytes to
+// spaces before tokenizing, so they never reach either layer.
 TokenizedDocument Tokenize(std::string_view document_text);
+
+// Limit-enforcing variant: word runs longer than `limits.max_token_bytes`
+// are clipped at a UTF-8 sequence boundary (remainder of the run dropped)
+// and tokenization stops after `limits.max_tokens` tokens.  Effects are
+// recorded into `report` when non-null.  With default limits the output is
+// identical to the unlimited overload for any document the clean
+// generators produce.
+TokenizedDocument Tokenize(std::string_view document_text,
+                           const TextLimits& limits,
+                           TextGuardReport* report);
 
 }  // namespace text
 }  // namespace tenet

@@ -26,13 +26,16 @@
 
 #include "baselines/tenet_linker.h"
 #include "common/fault_injection.h"
+#include "datasets/adversarial.h"
 #include "datasets/corpus_generator.h"
+#include "datasets/session_generator.h"
 #include "datasets/world.h"
 #include "kb/delta.h"
 #include "kb/types.h"
 #include "obs/metrics.h"
 #include "serving/batch_service.h"
 #include "serving/kb_generation.h"
+#include "serving/session.h"
 
 namespace tenet {
 namespace serving {
@@ -407,6 +410,150 @@ TEST_F(SwapStormTest, SurvivesAHundredFaultySwapsUnderConcurrentLoad) {
   EXPECT_EQ(tally_.failed.load(), 0);
   EXPECT_GT(tally_.full.load(), 0);
   EXPECT_GT(stats.completed, 0);
+}
+
+// The hostile-input storm (`adversarial` tier, DESIGN.md §13): driver
+// threads push clean and adversarially mutated corpora through the service
+// while other threads replay multi-turn sessions (each owning its
+// SessionContext) and low-rate faults hit the text front door.  The
+// contract: nothing crashes, the ledger balances, the only failed requests
+// are the injected text faults, and each one is accounted for in
+// tenet_input_rejected_total.
+class HostileStormTest : public ::testing::Test {
+ protected:
+  HostileStormTest()
+      : world_(datasets::BuildWorld()),
+        linker_(baselines::BaselineSubstrate{
+            &world_.kb(), &world_.embeddings, &world_.gazetteer(), {}}) {
+    datasets::CorpusGenerator generator(&world_.kb_world);
+    Rng rng(4242);
+    datasets::DatasetSpec spec = datasets::TRex42Spec();
+    spec.num_docs = kDocsPerRound;
+    datasets::Dataset clean = generator.Generate(spec, rng);
+    datasets::AdversarialSpec adv;
+    adv.seed = 20260809;
+    datasets::Dataset hostile = datasets::AdversarialMutator(adv).Mutate(clean);
+    for (const datasets::Document& doc : clean.documents) {
+      texts_.push_back(doc.text);
+    }
+    for (const datasets::Document& doc : hostile.documents) {
+      texts_.push_back(doc.text);
+    }
+
+    datasets::SessionGenerator session_generator(&world_.kb_world);
+    datasets::SessionSpec session_spec;
+    session_spec.num_sessions = kDriverThreads;
+    sessions_ = session_generator.Generate(session_spec, rng);
+
+    ServingOptions options;
+    options.metrics = &registry_;
+    options.num_threads = 4;
+    options.queue_capacity = 64;
+    options.overflow = QueueOverflowPolicy::kReject;
+    service_ = std::make_unique<BatchLinkingService>(&linker_, options);
+  }
+
+  void Classify(const std::vector<ServedResult>& served, Tally* tally) {
+    tally->submitted.fetch_add(static_cast<int64_t>(served.size()));
+    for (const ServedResult& r : served) {
+      if (r.shed) {
+        EXPECT_EQ(r.result.status().code(), StatusCode::kResourceExhausted);
+        tally->shed.fetch_add(1);
+      } else if (!r.result.ok()) {
+        tally->failed.fetch_add(1);
+      } else if (r.result->degradation.degraded()) {
+        tally->degraded.fetch_add(1);
+      } else {
+        tally->full.fetch_add(1);
+      }
+    }
+  }
+
+  datasets::SyntheticWorld world_;
+  baselines::TenetLinker linker_;
+  std::vector<std::string> texts_;
+  datasets::SessionDataset sessions_;
+  obs::MetricsRegistry registry_;  // declared before the service it feeds
+  std::unique_ptr<BatchLinkingService> service_;
+  Tally tally_;
+};
+
+TEST_F(HostileStormTest, SurvivesHostileInputsAndConcurrentSessions) {
+  auto rejected_total = [] {
+    int64_t total = 0;
+    for (const char* reason : {"tokenize_fault", "extract_fault"}) {
+      total += obs::MetricsRegistry::Default()
+                   ->GetCounter("tenet_input_rejected_total", "",
+                                obs::LabelPair("reason", reason))
+                   ->Value();
+    }
+    return total;
+  };
+  const int64_t rejected_before = rejected_total();
+
+  FaultInjector faults(20260809);
+  faults.Arm("text/tokenize", 0.05);
+  faults.Arm("text/extract", 0.05);
+
+  std::vector<std::thread> drivers;
+  // Hostile-batch drivers: clean + mutated corpora, repeatedly.
+  for (int t = 0; t < kDriverThreads; ++t) {
+    drivers.emplace_back([this] {
+      for (int round = 0; round < 6; ++round) {
+        Classify(service_->LinkBatch(texts_), &tally_);
+      }
+    });
+  }
+  // Session drivers: each thread replays one conversation in turn order
+  // through its own SessionContext (sessions are sequential internally,
+  // concurrent across threads).
+  std::atomic<int64_t> session_interventions{0};
+  for (const datasets::Session& session : sessions_.sessions) {
+    drivers.emplace_back([this, &session, &session_interventions] {
+      SessionContext context;
+      for (const datasets::Document& turn : session.turns) {
+        std::vector<ServedResult> served =
+            service_->LinkBatch({turn.text});
+        Classify(served, &tally_);
+        if (served.size() == 1 && !served[0].shed && served[0].result.ok()) {
+          core::LinkingResult result = *served[0].result;
+          SessionTurnStats stats =
+              context.ApplySessionCoherence(world_.kb(), &result);
+          session_interventions.fetch_add(stats.relinked_to_memory +
+                                          stats.isolated_resolved);
+          context.ObserveTurn(result);
+        }
+      }
+    });
+  }
+  for (std::thread& driver : drivers) driver.join();
+
+  // Nothing vanished, nothing double-counted.
+  ServiceStats stats = service_->Stats();
+  EXPECT_EQ(stats.submitted, tally_.submitted.load());
+  EXPECT_EQ(stats.submitted, stats.shed + stats.completed);
+  EXPECT_EQ(stats.completed, stats.full + stats.degraded + stats.failed);
+  EXPECT_EQ(tally_.resolved(), tally_.submitted.load())
+      << "a request vanished during the hostile storm";
+
+  // Hostile inputs alone never fail a document: every injected text fault
+  // was counted at the front door, and the only requests that *surfaced*
+  // as failures are the ones whose budgeted retries also drew faults (the
+  // rest were retried to success — kInternal is retryable).
+  const int64_t injected = faults.FireCount("text/tokenize") +
+                           faults.FireCount("text/extract");
+  EXPECT_GT(injected, 0);
+  EXPECT_EQ(rejected_total() - rejected_before, injected);
+  EXPECT_LE(tally_.failed.load(), injected);
+  // Attempts ledger: a fire fails exactly one attempt, and a failed
+  // attempt is followed by exactly one of {retry granted, request surfaces
+  // as failed}.  Text faults are the only failure source in this storm, so
+  // the three counts tie out exactly.
+  EXPECT_EQ(injected, stats.retries + tally_.failed.load());
+
+  // Real traffic flowed, including full-pipeline answers.
+  EXPECT_GT(tally_.full.load(), 0);
+  EXPECT_LT(stats.shed, stats.submitted);
 }
 
 }  // namespace

@@ -111,5 +111,49 @@ TEST(StringUtilTest, IsCapitalized) {
   EXPECT_FALSE(IsCapitalized("1st"));
 }
 
+// The high-bit boundary contract, exhaustively over all 256 byte values:
+// the fold touches exactly [A-Z], and no classifier ever claims a byte
+// >= 0x80 (the middle of a UTF-8 sequence) as space / digit / alpha.
+// This is the agreement the tokenizer and the alias index both build on —
+// a locale-leaking reimplementation (std::tolower, std::isalnum) breaks
+// it for 0xC0-0xFF under Latin-1 and is UB for negative char.
+TEST(StringUtilTest, FoldAndClassesAgreeOnEveryByte) {
+  for (int b = 0; b < 256; ++b) {
+    const char c = static_cast<char>(b);
+    SCOPED_TRACE(b);
+    if (b >= 'A' && b <= 'Z') {
+      EXPECT_EQ(AsciiFoldChar(c), static_cast<char>(b + ('a' - 'A')));
+    } else {
+      EXPECT_EQ(AsciiFoldChar(c), c) << "fold changed a non-[A-Z] byte";
+    }
+    // Folding never changes a byte's character class: the tokenizer's
+    // word boundaries are identical before and after AsciiToLower.
+    const char folded = AsciiFoldChar(c);
+    EXPECT_EQ(IsAsciiSpaceChar(folded), IsAsciiSpaceChar(c));
+    EXPECT_EQ(IsAsciiDigitChar(folded), IsAsciiDigitChar(c));
+    EXPECT_EQ(IsAsciiAlphaChar(folded), IsAsciiAlphaChar(c));
+    EXPECT_EQ(IsAsciiAlnumChar(folded), IsAsciiAlnumChar(c));
+    if (b >= 0x80) {
+      EXPECT_FALSE(IsAsciiSpaceChar(c));
+      EXPECT_FALSE(IsAsciiDigitChar(c));
+      EXPECT_FALSE(IsAsciiAlphaChar(c));
+      EXPECT_FALSE(IsAsciiAlnumChar(c));
+      EXPECT_FALSE(IsAsciiUpperChar(c));
+      EXPECT_FALSE(IsCapitalized(std::string(1, c)));
+    }
+  }
+}
+
+TEST(StringUtilTest, AsciiToLowerPreservesHighBitBytes) {
+  // Multi-byte UTF-8 ("é", "€", a Cyrillic homoglyph) and bare invalid
+  // bytes pass through the fold untouched; only the ASCII letters fold.
+  const std::string mixed = "Caf\xC3\xA9 \xD0\x90pple \xE2\x82\xAC5 \x80\xFF";
+  EXPECT_EQ(AsciiToLower(mixed), "caf\xC3\xA9 \xD0\x90pple \xE2\x82\xAC5 \x80\xFF");
+  EXPECT_TRUE(EqualsIgnoreCase("\xC3\xA9X", "\xC3\xA9x"));
+  // 0xC3 vs 0xE3 differ by the case bit but are not ASCII letters: they
+  // must NOT compare equal (the classic tolower-on-high-bit bug).
+  EXPECT_FALSE(EqualsIgnoreCase("\xC3", "\xE3"));
+}
+
 }  // namespace
 }  // namespace tenet

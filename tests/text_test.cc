@@ -1,6 +1,7 @@
 // Tests for the NLP substrate: tokenizer, lemmatizer, features, gazetteer.
 #include <gtest/gtest.h>
 
+#include "common/string_util.h"
 #include "text/features.h"
 #include "text/gazetteer.h"
 #include "text/lemmatizer.h"
@@ -70,6 +71,34 @@ TEST(TokenizerTest, NumbersAreTokens) {
   ASSERT_EQ(doc.tokens.size(), 3u);
   EXPECT_EQ(doc.tokens[1].t, "11");
   EXPECT_FALSE(doc.tokens[1].is_punct);
+}
+
+TEST(TokenizerTest, HighBitBytesAgreeWithAsciiCaseFold) {
+  // The gazetteer folds surfaces with the ASCII-only AsciiToLower, so the
+  // tokenizer must place identical token boundaries before and after the
+  // fold — including through multi-byte UTF-8 (high-bit bytes are
+  // word-continuation, never boundaries) and around stray invalid bytes
+  // (skipped outside word runs).  A locale-leaking isalnum/tolower breaks
+  // exactly this agreement.
+  const char* kDocs[] = {
+      "Caf\xC3\xA9 MAN visited Z\xC3\xBCrich.",   // é, ü mid-word
+      "\xD0\x90pple met \xD0\x90PPLE",            // Cyrillic А lead byte
+      "Smile \xF0\x9F\x99\x82 now!",              // 4-byte emoji island
+      "A\x80Z mixed \xFFQ end",                   // stray invalid bytes
+  };
+  for (const char* raw : kDocs) {
+    SCOPED_TRACE(raw);
+    const std::string text = raw;
+    TokenizedDocument upper = Tokenize(text);
+    TokenizedDocument lower = Tokenize(AsciiToLower(text));
+    ASSERT_EQ(upper.tokens.size(), lower.tokens.size());
+    for (size_t i = 0; i < upper.tokens.size(); ++i) {
+      EXPECT_EQ(AsciiToLower(upper.tokens[i].t), lower.tokens[i].t);
+      EXPECT_EQ(upper.tokens[i].sentence, lower.tokens[i].sentence);
+      EXPECT_EQ(upper.tokens[i].is_punct, lower.tokens[i].is_punct);
+    }
+    EXPECT_EQ(upper.num_sentences(), lower.num_sentences());
+  }
 }
 
 // ---- Lemmatizer -----------------------------------------------------------

@@ -20,12 +20,21 @@
 //       News.tenetds, T-REx42.tenetds, KORE50.tenetds, MSNBC19.tenetds.
 //
 //   tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS]
+//             [--scenario clean|adversarial|sessions]
 //             [--similarity-cache-mb N] [--metrics-out FILE]
 //             [--kb-update-every N]
 //       Builds the synthetic world, generates the evaluation corpora and
 //       scores TENET end-to-end on each.  With --threads N > 1 the batch
 //       is served through the concurrent BatchLinkingService.  Exits
-//       non-zero when any document failed, listing each failure.
+//       non-zero when any document *crashed* — failed for a reason other
+//       than a deliberate guardrail rejection — listing each failure.
+//       --scenario picks the workload (DESIGN.md §13): `clean` is the
+//       paper's four corpora; `adversarial` runs the same corpora through
+//       the seeded hostile mutator (typos, homoglyphs, ambiguity storms,
+//       oversized tokens, invalid UTF-8) and reports what the guardrails
+//       rejected/truncated; `sessions` replays multi-turn conversations
+//       through a serving::SessionContext and scores the same turns with
+//       and without session state.
 //       --similarity-cache-mb N shares an N-MiB cross-document similarity
 //       cache across the whole run (cached values are bit-identical to
 //       computed ones, so scores are unchanged) and reports the cache hit
@@ -87,8 +96,10 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "datasets/world.h"
+#include "datasets/adversarial.h"
 #include "datasets/corpus_generator.h"
 #include "datasets/io.h"
+#include "datasets/session_generator.h"
 #include "common/string_util.h"
 #include "eval/harness.h"
 #include "kb/delta.h"
@@ -123,6 +134,7 @@ struct Args {
   std::string out_emb_path = "merged.tenetemb";
   int add_entities = 8;
   int kb_update_every = 0;
+  std::string scenario = "clean";
 };
 
 // Strict integer flag: the whole value must parse (no "4x", no empty), and
@@ -267,6 +279,18 @@ std::optional<Args> Parse(int argc, char** argv) {
         return std::nullopt;
       }
       args.kb_update_every = static_cast<int>(n);
+    } else if (flag == "--scenario") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      args.scenario = v;
+      if (args.scenario != "clean" && args.scenario != "adversarial" &&
+          args.scenario != "sessions") {
+        std::fprintf(stderr,
+                     "--scenario expects clean, adversarial or sessions, "
+                     "got: %s\n",
+                     v);
+        return std::nullopt;
+      }
     } else if (flag == "--trace") {
       args.trace = true;
     } else {
@@ -287,6 +311,7 @@ void PrintUsage() {
       "  tenet_cli demo [--seed N]\n"
       "  tenet_cli dump-corpora [--seed N]\n"
       "  tenet_cli eval [--seed N] [--threads N] [--deadline-ms MS] "
+      "[--scenario clean|adversarial|sessions] "
       "[--similarity-cache-mb N] [--metrics-out FILE] "
       "[--kb-update-every N]\n"
       "  tenet_cli kb build [--seed N] [--kb PATH] [--emb PATH] "
@@ -604,31 +629,87 @@ int main(int argc, char** argv) {
     datasets::CorpusGenerator generator(&world.kb_world);
     Rng rng(77);  // the bench corpus seed
     std::vector<datasets::Dataset> corpora;
-    for (const datasets::DatasetSpec& spec :
-         {datasets::NewsSpec(), datasets::TRex42Spec(),
-          datasets::Kore50Spec(), datasets::Msnbc19Spec()}) {
-      corpora.push_back(generator.Generate(spec, rng));
+    if (args->scenario != "sessions") {
+      for (const datasets::DatasetSpec& spec :
+           {datasets::NewsSpec(), datasets::TRex42Spec(),
+            datasets::Kore50Spec(), datasets::Msnbc19Spec()}) {
+        corpora.push_back(generator.Generate(spec, rng));
+      }
+    }
+    if (args->scenario == "adversarial") {
+      // Same documents, hostile surface: the seeded mutator layers every
+      // mutation class over the clean corpora.  Gold is untouched — the
+      // recall/precision drop under noise is the measurement.
+      datasets::AdversarialSpec adv_spec;
+      adv_spec.seed ^= args->seed;
+      datasets::AdversarialMutator mutator(adv_spec);
+      for (datasets::Dataset& dataset : corpora) {
+        datasets::MutationStats stats;
+        dataset = mutator.Mutate(dataset, &stats);
+        std::fprintf(stderr,
+                     "%s mutations: %d typo words, %d ocr words, "
+                     "%d homoglyph words, %d near-dup docs, %d storm docs, "
+                     "%d punctuation docs, %d oversized-token docs, "
+                     "%d invalid-utf8 docs\n",
+                     dataset.name.c_str(), stats.typo_words, stats.ocr_words,
+                     stats.homoglyph_words, stats.near_duplicate_docs,
+                     stats.ambiguity_storm_docs, stats.punctuation_docs,
+                     stats.oversized_token_docs, stats.invalid_utf8_docs);
+      }
     }
 
-    int total_failed = 0;
-    std::printf("%-10s %-23s %-23s %s\n", "dataset", "entity P/R/F",
-                "relation P/R/F", "documents");
-    auto report = [&total_failed](const eval::SystemScores& scores,
-                                  const std::string& name) {
-      std::printf("%-10s %-23s %-23s %s | total %.1f ms | wall %.1f ms\n",
-                  name.c_str(), eval::FormatPRF(scores.entity_linking).c_str(),
-                  eval::FormatPRF(scores.relation_linking).c_str(),
-                  eval::FormatDegradation(scores).c_str(), scores.total_ms,
-                  scores.wall_ms);
+    int total_crashed = 0;
+    std::printf("%-12s %-23s %-23s %-15s %s\n", "dataset", "entity P/R/F",
+                "relation P/R/F", "p50/p99 ms", "documents");
+    auto report = [&total_crashed](const eval::SystemScores& scores,
+                                   const std::string& name) {
+      char latency[64];
+      std::snprintf(latency, sizeof(latency), "%.2f/%.2f",
+                    scores.latency_p50_ms, scores.latency_p99_ms);
+      std::printf(
+          "%-12s %-23s %-23s %-15s %s | rejected %d | total %.1f ms | "
+          "wall %.1f ms\n",
+          name.c_str(), eval::FormatPRF(scores.entity_linking).c_str(),
+          eval::FormatPRF(scores.relation_linking).c_str(), latency,
+          eval::FormatDegradation(scores).c_str(), scores.rejected_documents,
+          scores.total_ms, scores.wall_ms);
       for (const eval::DocumentFailure& failure : scores.failures) {
         std::fprintf(stderr, "failed document %s: %s\n",
                      failure.doc_id.c_str(),
                      failure.status.ToString().c_str());
       }
-      total_failed += scores.failed_documents;
+      total_crashed += scores.CrashedDocuments();
     };
 
-    if (args->kb_update_every > 0) {
+    if (args->scenario == "sessions") {
+      // Session replay: identical turns scored twice — once through a
+      // per-conversation SessionContext, once in isolation.  The gap is
+      // the value of session state.
+      baselines::TenetLinker tenet(
+          baselines::BaselineSubstrate{&world.kb(), &world.embeddings,
+                                       &world.gazetteer(), graph_options},
+          tenet_options);
+      datasets::SessionGenerator session_generator(&world.kb_world);
+      datasets::SessionSpec session_spec;
+      session_spec.seed ^= args->seed;
+      datasets::SessionDataset sessions =
+          session_generator.Generate(session_spec, rng);
+      eval::SessionEvalOptions with_context;
+      eval::SystemScores context_scores =
+          eval::EvaluateSessions(tenet, world.kb(), sessions, with_context);
+      report(context_scores, "Sessions");
+      std::fprintf(stderr,
+                   "session layer: %d links re-ranked to memory, "
+                   "%d isolated mentions resolved (%d sessions, %d turns)\n",
+                   context_scores.session_relinked,
+                   context_scores.session_isolated_resolved,
+                   static_cast<int>(sessions.sessions.size()),
+                   sessions.TotalTurns());
+      eval::SessionEvalOptions isolated;
+      isolated.use_session_context = false;
+      report(eval::EvaluateSessions(tenet, world.kb(), sessions, isolated),
+             "Sessions-iso");
+    } else if (args->kb_update_every > 0) {
       // Live-update drill: the world moves into generation 1, a
       // generation-aware service serves every corpus, and after every N
       // documents a fresh delta generation is swapped in under the load.
@@ -736,8 +817,11 @@ int main(int argc, char** argv) {
                    : registry->RenderPrometheusText());
       std::fprintf(stderr, "wrote metrics to %s\n", path.c_str());
     }
-    if (total_failed > 0) {
-      std::fprintf(stderr, "%d document(s) failed\n", total_failed);
+    if (total_crashed > 0) {
+      std::fprintf(stderr,
+                   "%d document(s) crashed (failed beyond guardrail "
+                   "rejections)\n",
+                   total_crashed);
       return 1;
     }
     return 0;
