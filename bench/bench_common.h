@@ -56,7 +56,7 @@ inline const Environment& GetEnvironment() {
 
 inline baselines::BaselineSubstrate MakeSubstrate(const Environment& env) {
   return baselines::BaselineSubstrate{&env.world.kb(), &env.world.embeddings,
-                                      &env.world.gazetteer(), {}};
+                                      &env.world.gazetteer(), {}, {}};
 }
 
 /// The six systems in the paper's Table 3 row order.

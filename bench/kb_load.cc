@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include <algorithm>
+
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -21,6 +23,7 @@
 #include "json_out.h"
 #include "kb/delta.h"
 #include "kb/io.h"
+#include "kb/sharded_kb.h"
 #include "kb/synthetic_kb.h"
 
 namespace {
@@ -218,6 +221,117 @@ int main(int argc, char** argv) {
     std::remove(bin_path.c_str());
     std::remove(emb_path.c_str());
     for (const std::string& path : delta_paths) std::remove(path.c_str());
+  }
+
+  // ---- Sharded layouts (DESIGN.md §14) ----------------------------------
+  // The same KB partitioned into 1/4/16 hash shards, saved as a
+  // TENETKBSHARDS1 layout and loaded back through ShardedKb::Load.  Two
+  // rows per shard count:
+  //
+  //   sharded_wall     best-of-N wall time of the (serial) loader.
+  //   sharded_critical best-of-N critical path: the loader's serial
+  //                    prologue (manifest parse, assembly) plus the
+  //                    *slowest single shard's* load time.  Shard loads
+  //                    are independent, so this is the wall time a loader
+  //                    with >= N-way I/O parallelism would pay — reported
+  //                    separately because this bench host may be serial
+  //                    (a 1-core box loads shards back to back, and its
+  //                    wall clock cannot show the scaling).
+  //
+  // The critical-path speedup column is relative to the 1-shard layout;
+  // >= 2x at 4 shards is the acceptance bar of the sharded substrate.
+  // Runs at the "huge" synthetic tier (~58k entities), where shard
+  // payloads dwarf the fixed per-shard overheads; --smoke shrinks it to
+  // the small tier and 1/4 shards.
+  {
+    kb::SyntheticKbOptions kb_options = kb::SyntheticKbOptions::Huge();
+    const char* tier = "huge";
+    std::vector<int> shard_counts = {1, 4, 16};
+    if (json_args.smoke) {
+      kb_options = kb::SyntheticKbOptions{};
+      kb_options.num_domains = 4;
+      kb_options.entities_per_domain = 50;
+      tier = "small";
+      shard_counts = {1, 4};
+    }
+    Rng rng(2021);
+    kb::SyntheticKb world = kb::SyntheticKbGenerator(kb_options).Generate(rng);
+    embedding::TrainerOptions trainer_options;
+    Rng emb_rng(7);
+    embedding::EmbeddingStore embeddings =
+        embedding::StructuralEmbeddingTrainer(trainer_options)
+            .Train(world.kb, emb_rng);
+    const double items = ItemCount(world.kb);
+
+    double critical_1shard_ms = 0.0;
+    for (int num_shards : shard_counts) {
+      kb::ShardedKb sharded =
+          kb::ShardedKb::Partition(world.kb, embeddings, num_shards);
+      const std::string manifest = std::string("bench_kb_load_") + tier +
+                                   ".s" + std::to_string(num_shards) +
+                                   ".tenetshards";
+      if (!sharded.Save(manifest).ok()) {
+        std::fprintf(stderr, "saving %d-shard layout failed\n", num_shards);
+        return 1;
+      }
+
+      double wall_ms = 0.0;
+      double critical_ms = 0.0;
+      for (int r = 0; r < reps; ++r) {
+        WallTimer timer;
+        Result<kb::ShardedKb> loaded = kb::ShardedKb::Load(manifest);
+        double ms = timer.ElapsedMillis();
+        if (!loaded.ok()) {
+          std::fprintf(stderr, "loading %s failed: %s\n", manifest.c_str(),
+                       loaded.status().ToString().c_str());
+          return 1;
+        }
+        double max_shard_ms = 0.0;
+        double sum_shard_ms = 0.0;
+        for (int s = 0; s < loaded->num_shards(); ++s) {
+          max_shard_ms = std::max(max_shard_ms, loaded->shard(s).load_ms);
+          sum_shard_ms += loaded->shard(s).load_ms;
+        }
+        const double crit = ms - sum_shard_ms + max_shard_ms;
+        if (r == 0 || ms < wall_ms) wall_ms = ms;
+        if (r == 0 || crit < critical_ms) critical_ms = crit;
+      }
+      if (num_shards == shard_counts.front()) {
+        critical_1shard_ms = critical_ms;
+      }
+      const double scaling =
+          critical_ms > 0.0 ? critical_1shard_ms / critical_ms : 0.0;
+
+      std::string wall_name = std::string("sharded_wall/s") +
+                              std::to_string(num_shards);
+      std::printf("%-8s %-16s %12.3f %12.0f %10s\n", tier, wall_name.c_str(),
+                  wall_ms, items / (wall_ms / 1e3), "-");
+      bench::JsonRecord wall_record{
+          std::string("kb_load/sharded_wall/") + tier + "/s" +
+              std::to_string(num_shards),
+          wall_ms * 1e6, items / (wall_ms / 1e3), 0.0};
+      wall_record.shards = num_shards;
+      records.push_back(wall_record);
+
+      std::string crit_name = std::string("sharded_critical/s") +
+                              std::to_string(num_shards);
+      std::printf("%-8s %-16s %12.3f %12.0f %9.2fx\n", tier,
+                  crit_name.c_str(), critical_ms,
+                  items / (critical_ms / 1e3), scaling);
+      bench::JsonRecord crit_record{
+          std::string("kb_load/sharded_critical/") + tier + "/s" +
+              std::to_string(num_shards),
+          critical_ms * 1e6, items / (critical_ms / 1e3),
+          num_shards == shard_counts.front() ? 0.0 : scaling};
+      crit_record.shards = num_shards;
+      records.push_back(crit_record);
+
+      std::remove(manifest.c_str());
+      for (int s = 0; s < num_shards; ++s) {
+        std::remove((manifest + ".s" + std::to_string(s) + ".kb2").c_str());
+        std::remove((manifest + ".s" + std::to_string(s) + ".emb").c_str());
+      }
+    }
   }
 
   if (!json_args.json_path.empty() &&

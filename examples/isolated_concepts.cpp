@@ -29,7 +29,7 @@ int main() {
   datasets::Dataset ads = generator.Generate(spec, rng);
 
   baselines::BaselineSubstrate substrate{
-      &world.kb(), &world.embeddings, &world.gazetteer(), {}};
+      &world.kb(), &world.embeddings, &world.gazetteer(), {}, {}};
   baselines::TenetLinker tenet(substrate);
   baselines::QkbflyLike qkbfly(substrate);
 

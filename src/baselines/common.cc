@@ -125,9 +125,15 @@ core::MentionSet BuildCoarseMentionSet(
   return set;
 }
 
+std::shared_ptr<const kb::KbView> ResolveView(
+    const BaselineSubstrate& substrate) {
+  if (substrate.view != nullptr) return substrate.view;
+  return std::make_shared<kb::FlatKbView>(substrate.kb, substrate.embeddings);
+}
+
 core::CoherenceGraph BuildGraph(const BaselineSubstrate& substrate,
                                 core::MentionSet mentions) {
-  core::CoherenceGraphBuilder builder(substrate.kb, substrate.embeddings,
+  core::CoherenceGraphBuilder builder(ResolveView(substrate),
                                       substrate.graph_options);
   return builder.Build(std::move(mentions));
 }
@@ -168,17 +174,18 @@ namespace {
 
 // Recomputed per call on purpose: this models the per-query KB probing
 // cost of systems without a relatedness index.
-std::unordered_set<kb::EntityId> KbNeighborhood(const kb::KnowledgeBase& kb,
+std::unordered_set<kb::EntityId> KbNeighborhood(const kb::KbView& view,
                                                 kb::ConceptRef ref) {
   std::unordered_set<kb::EntityId> out;
   if (ref.is_entity()) {
-    for (kb::EntityId n : kb.NeighborEntities(ref.id)) out.insert(n);
+    for (kb::EntityId n : view.NeighborEntities(ref.id)) out.insert(n);
   } else {
-    for (int32_t fact_index : kb.FactsOfPredicate(ref.id)) {
-      const kb::Triple& t = kb.facts()[fact_index];
-      out.insert(t.subject);
-      if (t.object_is_entity) out.insert(t.object_entity);
-    }
+    view.VisitFactsOfPredicate(
+        ref.id, [&out](int64_t /*fact_id*/, const kb::Triple& t) {
+          out.insert(t.subject);
+          if (t.object_is_entity) out.insert(t.object_entity);
+          return true;
+        });
   }
   return out;
 }
@@ -187,8 +194,8 @@ std::unordered_set<kb::EntityId> KbNeighborhood(const kb::KnowledgeBase& kb,
 
 double KbGraphRelatedness::Relatedness(kb::ConceptRef a,
                                        kb::ConceptRef b) const {
-  std::unordered_set<kb::EntityId> na = KbNeighborhood(*kb_, a);
-  std::unordered_set<kb::EntityId> nb = KbNeighborhood(*kb_, b);
+  std::unordered_set<kb::EntityId> na = KbNeighborhood(*view_, a);
+  std::unordered_set<kb::EntityId> nb = KbNeighborhood(*view_, b);
   if (a.is_entity() && nb.count(a.id) > 0) return 1.0;
   if (b.is_entity() && na.count(b.id) > 0) return 1.0;
   if (na.empty() || nb.empty()) return 0.0;

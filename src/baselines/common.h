@@ -1,12 +1,14 @@
 #ifndef TENET_BASELINES_COMMON_H_
 #define TENET_BASELINES_COMMON_H_
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "core/coherence_graph.h"
 #include "core/pipeline.h"
 #include "embedding/embedding_store.h"
+#include "kb/kb_view.h"
 #include "kb/knowledge_base.h"
 #include "text/extraction.h"
 #include "text/gazetteer.h"
@@ -14,13 +16,24 @@
 namespace tenet {
 namespace baselines {
 
-// Shared substrate handles of all baseline linkers.
+// Shared substrate handles of all baseline linkers.  Either populate the
+// flat pair (`kb` + `embeddings`) or set `view` directly; every consumer
+// goes through ResolveView, so the systems run unchanged on a sharded
+// substrate.
 struct BaselineSubstrate {
   const kb::KnowledgeBase* kb = nullptr;
   const embedding::EmbeddingStore* embeddings = nullptr;
   const text::Gazetteer* gazetteer = nullptr;
   core::CoherenceGraphOptions graph_options;
+  /// When set, wins over `kb`/`embeddings` (which may then be null).
+  std::shared_ptr<const kb::KbView> view;
 };
+
+/// The substrate's KbView: `substrate.view` when set, else a FlatKbView
+/// wrapping the kb/embeddings pair (which must then be non-null and
+/// outlive the returned view).
+std::shared_ptr<const kb::KbView> ResolveView(
+    const BaselineSubstrate& substrate);
 
 // Mention-universe policies of the baselines (none performs canopy-based
 // joint selection — that is TENET's contribution):
@@ -62,12 +75,13 @@ int TopPriorNode(const core::CoherenceGraph& cg, int mention);
 // unlike the O(1) lookups into the embedding index TENET and QKBfly use.
 class KbGraphRelatedness {
  public:
-  explicit KbGraphRelatedness(const kb::KnowledgeBase* kb) : kb_(kb) {}
+  explicit KbGraphRelatedness(std::shared_ptr<const kb::KbView> view)
+      : view_(std::move(view)) {}
 
   double Relatedness(kb::ConceptRef a, kb::ConceptRef b) const;
 
  private:
-  const kb::KnowledgeBase* kb_;
+  std::shared_ptr<const kb::KbView> view_;
 };
 
 }  // namespace baselines

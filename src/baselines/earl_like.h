@@ -21,8 +21,6 @@ class EarlLike : public Linker {
   std::string_view name() const override { return "EARL"; }
   bool has_disambiguation_stage() const override { return false; }
 
-  using Linker::LinkDocument;
-
   Result<core::LinkingResult> LinkDocument(
       std::string_view document_text,
       const core::LinkContext& context = {}) const override;

@@ -30,8 +30,6 @@ class KbPearlLike : public Linker {
 
   std::string_view name() const override { return "KBPearl"; }
 
-  using Linker::LinkDocument;
-
   Result<core::LinkingResult> LinkDocument(
       std::string_view document_text,
       const core::LinkContext& context = {}) const override;

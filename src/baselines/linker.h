@@ -2,9 +2,7 @@
 #define TENET_BASELINES_LINKER_H_
 
 #include <string_view>
-#include <utility>
 
-#include "common/deadline.h"
 #include "common/result.h"
 #include "core/link_context.h"
 #include "core/mention.h"
@@ -48,15 +46,6 @@ class Linker {
   virtual Result<core::LinkingResult> LinkMentionSet(
       core::MentionSet mentions,
       const core::LinkContext& context = {}) const = 0;
-
-  // Deprecated shim of the pre-LinkContext API; new call sites construct
-  // a LinkContext (core::LinkContext::WithDeadline) instead.
-  [[deprecated("pass a core::LinkContext instead of a bare Deadline")]]
-  Result<core::LinkingResult> LinkDocument(std::string_view document_text,
-                                           Deadline deadline) const {
-    return LinkDocument(document_text,
-                        core::LinkContext::WithDeadline(deadline));
-  }
 };
 
 }  // namespace baselines

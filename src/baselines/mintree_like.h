@@ -23,8 +23,6 @@ class MintreeLike : public Linker {
   std::string_view name() const override { return "MINTREE"; }
   bool links_relations() const override { return false; }
 
-  using Linker::LinkDocument;
-
   Result<core::LinkingResult> LinkDocument(
       std::string_view document_text,
       const core::LinkContext& context = {}) const override;

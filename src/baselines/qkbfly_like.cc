@@ -26,6 +26,7 @@ Result<core::LinkingResult> QkbflyLike::LinkMentionSet(
     core::MentionSet mentions,
     const core::LinkContext& /*context*/) const {
   WallTimer timer;
+  std::shared_ptr<const kb::KbView> view = ResolveView(substrate_);
   core::CoherenceGraph cg = BuildGraph(substrate_, std::move(mentions));
   double graph_ms = timer.ElapsedMillis();
 
@@ -47,8 +48,8 @@ Result<core::LinkingResult> QkbflyLike::LinkMentionSet(
     int count = 0;
     for (int other : noun_mentions) {
       if (other == self || current[other] < 0) continue;
-      sum += substrate_.embeddings->Cosine(
-          cg.concept_node(node).ref, cg.concept_node(current[other]).ref);
+      sum += view->Cosine(cg.concept_node(node).ref,
+                          cg.concept_node(current[other]).ref);
       ++count;
     }
     return count == 0 ? 0.0 : sum / count;
@@ -82,18 +83,23 @@ Result<core::LinkingResult> QkbflyLike::LinkMentionSet(
     if (!options_.require_fact_support) return true;
     if (!cg.concept_node(current[m]).ref.is_entity()) return false;
     kb::EntityId self = cg.concept_node(current[m]).ref.id;
-    for (int32_t fact_index : substrate_.kb->FactsOfEntity(self)) {
-      const kb::Triple& t = substrate_.kb->facts()[fact_index];
-      if (!t.object_is_entity) continue;
-      kb::EntityId other =
-          t.subject == self ? t.object_entity : t.subject;
-      for (int n : noun_mentions) {
-        if (n == m || current[n] < 0) continue;
-        const kb::ConceptRef& ref = cg.concept_node(current[n]).ref;
-        if (ref.is_entity() && ref.id == other) return true;
-      }
-    }
-    return false;
+    bool supported = false;
+    view->VisitFactsOfEntity(
+        self, [&](int64_t /*fact_id*/, const kb::Triple& t) {
+          if (!t.object_is_entity) return true;
+          kb::EntityId other =
+              t.subject == self ? t.object_entity : t.subject;
+          for (int n : noun_mentions) {
+            if (n == m || current[n] < 0) continue;
+            const kb::ConceptRef& ref = cg.concept_node(current[n]).ref;
+            if (ref.is_entity() && ref.id == other) {
+              supported = true;
+              return false;  // found a vouching fact; stop the walk
+            }
+          }
+          return true;
+        });
+    return supported;
   };
   std::unordered_map<int, int> chosen;
   std::vector<int> isolated;

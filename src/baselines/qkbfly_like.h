@@ -33,8 +33,6 @@ class QkbflyLike : public Linker {
   std::string_view name() const override { return "QKBfly"; }
   bool links_relations() const override { return false; }
 
-  using Linker::LinkDocument;
-
   Result<core::LinkingResult> LinkDocument(
       std::string_view document_text,
       const core::LinkContext& context = {}) const override;

@@ -13,13 +13,11 @@ namespace baselines {
 class TenetLinker : public Linker {
  public:
   TenetLinker(BaselineSubstrate substrate, core::TenetOptions options = {})
-      : pipeline_(substrate.kb, substrate.embeddings, substrate.gazetteer,
+      : pipeline_(ResolveView(substrate), substrate.gazetteer,
                   [&options, &substrate] {
                     options.graph = substrate.graph_options;
                     return options;
                   }()) {}
-
-  using Linker::LinkDocument;
 
   std::string_view name() const override { return "TENET"; }
 

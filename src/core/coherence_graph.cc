@@ -48,16 +48,18 @@ const std::vector<int>& CoherenceGraph::ConceptNodesOfMention(
 }
 
 CoherenceGraphBuilder::CoherenceGraphBuilder(
-    const kb::KnowledgeBase* kb, const embedding::EmbeddingStore* embeddings,
-    CoherenceGraphOptions options)
-    : kb_(kb), embeddings_(embeddings), options_(options) {
-  TENET_CHECK(kb != nullptr);
-  TENET_CHECK(embeddings != nullptr);
-  TENET_CHECK(kb->finalized());
-  TENET_CHECK(embeddings->finalized());
+    std::shared_ptr<const kb::KbView> view, CoherenceGraphOptions options)
+    : view_(std::move(view)), options_(options) {
+  TENET_CHECK(view_ != nullptr);
   TENET_CHECK_GT(options_.max_candidates_per_mention, 0);
   TENET_CHECK_GE(options_.num_threads, 0);
 }
+
+CoherenceGraphBuilder::CoherenceGraphBuilder(
+    const kb::KnowledgeBase* kb, const embedding::EmbeddingStore* embeddings,
+    CoherenceGraphOptions options)
+    : CoherenceGraphBuilder(std::make_shared<kb::FlatKbView>(kb, embeddings),
+                            options) {}
 
 CoherenceGraph CoherenceGraphBuilder::Build(MentionSet mentions) const {
   return Build(std::move(mentions), options_.similarity_cache);
@@ -78,7 +80,7 @@ CoherenceGraph CoherenceGraphBuilder::Build(
     const Mention& mention = mentions.mention(m);
     int overflow = 0;
     if (mention.is_noun()) {
-      for (const kb::EntityCandidate& c : kb_->CandidateEntities(
+      for (const kb::EntityCandidate& c : view_->CandidateEntities(
                mention.surface, mention.type,
                options_.max_candidates_per_mention, &overflow)) {
         of_mention[m].push_back(static_cast<int>(concept_nodes.size()));
@@ -86,7 +88,7 @@ CoherenceGraph CoherenceGraphBuilder::Build(
             m, kb::ConceptRef::Entity(c.entity), c.prior});
       }
     } else {
-      for (const kb::PredicateCandidate& c : kb_->CandidatePredicates(
+      for (const kb::PredicateCandidate& c : view_->CandidatePredicates(
                mention.surface, options_.max_candidates_per_mention,
                &overflow)) {
         of_mention[m].push_back(static_cast<int>(concept_nodes.size()));
@@ -142,18 +144,18 @@ CoherenceGraph CoherenceGraphBuilder::Build(
         const CoherenceGraph::ConceptNode& b = cg.concept_nodes_[j];
         if (!connected(a, b)) continue;
         edges.push_back(PendingEdge{num_mentions + i, num_mentions + j,
-                                    1.0 - embeddings_->Cosine(a.ref, b.ref)});
+                                    1.0 - view_->Cosine(a.ref, b.ref)});
       }
     }
   } else {
     // Batched kernel: one gather of every candidate's unit row into a
     // contiguous row-major scratch (a single dependency operation for the
     // whole document), then a tiled triangular sweep.
-    const int dim = embeddings_->dimension();
+    const int dim = view_->dimension();
     std::vector<kb::ConceptRef> refs(num_concepts);
     for (int i = 0; i < num_concepts; ++i) refs[i] = cg.concept_nodes_[i].ref;
     std::vector<double> rows(static_cast<size_t>(num_concepts) * dim);
-    embeddings_->GatherUnit(refs, rows.data());
+    view_->GatherUnit(refs, rows.data());
 
     // The similarity of pair (i, j), via the cache when one is installed.
     // Cached and computed values are bit-identical: both are the DotUnit

@@ -1,6 +1,7 @@
 #ifndef TENET_CORE_COHERENCE_GRAPH_H_
 #define TENET_CORE_COHERENCE_GRAPH_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -8,6 +9,7 @@
 #include "embedding/embedding_store.h"
 #include "embedding/similarity_cache.h"
 #include "graph/graph.h"
+#include "kb/kb_view.h"
 #include "kb/knowledge_base.h"
 
 namespace tenet {
@@ -111,7 +113,14 @@ class CoherenceGraph {
 // list (and everything downstream of it) is deterministic.
 class CoherenceGraphBuilder {
  public:
-  /// `kb` and `embeddings` must outlive the builder and be finalized.
+  /// Builds against any KB substrate behind the KbView contract — flat or
+  /// sharded; the view is shared-owned so generations can retire while a
+  /// builder is mid-flight.
+  CoherenceGraphBuilder(std::shared_ptr<const kb::KbView> view,
+                        CoherenceGraphOptions options = {});
+
+  /// Convenience over the flat substrate: wraps `kb` + `embeddings` (which
+  /// must outlive the builder and be finalized) in a FlatKbView.
   CoherenceGraphBuilder(const kb::KnowledgeBase* kb,
                         const embedding::EmbeddingStore* embeddings,
                         CoherenceGraphOptions options = {});
@@ -131,10 +140,10 @@ class CoherenceGraphBuilder {
                        uint64_t cache_epoch = 0) const;
 
   const CoherenceGraphOptions& options() const { return options_; }
+  const kb::KbView& view() const { return *view_; }
 
  private:
-  const kb::KnowledgeBase* kb_;
-  const embedding::EmbeddingStore* embeddings_;
+  std::shared_ptr<const kb::KbView> view_;
   CoherenceGraphOptions options_;
 };
 

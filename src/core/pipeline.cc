@@ -203,21 +203,27 @@ TenetOptions ClampToLimits(TenetOptions options) {
 
 }  // namespace
 
-TenetPipeline::TenetPipeline(const kb::KnowledgeBase* kb,
-                             const embedding::EmbeddingStore* embeddings,
+TenetPipeline::TenetPipeline(std::shared_ptr<const kb::KbView> view,
                              const text::Gazetteer* gazetteer,
                              TenetOptions options)
-    : kb_(kb),
-      embeddings_(embeddings),
+    : view_(std::move(view)),
       gazetteer_(gazetteer),
       options_(ClampToLimits(std::move(options))),
-      graph_builder_(kb, embeddings, options_.graph),
+      graph_builder_(view_, options_.graph),
       disambiguator_(options_.disambiguator) {
+  TENET_CHECK(view_ != nullptr);
   TENET_CHECK(gazetteer != nullptr);
   TENET_CHECK_GT(options_.bound_factor, 0.0);
   TENET_CHECK_GE(options_.bound_retry.max_retries, 0);
   TENET_CHECK_GE(options_.bound_retry.multiplier, 1.0);
 }
+
+TenetPipeline::TenetPipeline(const kb::KnowledgeBase* kb,
+                             const embedding::EmbeddingStore* embeddings,
+                             const text::Gazetteer* gazetteer,
+                             TenetOptions options)
+    : TenetPipeline(std::make_shared<kb::FlatKbView>(kb, embeddings),
+                    gazetteer, std::move(options)) {}
 
 Deadline TenetPipeline::DefaultDeadline() const {
   return Deadline::AfterMillis(options_.deadline_ms);
@@ -455,7 +461,7 @@ Result<LinkingResult> TenetPipeline::PriorOnlyFromMentions(
     const Mention& mention = universe.mention(m);
     int overflow = 0;
     if (mention.is_noun()) {
-      std::vector<kb::EntityCandidate> candidates = kb_->CandidateEntities(
+      std::vector<kb::EntityCandidate> candidates = view_->CandidateEntities(
           mention.surface, mention.type, top_k, &overflow);
       candidate_overflow += overflow;
       if (candidates.empty()) return std::nullopt;
@@ -463,7 +469,7 @@ Result<LinkingResult> TenetPipeline::PriorOnlyFromMentions(
                             candidates.front().prior);
     }
     std::vector<kb::PredicateCandidate> candidates =
-        kb_->CandidatePredicates(mention.surface, top_k, &overflow);
+        view_->CandidatePredicates(mention.surface, top_k, &overflow);
     candidate_overflow += overflow;
     if (candidates.empty()) return std::nullopt;
     return std::make_pair(

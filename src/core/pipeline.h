@@ -2,8 +2,10 @@
 #define TENET_CORE_PIPELINE_H_
 
 #include <limits>
+#include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/deadline.h"
@@ -135,7 +137,14 @@ struct LinkingResult {
 // must simply not be mutated while linking is in flight.
 class TenetPipeline {
  public:
-  /// All pointers must be non-null, finalized, and outlive the pipeline.
+  /// Links against any KB substrate behind the KbView contract (flat or
+  /// sharded).  The view is shared-owned; `gazetteer` must be non-null and
+  /// outlive the pipeline.
+  TenetPipeline(std::shared_ptr<const kb::KbView> view,
+                const text::Gazetteer* gazetteer, TenetOptions options = {});
+
+  /// Convenience over the flat substrate.  All pointers must be non-null,
+  /// finalized, and outlive the pipeline.
   TenetPipeline(const kb::KnowledgeBase* kb,
                 const embedding::EmbeddingStore* embeddings,
                 const text::Gazetteer* gazetteer, TenetOptions options = {});
@@ -167,27 +176,8 @@ class TenetPipeline {
   Result<LinkingResult> LinkMentionSet(MentionSet mentions,
                                        const LinkContext& context = {}) const;
 
-  // Deprecated shims of the pre-LinkContext API.  New call sites construct
-  // a LinkContext (LinkContext::WithDeadline) instead of passing a bare
-  // Deadline; these remain only so external embedders migrate at leisure.
-  [[deprecated("pass a LinkContext instead of a bare Deadline")]]
-  Result<LinkingResult> LinkDocument(std::string_view document_text,
-                                     Deadline deadline) const {
-    return LinkDocument(document_text, LinkContext::WithDeadline(deadline));
-  }
-  [[deprecated("pass a LinkContext instead of a bare Deadline")]]
-  Result<LinkingResult> LinkExtraction(const text::ExtractionResult& extraction,
-                                       Deadline deadline) const {
-    return LinkExtraction(extraction, LinkContext::WithDeadline(deadline));
-  }
-  [[deprecated("pass a LinkContext instead of a bare Deadline")]]
-  Result<LinkingResult> LinkMentionSet(MentionSet mentions,
-                                       Deadline deadline) const {
-    return LinkMentionSet(std::move(mentions),
-                          LinkContext::WithDeadline(deadline));
-  }
-
   const TenetOptions& options() const { return options_; }
+  const kb::KbView& view() const { return *view_; }
 
  private:
   /// The deadline implied by options().deadline_ms, started now.
@@ -224,8 +214,7 @@ class TenetPipeline {
                        PipelineTimings timings, const LinkContext& context,
                        LinkingResult* result) const;
 
-  const kb::KnowledgeBase* kb_;
-  const embedding::EmbeddingStore* embeddings_;
+  std::shared_ptr<const kb::KbView> view_;
   const text::Gazetteer* gazetteer_;
   TenetOptions options_;
   CoherenceGraphBuilder graph_builder_;

@@ -58,10 +58,10 @@ void AliasIndex::FinalizeShard(Shard& shard, FinalizeMode mode) {
           posting.concept_ref.is_entity() ? entity_total : predicate_total;
       posting.prior = total > 0.0 ? posting.prior / total : 0.0;
     }
-    std::stable_sort(list.begin(), list.end(),
-                     [](const AliasPosting& a, const AliasPosting& b) {
-                       return a.prior > b.prior;
-                     });
+    // The canonical order is total, so std::sort suffices and the result
+    // is deterministic regardless of insertion order — a prerequisite for
+    // sharded loads to reproduce flat candidate lists exactly.
+    std::sort(list.begin(), list.end(), CanonicalPostingOrder);
   }
 }
 

@@ -25,6 +25,21 @@ struct AliasPosting {
   double prior = 0.0;
 };
 
+/// Canonical total order of the postings of one surface: descending prior,
+/// then entities before predicates, then ascending id.  Finalize() sorts
+/// every posting list this way, and because it is a *total* order (no two
+/// distinct postings compare equal), any hash-partitioned subset of a list
+/// preserves it — so a sharded KB can k-way-merge per-shard sublists with
+/// this same comparator and reproduce the flat list byte-for-byte.
+inline bool CanonicalPostingOrder(const AliasPosting& a,
+                                  const AliasPosting& b) {
+  if (a.prior != b.prior) return a.prior > b.prior;
+  if (a.concept_ref.kind != b.concept_ref.kind) {
+    return a.concept_ref.kind < b.concept_ref.kind;
+  }
+  return a.concept_ref.id < b.concept_ref.id;
+}
+
 // Case-insensitive inverted index from surface forms (labels and aliases)
 // to candidate concepts — the in-process equivalent of the Solr/Lucene index
 // the paper builds over the Wikidata JSON dump (Sec. 6.1, "Indexing the
@@ -87,7 +102,7 @@ class AliasIndex {
   void RestorePostings(std::span<const RestoreEntry> entries,
                        ThreadPool* pool = nullptr);
 
-  /// Freezes the index; postings end up sorted by descending prior within
+  /// Freezes the index; postings end up in CanonicalPostingOrder within
   /// each surface.  Must be called exactly once.  With `pool`, shards are
   /// finalized in parallel (the result is identical at any thread count —
   /// shards are independent).

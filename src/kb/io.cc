@@ -22,6 +22,8 @@
 #include "common/mmap_file.h"
 #include "common/string_util.h"
 #include "common/timer.h"
+#include "kb/kb_view.h"
+#include "kb/sharded_kb.h"
 #include "obs/metrics.h"
 
 namespace tenet {
@@ -31,6 +33,7 @@ namespace {
 constexpr char kKbMagicV1[] = "TENETKB v1";
 constexpr char kKbMagicV2[8] = {'T', 'E', 'N', 'E', 'T', 'K', 'B', '2'};
 constexpr char kEmbMagic[] = "TENETEMB1";
+constexpr char kShardManifestMagic[] = "TENETKBSHARDS1";
 
 // ---- TENETKB2 binary layout (DESIGN.md §11) -------------------------------
 // All integers are fixed-width little-endian; the endian tag rejects
@@ -49,8 +52,15 @@ enum SectionId : uint32_t {
   kSectionPredicates = 3,
   kSectionAliases = 4,
   kSectionFacts = 5,
+  // Present only in per-shard snapshots of a sharded layout: one 32-byte
+  // record {u32 num_shards, u32 shard_index, i64 global_entities,
+  // i64 global_predicates, i64 global_facts}.  Unknown to (and therefore
+  // rejected by) the flat loader, which keeps `kb delta`/`kb merge` from
+  // silently treating one shard as a whole KB.
+  kSectionShardInfo = 6,
 };
 constexpr uint32_t kNumKnownSections = 5;
+constexpr size_t kShardInfoBytes = 32;
 
 const char* SectionName(uint32_t id) {
   switch (id) {
@@ -59,6 +69,7 @@ const char* SectionName(uint32_t id) {
     case kSectionPredicates: return "predicates";
     case kSectionAliases: return "aliases";
     case kSectionFacts: return "facts";
+    case kSectionShardInfo: return "shard_info";
     default: return "unknown";
   }
 }
@@ -271,6 +282,65 @@ Result<std::vector<std::string_view>> ParseStringTable(
   return strings;
 }
 
+// Decoded shard_info section of a per-shard snapshot.
+struct ShardInfo {
+  uint32_t num_shards = 0;
+  uint32_t shard_index = 0;
+  int64_t global_entities = 0;
+  int64_t global_predicates = 0;
+  int64_t global_facts = 0;
+};
+
+const SectionEntry* FindSection(const SnapshotLayout& layout, uint32_t id) {
+  for (const SectionEntry& entry : layout.all) {
+    if (entry.id == id) return &entry;
+  }
+  return nullptr;
+}
+
+Result<ShardInfo> ParseShardInfo(std::span<const std::byte> bytes,
+                                 const SectionEntry& entry) {
+  if (entry.byte_size != kShardInfoBytes || entry.item_count != 1) {
+    return Status::InvalidArgument("malformed shard_info section");
+  }
+  RecordReader reader(bytes.subspan(entry.offset));
+  ShardInfo info;
+  info.num_shards = reader.Read<uint32_t>();
+  info.shard_index = reader.Read<uint32_t>();
+  info.global_entities = reader.Read<int64_t>();
+  info.global_predicates = reader.Read<int64_t>();
+  info.global_facts = reader.Read<int64_t>();
+  if (info.num_shards < 1 || info.shard_index >= info.num_shards ||
+      info.global_entities < 0 ||
+      info.global_entities > std::numeric_limits<int32_t>::max() ||
+      info.global_predicates < 0 ||
+      info.global_predicates > std::numeric_limits<int32_t>::max() ||
+      info.global_facts < 0) {
+    return Status::InvalidArgument("implausible shard_info values");
+  }
+  return info;
+}
+
+/// How many global ids < `global` are homed on shard `s` of `n` (strided
+/// layout: id % n == s).
+int64_t LocalShardCount(int64_t global, uint32_t n, uint32_t s) {
+  if (global <= s) return 0;
+  return (global - s + n - 1) / n;
+}
+
+// Directory prefix of `path` including the trailing separator ("" when the
+// path has no directory component).  Manifest entries are stored relative
+// and resolved against this.
+std::string DirPrefix(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash + 1);
+}
+
+std::string BaseName(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
 Status CheckRecordSection(const SectionEntry& entry, const char* what) {
   if (entry.item_count > std::numeric_limits<int32_t>::max()) {
     return Status::InvalidArgument(std::string("implausible count in ") +
@@ -464,6 +534,11 @@ Status SaveKnowledgeBaseBinary(const KnowledgeBase& kb,
 Result<KnowledgeBase> LoadKnowledgeBaseBinary(std::span<const std::byte> bytes,
                                               const KbLoadOptions& options) {
   TENET_ASSIGN_OR_RETURN(SnapshotLayout layout, ParseSnapshotLayout(bytes));
+  if (FindSection(layout, kSectionShardInfo) != nullptr) {
+    return Status::InvalidArgument(
+        "snapshot is one shard of a sharded KB; load the whole layout via "
+        "its TENETKBSHARDS1 manifest (ShardedKb::Load)");
+  }
   TENET_ASSIGN_OR_RETURN(
       std::vector<std::string_view> strings,
       ParseStringTable(bytes, layout.known[kSectionStrings - 1]));
@@ -593,6 +668,349 @@ Result<KnowledgeBase> LoadKnowledgeBaseBinary(std::span<const std::byte> bytes,
   kb.Finalize(KnowledgeBase::FinalizeOptions{
       AliasIndex::FinalizeMode::kRestorePriors, options.pool});
   return kb;
+}
+
+// ---- sharded layout (TENETKB2 shards + TENETKBSHARDS1 manifest) -----------
+//
+// Each shard is a self-contained TENETKB2 snapshot carrying the standard
+// five sections — entity/predicate sections hold the shard's *local* record
+// subsequence, alias and fact sections hold *global* concept ids, and each
+// fact record's trailing word (padding in flat snapshots) holds the fact's
+// global id — plus a shard_info section (id 6) naming the layout.  A text
+// manifest ties the shard files together and records the global counts.
+
+Status SaveShardBinary(const ShardedKb::Shard& shard, const ShardInfo& info,
+                       const std::string& path) {
+  StringTableBuilder strings;
+
+  ByteWriter entities;
+  for (const EntityRecord& rec : shard.entities) {
+    entities.Append<uint32_t>(strings.Intern(rec.label));
+    entities.Append<int32_t>(static_cast<int32_t>(rec.type));
+    entities.Append<int32_t>(rec.domain);
+    entities.Append<int32_t>(0);
+    entities.Append<double>(rec.popularity);
+  }
+
+  ByteWriter predicates;
+  for (const PredicateRecord& rec : shard.predicates) {
+    predicates.Append<uint32_t>(strings.Intern(rec.label));
+    predicates.Append<int32_t>(rec.domain);
+    predicates.Append<int32_t>(0);
+    predicates.Append<int32_t>(0);
+    predicates.Append<double>(rec.popularity);
+  }
+
+  ByteWriter aliases;
+  uint64_t num_aliases = 0;
+  shard.alias_index.VisitPostings(
+      [&](std::string_view surface, const AliasPosting& posting) {
+        aliases.Append<uint32_t>(strings.Intern(surface));
+        aliases.Append<int32_t>(posting.concept_ref.id);
+        aliases.Append<int32_t>(posting.concept_ref.is_entity() ? 0 : 1);
+        aliases.Append<int32_t>(0);
+        aliases.Append<double>(posting.prior);
+        ++num_aliases;
+      });
+
+  ByteWriter facts;
+  for (size_t pos = 0; pos < shard.facts.size(); ++pos) {
+    const Triple& t = shard.facts[pos];
+    facts.Append<int32_t>(t.subject);
+    facts.Append<int32_t>(t.predicate);
+    facts.Append<int32_t>(t.object_is_entity ? 0 : 1);
+    facts.Append<int32_t>(t.object_is_entity ? t.object_entity : 0);
+    facts.Append<uint32_t>(
+        t.object_is_entity ? 0 : strings.Intern(t.object_literal));
+    facts.Append<uint32_t>(static_cast<uint32_t>(shard.fact_ids[pos]));
+  }
+
+  ByteWriter shard_info;
+  shard_info.Append<uint32_t>(info.num_shards);
+  shard_info.Append<uint32_t>(info.shard_index);
+  shard_info.Append<int64_t>(info.global_entities);
+  shard_info.Append<int64_t>(info.global_predicates);
+  shard_info.Append<int64_t>(info.global_facts);
+
+  ByteWriter string_table;
+  strings.Serialize(&string_table);
+
+  struct Pending {
+    uint32_t id;
+    const ByteWriter* payload;
+    uint64_t item_count;
+  };
+  constexpr uint32_t kNumShardSections = kNumKnownSections + 1;
+  const Pending sections[kNumShardSections] = {
+      {kSectionStrings, &string_table, strings.size()},
+      {kSectionEntities, &entities,
+       static_cast<uint64_t>(shard.entities.size())},
+      {kSectionPredicates, &predicates,
+       static_cast<uint64_t>(shard.predicates.size())},
+      {kSectionAliases, &aliases, num_aliases},
+      {kSectionFacts, &facts, static_cast<uint64_t>(shard.facts.size())},
+      {kSectionShardInfo, &shard_info, 1},
+  };
+
+  ByteWriter table;
+  uint64_t offset = kHeaderBytes + kNumShardSections * kSectionEntryBytes;
+  for (const Pending& s : sections) {
+    table.Append<uint32_t>(s.id);
+    table.Append<uint32_t>(0);
+    table.Append<uint64_t>(offset);
+    table.Append<uint64_t>(static_cast<uint64_t>(s.payload->size()));
+    table.Append<uint64_t>(s.item_count);
+    offset += (s.payload->size() + 7) & ~uint64_t{7};
+  }
+  const uint64_t file_size = offset;
+
+  ByteWriter file;
+  file.AppendBytes(kKbMagicV2, sizeof(kKbMagicV2));
+  file.Append<uint32_t>(kEndianTag);
+  file.Append<uint32_t>(kNumShardSections);
+  file.Append<uint64_t>(file_size);
+  file.Append<uint64_t>(Fnv1a64(table.data(), table.size()));
+  file.AppendBytes(table.data(), table.size());
+  for (const Pending& s : sections) {
+    file.AppendBytes(s.payload->data(), s.payload->size());
+    file.PadTo8();
+  }
+  TENET_CHECK_EQ(file.size(), file_size);
+
+  if (TENET_FAULT_POINT("kb/io/write_truncation")) {
+    return SimulateTornWrite(path, file.data(), file.size(), "shard");
+  }
+  return AtomicWriteFile(path, file.data(), file.size());
+}
+
+Result<ShardedKb::Shard> LoadShardBinary(std::span<const std::byte> bytes,
+                                         const KbLoadOptions& options,
+                                         uint32_t expected_shards,
+                                         uint32_t expected_index,
+                                         ShardInfo* out_info) {
+  TENET_ASSIGN_OR_RETURN(SnapshotLayout layout, ParseSnapshotLayout(bytes));
+  const SectionEntry* info_entry = FindSection(layout, kSectionShardInfo);
+  if (info_entry == nullptr) {
+    return Status::InvalidArgument(
+        "snapshot named by a shard manifest has no shard_info section");
+  }
+  TENET_ASSIGN_OR_RETURN(ShardInfo info, ParseShardInfo(bytes, *info_entry));
+  if (info.num_shards != expected_shards ||
+      info.shard_index != expected_index) {
+    return Status::InvalidArgument(
+        "shard_info disagrees with the manifest: file claims shard " +
+        std::to_string(info.shard_index) + "/" +
+        std::to_string(info.num_shards) + ", manifest expects " +
+        std::to_string(expected_index) + "/" +
+        std::to_string(expected_shards));
+  }
+  const uint32_t n = info.num_shards;
+  const uint32_t s = info.shard_index;
+  TENET_ASSIGN_OR_RETURN(
+      std::vector<std::string_view> strings,
+      ParseStringTable(bytes, layout.known[kSectionStrings - 1]));
+  auto string_at = [&strings](uint32_t ref,
+                              const char* what) -> Result<std::string_view> {
+    if (ref >= strings.size()) {
+      return Status::InvalidArgument(
+          std::string("string reference out of range in ") + what);
+    }
+    return strings[ref];
+  };
+
+  ShardedKb::Shard shard;
+
+  const SectionEntry& entities = layout.known[kSectionEntities - 1];
+  TENET_RETURN_IF_ERROR(CheckRecordSection(entities, "entities"));
+  if (static_cast<int64_t>(entities.item_count) !=
+      LocalShardCount(info.global_entities, n, s)) {
+    return Status::InvalidArgument(
+        "shard entity count disagrees with the strided layout");
+  }
+  shard.entities.reserve(entities.item_count);
+  RecordReader entity_reader(bytes.subspan(entities.offset));
+  for (uint64_t i = 0; i < entities.item_count; ++i) {
+    uint32_t label_ref = entity_reader.Read<uint32_t>();
+    int32_t type = entity_reader.Read<int32_t>();
+    int32_t domain = entity_reader.Read<int32_t>();
+    entity_reader.Read<int32_t>();  // padding
+    double popularity = entity_reader.Read<double>();
+    TENET_ASSIGN_OR_RETURN(std::string_view label,
+                           string_at(label_ref, "entities"));
+    if (type < 0 || type >= kNumEntityTypes) {
+      return Status::InvalidArgument("bad entity type in shard snapshot");
+    }
+    if (!std::isfinite(popularity) || popularity <= 0.0) {
+      return Status::InvalidArgument("non-positive entity popularity");
+    }
+    shard.entities.push_back(EntityRecord{std::string(label),
+                                          static_cast<EntityType>(type),
+                                          domain, popularity});
+  }
+
+  const SectionEntry& predicates = layout.known[kSectionPredicates - 1];
+  TENET_RETURN_IF_ERROR(CheckRecordSection(predicates, "predicates"));
+  if (static_cast<int64_t>(predicates.item_count) !=
+      LocalShardCount(info.global_predicates, n, s)) {
+    return Status::InvalidArgument(
+        "shard predicate count disagrees with the strided layout");
+  }
+  shard.predicates.reserve(predicates.item_count);
+  RecordReader predicate_reader(bytes.subspan(predicates.offset));
+  for (uint64_t i = 0; i < predicates.item_count; ++i) {
+    uint32_t label_ref = predicate_reader.Read<uint32_t>();
+    int32_t domain = predicate_reader.Read<int32_t>();
+    predicate_reader.Read<int32_t>();  // padding
+    predicate_reader.Read<int32_t>();  // padding
+    double popularity = predicate_reader.Read<double>();
+    TENET_ASSIGN_OR_RETURN(std::string_view label,
+                           string_at(label_ref, "predicates"));
+    if (!std::isfinite(popularity) || popularity <= 0.0) {
+      return Status::InvalidArgument("non-positive predicate popularity");
+    }
+    shard.predicates.push_back(
+        PredicateRecord{std::string(label), domain, popularity});
+  }
+
+  // Aliases hold GLOBAL concept ids; every posting must be homed here.
+  const SectionEntry& aliases = layout.known[kSectionAliases - 1];
+  TENET_RETURN_IF_ERROR(CheckRecordSection(aliases, "aliases"));
+  RecordReader alias_reader(bytes.subspan(aliases.offset));
+  std::vector<AliasIndex::RestoreEntry> restore_entries;
+  restore_entries.reserve(static_cast<size_t>(aliases.item_count));
+  for (uint64_t i = 0; i < aliases.item_count; ++i) {
+    uint32_t surface_ref = alias_reader.Read<uint32_t>();
+    int32_t concept_id = alias_reader.Read<int32_t>();
+    int32_t kind = alias_reader.Read<int32_t>();
+    alias_reader.Read<int32_t>();  // padding
+    double prior = alias_reader.Read<double>();
+    TENET_ASSIGN_OR_RETURN(std::string_view surface,
+                           string_at(surface_ref, "aliases"));
+    if (!std::isfinite(prior) || prior <= 0.0) {
+      return Status::InvalidArgument("non-positive alias prior");
+    }
+    int64_t global =
+        kind == 0 ? info.global_entities : info.global_predicates;
+    if (kind != 0 && kind != 1) {
+      return Status::InvalidArgument("bad alias concept kind");
+    }
+    if (concept_id < 0 || concept_id >= global ||
+        static_cast<uint32_t>(concept_id % n) != s) {
+      return Status::InvalidArgument(
+          "alias refers to a concept not homed on this shard");
+    }
+    restore_entries.push_back(AliasIndex::RestoreEntry{
+        surface,
+        AliasPosting{kind == 0 ? ConceptRef::Entity(concept_id)
+                               : ConceptRef::Predicate(concept_id),
+                     prior}});
+  }
+  shard.alias_index.RestorePostings(restore_entries, options.pool);
+  shard.alias_index.Finalize(AliasIndex::FinalizeMode::kRestorePriors,
+                             options.pool);
+
+  const SectionEntry& facts = layout.known[kSectionFacts - 1];
+  TENET_RETURN_IF_ERROR(CheckRecordSection(facts, "facts"));
+  shard.facts.reserve(facts.item_count);
+  shard.fact_ids.reserve(facts.item_count);
+  RecordReader fact_reader(bytes.subspan(facts.offset));
+  int64_t prev_fact_id = -1;
+  for (uint64_t i = 0; i < facts.item_count; ++i) {
+    int32_t subject = fact_reader.Read<int32_t>();
+    int32_t predicate = fact_reader.Read<int32_t>();
+    int32_t object_kind = fact_reader.Read<int32_t>();
+    int32_t object_entity = fact_reader.Read<int32_t>();
+    uint32_t literal_ref = fact_reader.Read<uint32_t>();
+    uint32_t global_fact = fact_reader.Read<uint32_t>();
+    if (subject < 0 || subject >= info.global_entities || predicate < 0 ||
+        predicate >= info.global_predicates) {
+      return Status::InvalidArgument("shard fact refers outside the KB");
+    }
+    int64_t fact_id = static_cast<int64_t>(global_fact);
+    if (fact_id >= info.global_facts || fact_id <= prev_fact_id) {
+      return Status::InvalidArgument(
+          "shard fact ids must be ascending globals");
+    }
+    prev_fact_id = fact_id;
+    Triple t;
+    t.subject = subject;
+    t.predicate = predicate;
+    if (object_kind == 0) {
+      if (object_entity < 0 || object_entity >= info.global_entities) {
+        return Status::InvalidArgument("shard fact refers outside the KB");
+      }
+      t.object_entity = object_entity;
+      t.object_is_entity = true;
+    } else if (object_kind == 1) {
+      TENET_ASSIGN_OR_RETURN(std::string_view literal,
+                             string_at(literal_ref, "facts"));
+      t.object_literal = std::string(literal);
+      t.object_is_entity = false;
+    } else {
+      return Status::InvalidArgument("bad fact object kind");
+    }
+    shard.facts.push_back(std::move(t));
+    shard.fact_ids.push_back(fact_id);
+  }
+
+  ShardedKb::BuildShardIndexes(shard, static_cast<int>(n),
+                               static_cast<int>(s));
+  if (out_info != nullptr) *out_info = info;
+  return shard;
+}
+
+// Parsed TENETKBSHARDS1 manifest: global counts + per-shard file names
+// (relative to the manifest's directory).
+struct ShardManifest {
+  int32_t num_shards = 0;
+  int64_t entities = 0;
+  int64_t predicates = 0;
+  int64_t facts = 0;
+  std::vector<std::pair<std::string, std::string>> files;  // kb, emb
+};
+
+Result<ShardManifest> ParseShardManifest(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  TENET_ASSIGN_OR_RETURN(std::string magic, ReadLine(in, "magic"));
+  if (magic != kShardManifestMagic) {
+    return Status::InvalidArgument("not a TENETKBSHARDS1 manifest: " + path);
+  }
+  ShardManifest manifest;
+  auto read_field = [&in](const char* tag) -> Result<int64_t> {
+    TENET_ASSIGN_OR_RETURN(std::string line, ReadLine(in, tag));
+    std::vector<std::string> fields = SplitTabs(line);
+    if (fields.size() != 2 || fields[0] != tag) {
+      return Status::InvalidArgument(std::string("bad manifest field: ") +
+                                     tag);
+    }
+    TENET_ASSIGN_OR_RETURN(int64_t value, ParseInt(fields[1], tag));
+    if (value < 0) {
+      return Status::InvalidArgument(std::string("negative count in ") + tag);
+    }
+    return value;
+  };
+  TENET_ASSIGN_OR_RETURN(int64_t num_shards, read_field("shards"));
+  if (num_shards < 1 || num_shards > 4096) {
+    return Status::InvalidArgument("implausible manifest shard count");
+  }
+  manifest.num_shards = static_cast<int32_t>(num_shards);
+  TENET_ASSIGN_OR_RETURN(manifest.entities, read_field("entities"));
+  TENET_ASSIGN_OR_RETURN(manifest.predicates, read_field("predicates"));
+  TENET_ASSIGN_OR_RETURN(manifest.facts, read_field("facts"));
+  for (int32_t i = 0; i < manifest.num_shards; ++i) {
+    TENET_ASSIGN_OR_RETURN(std::string line, ReadLine(in, "shard files"));
+    std::vector<std::string> fields = SplitTabs(line);
+    if (fields.size() != 2 || fields[0].empty() || fields[1].empty()) {
+      return Status::InvalidArgument("bad manifest shard line: " + line);
+    }
+    manifest.files.emplace_back(fields[0], fields[1]);
+  }
+  std::string extra;
+  if (std::getline(in, extra)) {
+    return Status::InvalidArgument("trailing garbage after shard list");
+  }
+  return manifest;
 }
 
 // ---- TENETKB v1 (legacy text) ---------------------------------------------
@@ -829,10 +1247,107 @@ Result<KnowledgeBase> LoadKnowledgeBase(const std::string& path,
                timer.ElapsedMillis(), file.zero_copy() ? file.size() : 0);
     return kb;
   }
+  if (sniffed == sizeof(magic) &&
+      std::memcmp(magic, kShardManifestMagic, sizeof(magic)) == 0) {
+    return Status::InvalidArgument(
+        "sharded KB manifest; load via ShardedKb::Load: " + path);
+  }
   TENET_ASSIGN_OR_RETURN(KnowledgeBase kb,
                          LoadKnowledgeBaseText(path, options));
   RecordLoad("kb", "text", timer.ElapsedMillis(), 0);
   return kb;
+}
+
+Status ShardedKb::Save(const std::string& manifest_path) const {
+  const std::string dir = DirPrefix(manifest_path);
+  const std::string base = BaseName(manifest_path);
+  std::ostringstream manifest;
+  manifest << kShardManifestMagic << "\n";
+  manifest << "shards\t" << num_shards() << "\n";
+  manifest << "entities\t" << num_entities_ << "\n";
+  manifest << "predicates\t" << num_predicates_ << "\n";
+  manifest << "facts\t" << num_facts_ << "\n";
+  for (int s = 0; s < num_shards(); ++s) {
+    ShardInfo info;
+    info.num_shards = static_cast<uint32_t>(num_shards());
+    info.shard_index = static_cast<uint32_t>(s);
+    info.global_entities = num_entities_;
+    info.global_predicates = num_predicates_;
+    info.global_facts = num_facts_;
+    const std::string kb_name = base + ".s" + std::to_string(s) + ".kb2";
+    const std::string emb_name = base + ".s" + std::to_string(s) + ".emb";
+    TENET_RETURN_IF_ERROR(SaveShardBinary(shard(s), info, dir + kb_name));
+    TENET_RETURN_IF_ERROR(SaveEmbeddings(*shard(s).embeddings,
+                                         dir + emb_name));
+    manifest << kb_name << "\t" << emb_name << "\n";
+  }
+  // The manifest lands last: a crash mid-save leaves at worst orphan shard
+  // files, never a manifest naming files that do not exist yet.
+  const std::string bytes = manifest.str();
+  if (TENET_FAULT_POINT("kb/io/write_truncation")) {
+    return SimulateTornWrite(manifest_path, bytes.data(), bytes.size(),
+                             "manifest");
+  }
+  return AtomicWriteFile(manifest_path, bytes.data(), bytes.size());
+}
+
+Result<ShardedKb> ShardedKb::Load(const std::string& manifest_path,
+                                  const KbLoadOptions& options) {
+  if (TENET_FAULT_POINT("kb/io/load_kb")) {
+    return Status::DataLoss("injected fault: kb load failed: " +
+                            manifest_path);
+  }
+  TENET_ASSIGN_OR_RETURN(ShardManifest manifest,
+                         ParseShardManifest(manifest_path));
+  const std::string dir = DirPrefix(manifest_path);
+  std::vector<Shard> shards;
+  shards.reserve(manifest.files.size());
+  for (int32_t s = 0; s < manifest.num_shards; ++s) {
+    WallTimer timer;
+    TENET_ASSIGN_OR_RETURN(
+        MmapFile file,
+        MmapFile::Open(dir + manifest.files[s].first, options.prefer_mmap));
+    ShardInfo info;
+    TENET_ASSIGN_OR_RETURN(
+        Shard shard,
+        LoadShardBinary(file.bytes(), options,
+                        static_cast<uint32_t>(manifest.num_shards),
+                        static_cast<uint32_t>(s), &info));
+    if (info.global_entities != manifest.entities ||
+        info.global_predicates != manifest.predicates ||
+        info.global_facts != manifest.facts) {
+      return Status::InvalidArgument(
+          "shard_info globals disagree with the manifest: " +
+          manifest.files[s].first);
+    }
+    TENET_ASSIGN_OR_RETURN(
+        embedding::EmbeddingStore embeddings,
+        LoadEmbeddings(dir + manifest.files[s].second, options));
+    if (embeddings.num_entities() !=
+            static_cast<int32_t>(shard.entities.size()) ||
+        embeddings.num_predicates() !=
+            static_cast<int32_t>(shard.predicates.size())) {
+      return Status::InvalidArgument(
+          "shard embedding counts disagree with the snapshot: " +
+          manifest.files[s].second);
+    }
+    if (!shards.empty() &&
+        embeddings.dimension() != shards[0].embeddings->dimension()) {
+      return Status::InvalidArgument(
+          "shard embedding dimensions disagree across shards");
+    }
+    shard.embeddings =
+        std::make_unique<embedding::EmbeddingStore>(std::move(embeddings));
+    shard.mapped_bytes = file.zero_copy() ? file.size() : 0;
+    shard.load_ms = timer.ElapsedMillis();
+    RecordLoad("kb_shard", file.zero_copy() ? "binary_mmap" : "binary",
+               shard.load_ms, shard.mapped_bytes);
+    shards.push_back(std::move(shard));
+  }
+  return ShardedKb(std::move(shards),
+                   static_cast<int32_t>(manifest.entities),
+                   static_cast<int32_t>(manifest.predicates),
+                   manifest.facts);
 }
 
 Status SaveEmbeddings(const embedding::EmbeddingStore& store,
@@ -933,11 +1448,44 @@ Result<KbFileInfo> InspectKnowledgeBaseFile(const std::string& path) {
         static_cast<int64_t>(layout.known[kSectionAliases - 1].item_count);
     info.facts =
         static_cast<int64_t>(layout.known[kSectionFacts - 1].item_count);
+    if (const SectionEntry* entry = FindSection(layout, kSectionShardInfo)) {
+      TENET_ASSIGN_OR_RETURN(ShardInfo shard_info,
+                             ParseShardInfo(file.bytes(), *entry));
+      info.num_shards = static_cast<int32_t>(shard_info.num_shards);
+      info.shard_index = static_cast<int32_t>(shard_info.shard_index);
+    }
     return info;
   }
   std::ifstream in(path);
   if (!in) return Status::NotFound("cannot open " + path);
   TENET_ASSIGN_OR_RETURN(std::string line, ReadLine(in, "magic"));
+  if (line == kShardManifestMagic) {
+    TENET_ASSIGN_OR_RETURN(ShardManifest manifest, ParseShardManifest(path));
+    info.format = kShardManifestMagic;
+    {
+      std::ifstream sizer(path, std::ios::binary | std::ios::ate);
+      info.file_bytes = static_cast<uint64_t>(sizer.tellg());
+    }
+    info.num_shards = manifest.num_shards;
+    info.entities = manifest.entities;
+    info.predicates = manifest.predicates;
+    info.facts = manifest.facts;
+    const std::string dir = DirPrefix(path);
+    for (int32_t s = 0; s < manifest.num_shards; ++s) {
+      TENET_ASSIGN_OR_RETURN(
+          KbFileInfo shard_info,
+          InspectKnowledgeBaseFile(dir + manifest.files[s].first));
+      if (shard_info.num_shards != manifest.num_shards ||
+          shard_info.shard_index != s) {
+        return Status::InvalidArgument(
+            "manifest names a file that is not shard " + std::to_string(s) +
+            ": " + manifest.files[s].first);
+      }
+      info.aliases += shard_info.aliases;
+      info.shards.push_back(std::move(shard_info));
+    }
+    return info;
+  }
   if (line != kKbMagicV1) {
     return Status::InvalidArgument("not a TENET KB file: " + path);
   }
@@ -1001,28 +1549,52 @@ Result<EmbFileInfo> InspectEmbeddingsFile(const std::string& path) {
   return info;
 }
 
-text::Gazetteer DeriveGazetteer(const KnowledgeBase& kb) {
-  TENET_CHECK(kb.finalized());
+namespace {
+
+// Shared derivation core: `visit` enumerates every posting exactly once (in
+// any order, possibly split into non-consecutive per-surface runs), `type_of`
+// maps the winning entity id to its type.  Ties on prior break toward the
+// smaller entity id so the result is independent of visitation order — the
+// flat and sharded substrates enumerate postings differently but must yield
+// the same gazetteer.
+template <typename VisitFn, typename TypeFn>
+text::Gazetteer DeriveGazetteerImpl(VisitFn&& visit, TypeFn&& type_of) {
   text::Gazetteer gazetteer;
   // Collect, per surface, the highest-prior entity posting.
   std::unordered_map<std::string, std::pair<double, EntityId>> best;
-  kb.alias_index().VisitPostings(
-      [&best](std::string_view surface, const AliasPosting& posting) {
-        if (!posting.concept_ref.is_entity()) return;
-        auto [it, inserted] = best.emplace(
-            std::string(surface),
-            std::make_pair(posting.prior, posting.concept_ref.id));
-        if (!inserted && posting.prior > it->second.first) {
-          it->second = {posting.prior, posting.concept_ref.id};
-        }
-      });
+  visit([&best](std::string_view surface, const AliasPosting& posting) {
+    if (!posting.concept_ref.is_entity()) return;
+    auto [it, inserted] =
+        best.emplace(std::string(surface),
+                     std::make_pair(posting.prior, posting.concept_ref.id));
+    if (!inserted && (posting.prior > it->second.first ||
+                      (posting.prior == it->second.first &&
+                       posting.concept_ref.id < it->second.second))) {
+      it->second = {posting.prior, posting.concept_ref.id};
+    }
+  });
   for (const auto& [surface, sense] : best) {
     bool lowercase =
         !surface.empty() &&
         std::islower(static_cast<unsigned char>(surface[0])) != 0;
-    gazetteer.AddSurface(surface, kb.entity(sense.second).type, lowercase);
+    gazetteer.AddSurface(surface, type_of(sense.second), lowercase);
   }
   return gazetteer;
+}
+
+}  // namespace
+
+text::Gazetteer DeriveGazetteer(const KnowledgeBase& kb) {
+  TENET_CHECK(kb.finalized());
+  return DeriveGazetteerImpl(
+      [&kb](auto&& visitor) { kb.alias_index().VisitPostings(visitor); },
+      [&kb](EntityId id) { return kb.entity(id).type; });
+}
+
+text::Gazetteer DeriveGazetteer(const KbView& view) {
+  return DeriveGazetteerImpl(
+      [&view](auto&& visitor) { view.VisitAliasPostings(visitor); },
+      [&view](EntityId id) { return view.entity(id).type; });
 }
 
 }  // namespace kb

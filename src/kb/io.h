@@ -87,18 +87,27 @@ struct KbSectionInfo {
 };
 
 struct KbFileInfo {
-  std::string format;  // "TENETKB v1" or "TENETKB2"
+  std::string format;  // "TENETKB v1", "TENETKB2" or "TENETKBSHARDS1"
   uint64_t file_bytes = 0;
   int64_t entities = 0;
   int64_t predicates = 0;
   int64_t aliases = 0;
   int64_t facts = 0;
   std::vector<KbSectionInfo> sections;  // binary snapshots only
+  /// Sharded-layout metadata: >0 when the file is one shard of a sharded
+  /// KB (a TENETKB2 snapshot carrying a shard_info section) or a
+  /// "TENETKBSHARDS1" manifest.  0 for ordinary flat snapshots.
+  int32_t num_shards = 0;
+  /// Which shard this snapshot is (-1 for manifests and flat snapshots).
+  int32_t shard_index = -1;
+  /// Per-shard stats, populated when inspecting a manifest.
+  std::vector<KbFileInfo> shards;
 };
 
-/// Reads only the metadata of a KB file (either format).  Validates the
-/// same header/section invariants as the loader without materializing the
-/// KB.
+/// Reads only the metadata of a KB file (any format, including a
+/// "TENETKBSHARDS1" manifest, for which per-shard stats are gathered).
+/// Validates the same header/section invariants as the loader without
+/// materializing the KB.
 Result<KbFileInfo> InspectKnowledgeBaseFile(const std::string& path);
 
 struct EmbFileInfo {
@@ -112,11 +121,18 @@ struct EmbFileInfo {
 Result<EmbFileInfo> InspectEmbeddingsFile(const std::string& path);
 
 /// Derives an NER gazetteer from a (finalized) KB: every alias surface is
-/// registered under the type of its most probable entity sense; surfaces
-/// that start lowercase are marked spottable in lowercase text.  This is
-/// how a loaded KB becomes usable by the extraction pipeline without
-/// persisting the gazetteer separately.
+/// registered under the type of its most probable entity sense (ties
+/// broken toward the smaller entity id, so the result is independent of
+/// posting visitation order); surfaces that start lowercase are marked
+/// spottable in lowercase text.  This is how a loaded KB becomes usable by
+/// the extraction pipeline without persisting the gazetteer separately.
 text::Gazetteer DeriveGazetteer(const KnowledgeBase& kb);
+
+class KbView;
+
+/// Substrate-agnostic overload: same derivation over any KbView (flat or
+/// sharded), yielding an identical gazetteer for the same logical KB.
+text::Gazetteer DeriveGazetteer(const KbView& view);
 
 }  // namespace kb
 }  // namespace tenet

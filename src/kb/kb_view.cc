@@ -1,0 +1,50 @@
+#include "kb/kb_view.h"
+
+#include "common/logging.h"
+#include "embedding/embedding_store.h"
+
+namespace tenet {
+namespace kb {
+
+FlatKbView::FlatKbView(const KnowledgeBase* kb,
+                       const embedding::EmbeddingStore* embeddings)
+    : kb_(kb), embeddings_(embeddings) {
+  TENET_CHECK(kb != nullptr);
+  TENET_CHECK(embeddings != nullptr);
+  TENET_CHECK(kb->finalized());
+  TENET_CHECK(embeddings->finalized());
+}
+
+void FlatKbView::VisitFactsOfEntity(EntityId id,
+                                    const FactVisitor& visitor) const {
+  const std::vector<Triple>& facts = kb_->facts();
+  for (int32_t fact_index : kb_->FactsOfEntity(id)) {
+    if (!visitor(fact_index, facts[fact_index])) return;
+  }
+}
+
+void FlatKbView::VisitFactsOfPredicate(PredicateId id,
+                                       const FactVisitor& visitor) const {
+  const std::vector<Triple>& facts = kb_->facts();
+  for (int32_t fact_index : kb_->FactsOfPredicate(id)) {
+    if (!visitor(fact_index, facts[fact_index])) return;
+  }
+}
+
+int FlatKbView::dimension() const { return embeddings_->dimension(); }
+
+double FlatKbView::Cosine(ConceptRef a, ConceptRef b) const {
+  return embeddings_->Cosine(a, b);
+}
+
+void FlatKbView::GatherUnit(std::span<const ConceptRef> refs,
+                            double* out) const {
+  embeddings_->GatherUnit(refs, out);
+}
+
+void FlatKbView::VisitAliasPostings(const PostingVisitor& visitor) const {
+  kb_->alias_index().VisitPostings(visitor);
+}
+
+}  // namespace kb
+}  // namespace tenet

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "kb/kb_view.h"
 
 namespace tenet {
 namespace kb {
@@ -159,51 +160,26 @@ std::vector<EntityCandidate> KnowledgeBase::CandidateEntities(
     std::string_view surface, std::optional<EntityType> type,
     int max_candidates, int* overflow) const {
   TENET_CHECK(finalized_);
-  if (overflow != nullptr) *overflow = 0;
-  std::vector<EntityCandidate> out;
-  if (max_candidates <= 0) return out;
-  for (const AliasPosting& posting : alias_index_.LookupEntities(surface)) {
-    EntityId id = posting.concept_ref.id;
-    if (type.has_value() && entities_[id].type != *type) continue;
-    if (static_cast<int>(out.size()) == max_candidates) {
-      // Past the cap: only keep counting when the caller asked to observe
-      // truncation; the returned set and its renormalization are unchanged.
-      if (overflow == nullptr) break;
-      ++*overflow;
-      continue;
-    }
-    out.push_back(EntityCandidate{id, posting.prior});
-  }
-  // Renormalize so the truncated/filtered set is still a distribution.
-  double total = 0.0;
-  for (const EntityCandidate& c : out) total += c.prior;
-  if (total > 0.0) {
-    for (EntityCandidate& c : out) c.prior /= total;
-  }
-  return out;
+  return SelectCandidates<EntityCandidate>(
+      alias_index_.LookupEntities(surface), max_candidates, overflow,
+      [&](const AliasPosting& posting) {
+        return !type.has_value() ||
+               entities_[posting.concept_ref.id].type == *type;
+      },
+      [](const AliasPosting& posting) {
+        return EntityCandidate{posting.concept_ref.id, posting.prior};
+      });
 }
 
 std::vector<PredicateCandidate> KnowledgeBase::CandidatePredicates(
     std::string_view surface, int max_candidates, int* overflow) const {
   TENET_CHECK(finalized_);
-  if (overflow != nullptr) *overflow = 0;
-  std::vector<PredicateCandidate> out;
-  if (max_candidates <= 0) return out;
-  for (const AliasPosting& posting :
-       alias_index_.LookupPredicates(surface)) {
-    if (static_cast<int>(out.size()) == max_candidates) {
-      if (overflow == nullptr) break;
-      ++*overflow;
-      continue;
-    }
-    out.push_back(PredicateCandidate{posting.concept_ref.id, posting.prior});
-  }
-  double total = 0.0;
-  for (const PredicateCandidate& c : out) total += c.prior;
-  if (total > 0.0) {
-    for (PredicateCandidate& c : out) c.prior /= total;
-  }
-  return out;
+  return SelectCandidates<PredicateCandidate>(
+      alias_index_.LookupPredicates(surface), max_candidates, overflow,
+      [](const AliasPosting&) { return true; },
+      [](const AliasPosting& posting) {
+        return PredicateCandidate{posting.concept_ref.id, posting.prior};
+      });
 }
 
 std::span<const int32_t> KnowledgeBase::FactsOfEntity(EntityId id) const {

@@ -93,6 +93,15 @@ std::string LastWord(const std::string& s) {
 
 }  // namespace
 
+SyntheticKbOptions SyntheticKbOptions::Huge() {
+  SyntheticKbOptions options;
+  options.num_domains = 64;
+  options.entities_per_domain = 900;
+  options.composite_entities_per_domain = 12;
+  options.num_predicates = 512;
+  return options;
+}
+
 SyntheticKb SyntheticKbGenerator::Generate(Rng& rng) const {
   SyntheticKb world;
   const SyntheticKbOptions& opt = options_;

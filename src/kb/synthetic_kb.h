@@ -40,6 +40,13 @@ struct SyntheticKbOptions {
   double cross_domain_fact_fraction = 0.12;
   /// Zipf exponent of within-domain popularity.
   double popularity_zipf = 0.6;
+
+  /// The "huge" tier: the KB sized for the sharded-substrate benchmarks
+  /// (DESIGN.md §14) — ~58k entities and ~170k facts, an order of
+  /// magnitude past the largest evaluation world, where per-shard load and
+  /// lookup costs dominate the fixed overheads.  Still generated in a few
+  /// hundred milliseconds.
+  static SyntheticKbOptions Huge();
 };
 
 // The generated world: a finalized KB plus the bookkeeping the corpus

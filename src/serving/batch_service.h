@@ -188,13 +188,6 @@ class BatchLinkingService {
   Status Submit(std::string text, Callback done);
   Status Submit(std::string text, core::LinkContext context, Callback done);
 
-  // Deprecated shim of the pre-LinkContext API.
-  [[deprecated("pass a core::LinkContext instead of a bare Deadline")]]
-  Status Submit(std::string text, Deadline deadline, Callback done) {
-    return Submit(std::move(text), core::LinkContext::WithDeadline(deadline),
-                  std::move(done));
-  }
-
   /// Synchronous batch entry point with deterministic merging: results[i]
   /// always corresponds to texts[i], whatever order the workers finished
   /// in.  Shed requests (possible under kReject overflow) surface as
@@ -229,9 +222,6 @@ class BatchLinkingService {
 
   /// Accounting snapshot, read from the backing registry.
   ServiceStats Stats() const;
-
-  [[deprecated("use Stats(); the snapshot is registry-backed now")]]
-  ServiceStats stats() const { return Stats(); }
 
   /// The registry this service publishes to (the injected one, or the
   /// process-wide default).

@@ -12,7 +12,9 @@
 #include "core/pipeline.h"
 #include "embedding/embedding_store.h"
 #include "kb/delta.h"
+#include "kb/kb_view.h"
 #include "kb/knowledge_base.h"
+#include "kb/sharded_kb.h"
 #include "text/gazetteer.h"
 
 namespace tenet {
@@ -55,13 +57,29 @@ class KbGeneration {
       std::span<const std::string> delta_paths, uint64_t id,
       const KbGenerationOptions& options = {});
 
+  /// Loads a sharded layout ("TENETKBSHARDS1" manifest, DESIGN.md §14) and
+  /// serves it through the same linker stack: candidate generation runs
+  /// scatter/gather across the shards, everything downstream is identical.
+  /// Sharded generations are read-only substrates — WithDeltas and Compact
+  /// reject them (write a new sharded layout offline instead).
+  static Result<std::shared_ptr<const KbGeneration>> LoadSharded(
+      const std::string& manifest_path, uint64_t id,
+      const KbGenerationOptions& options = {});
+
   /// Wraps an already-built substrate (both must be finalized).
   static std::shared_ptr<const KbGeneration> FromSubstrate(
       kb::KnowledgeBase kb, embedding::EmbeddingStore embeddings, uint64_t id,
       const KbGenerationOptions& options = {});
 
+  /// Wraps an already-built sharded substrate (same contract as
+  /// LoadSharded).
+  static std::shared_ptr<const KbGeneration> FromShardedKb(
+      std::shared_ptr<const kb::ShardedKb> sharded, uint64_t id,
+      const KbGenerationOptions& options = {});
+
   /// A new generation = this one + `segments` (applied in order).  The
-  /// receiver is untouched and keeps serving.
+  /// receiver is untouched and keeps serving.  kInvalidArgument on a
+  /// sharded generation.
   Result<std::shared_ptr<const KbGeneration>> WithDeltas(
       std::span<const kb::DeltaSegment> segments, uint64_t id,
       const KbGenerationOptions& options = {}) const;
@@ -69,7 +87,8 @@ class KbGeneration {
   /// Persists this generation as a fresh TENETKB2 + TENETEMB1 pair — the
   /// merge step that folds applied deltas back into a base snapshot.  Both
   /// writes are atomic; a crash between the two leaves a loadable (if
-  /// mismatched-by-one) pair, never a torn file.
+  /// mismatched-by-one) pair, never a torn file.  kInvalidArgument on a
+  /// sharded generation (its layout is already on disk, shard by shard).
   Status Compact(const std::string& kb_path,
                  const std::string& embeddings_path) const;
 
@@ -77,8 +96,16 @@ class KbGeneration {
   KbGeneration& operator=(const KbGeneration&) = delete;
 
   uint64_t id() const { return id_; }
-  const kb::KnowledgeBase& kb() const { return kb_; }
-  const embedding::EmbeddingStore& embeddings() const { return embeddings_; }
+  /// True when this generation serves a sharded substrate; kb() and
+  /// embeddings() must not be called on it.
+  bool sharded() const { return sharded_ != nullptr; }
+  /// The substrate behind the generation's linker — always valid, flat or
+  /// sharded.
+  const kb::KbView& view() const { return *view_; }
+  /// The sharded substrate (null for flat generations).
+  const kb::ShardedKb* sharded_kb() const { return sharded_.get(); }
+  const kb::KnowledgeBase& kb() const;
+  const embedding::EmbeddingStore& embeddings() const;
   const text::Gazetteer& gazetteer() const { return gazetteer_; }
   const baselines::TenetLinker& linker() const { return *linker_; }
   /// Cumulative apply stats across every delta folded into this generation
@@ -89,10 +116,17 @@ class KbGeneration {
   KbGeneration(kb::KnowledgeBase kb, embedding::EmbeddingStore embeddings,
                uint64_t id, kb::DeltaApplyStats delta_stats,
                const KbGenerationOptions& options);
+  KbGeneration(std::shared_ptr<const kb::ShardedKb> sharded, uint64_t id,
+               const KbGenerationOptions& options);
 
   const uint64_t id_;
+  // Flat substrate (empty for sharded generations).
   kb::KnowledgeBase kb_;
   embedding::EmbeddingStore embeddings_;
+  // Sharded substrate (null for flat generations).
+  std::shared_ptr<const kb::ShardedKb> sharded_;
+  // The one handle the linker consumes, whatever the substrate shape.
+  std::shared_ptr<const kb::KbView> view_;
   text::Gazetteer gazetteer_;
   kb::DeltaApplyStats delta_stats_;
   std::unique_ptr<baselines::TenetLinker> linker_;

@@ -30,7 +30,7 @@ datasets::Dataset SmallNews(uint64_t seed) {
 
 baselines::TenetLinker MakeTenet(TenetOptions options = {}) {
   baselines::BaselineSubstrate substrate{
-      &World().kb(), &World().embeddings, &World().gazetteer(), {}};
+      &World().kb(), &World().embeddings, &World().gazetteer(), {}, {}};
   return baselines::TenetLinker(substrate, options);
 }
 
@@ -110,7 +110,7 @@ TEST(AblationTest, MultiThreadedGraphBuildIsEquivalent) {
   graph_options.num_threads = 4;
   baselines::BaselineSubstrate threaded_substrate{
       &World().kb(), &World().embeddings, &World().gazetteer(),
-      graph_options};
+      graph_options, {}};
   baselines::TenetLinker serial = MakeTenet();
   baselines::TenetLinker parallel(threaded_substrate);
   for (const datasets::Document& doc : news.documents) {

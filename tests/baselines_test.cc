@@ -27,7 +27,7 @@ class BaselineTest : public ::testing::Test {
   }
   static BaselineSubstrate Substrate() {
     return BaselineSubstrate{&World().kb(), &World().embeddings,
-                             &World().gazetteer(), {}};
+                             &World().gazetteer(), {}, {}};
   }
   static std::vector<std::unique_ptr<Linker>> AllLinkers() {
     std::vector<std::unique_ptr<Linker>> linkers;
@@ -182,7 +182,7 @@ TEST(BaselineFigureOneTest, CoherenceSeparatesTenetFromFalcon) {
   testing_support::FigureOneWorld world =
       testing_support::BuildFigureOneWorld();
   BaselineSubstrate substrate{&world.kb, &world.embeddings, &world.gazetteer,
-                              {}};
+                              {}, {}};
   const char* text =
       "Michael Jordan studies artificial intelligence and machine learning.";
   FalconLike falcon(substrate);

@@ -62,7 +62,7 @@ class ChaosSoakTest : public ::testing::Test {
   ChaosSoakTest()
       : world_(datasets::BuildWorld()),
         linker_(baselines::BaselineSubstrate{
-            &world_.kb(), &world_.embeddings, &world_.gazetteer(), {}}) {
+            &world_.kb(), &world_.embeddings, &world_.gazetteer(), {}, {}}) {
     datasets::CorpusGenerator generator(&world_.kb_world);
     Rng rng(4242);
     datasets::DatasetSpec spec = datasets::TRex42Spec();
@@ -424,7 +424,7 @@ class HostileStormTest : public ::testing::Test {
   HostileStormTest()
       : world_(datasets::BuildWorld()),
         linker_(baselines::BaselineSubstrate{
-            &world_.kb(), &world_.embeddings, &world_.gazetteer(), {}}) {
+            &world_.kb(), &world_.embeddings, &world_.gazetteer(), {}, {}}) {
     datasets::CorpusGenerator generator(&world_.kb_world);
     Rng rng(4242);
     datasets::DatasetSpec spec = datasets::TRex42Spec();

@@ -207,12 +207,12 @@ TEST(CoherenceKernelGoldenTest, EndToEndPrfIsByteIdentical) {
 
   baselines::TenetLinker legacy(baselines::BaselineSubstrate{
       &World().kb(), &World().embeddings, &World().gazetteer(),
-      legacy_options});
+      legacy_options, {}});
   baselines::TenetLinker vectorized(baselines::BaselineSubstrate{
-      &World().kb(), &World().embeddings, &World().gazetteer(), {}});
+      &World().kb(), &World().embeddings, &World().gazetteer(), {}, {}});
   baselines::TenetLinker cached(baselines::BaselineSubstrate{
       &World().kb(), &World().embeddings, &World().gazetteer(),
-      pooled_options});
+      pooled_options, {}});
 
   eval::SystemScores a = eval::EvaluateEndToEnd(legacy, news);
   eval::SystemScores b = eval::EvaluateEndToEnd(vectorized, news);

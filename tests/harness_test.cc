@@ -29,7 +29,7 @@ datasets::Dataset TinyDataset(uint64_t seed) {
 
 baselines::BaselineSubstrate Substrate() {
   return baselines::BaselineSubstrate{
-      &World().kb(), &World().embeddings, &World().gazetteer(), {}};
+      &World().kb(), &World().embeddings, &World().gazetteer(), {}, {}};
 }
 
 TEST(HarnessTest, EndToEndProducesConsistentScores) {

@@ -35,7 +35,7 @@ SystemScores ScoreWorld(const kb::KnowledgeBase& kb,
                         const text::Gazetteer& gazetteer,
                         const datasets::Dataset& dataset) {
   baselines::TenetLinker linker(
-      baselines::BaselineSubstrate{&kb, &embeddings, &gazetteer, {}});
+      baselines::BaselineSubstrate{&kb, &embeddings, &gazetteer, {}, {}});
   return EvaluateEndToEnd(linker, dataset);
 }
 

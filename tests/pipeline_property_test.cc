@@ -29,7 +29,7 @@ TEST_P(PipelinePropertyTest, StructuralInvariantsOnRandomDocuments) {
       gen.GenerateDocument(spec, "prop", GetParam() % 2 == 0, rng);
 
   baselines::BaselineSubstrate substrate{
-      &World().kb(), &World().embeddings, &World().gazetteer(), {}};
+      &World().kb(), &World().embeddings, &World().gazetteer(), {}, {}};
   baselines::TenetLinker tenet(substrate);
   Result<LinkingResult> result = tenet.LinkDocument(doc.text);
   ASSERT_TRUE(result.ok()) << result.status();

@@ -37,7 +37,7 @@ datasets::Dataset TinyDataset(uint64_t seed, int num_docs = 8) {
 
 baselines::BaselineSubstrate Substrate() {
   return baselines::BaselineSubstrate{
-      &World().kb(), &World().embeddings, &World().gazetteer(), {}};
+      &World().kb(), &World().embeddings, &World().gazetteer(), {}, {}};
 }
 
 std::vector<std::string> Texts(const datasets::Dataset& ds) {

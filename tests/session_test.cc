@@ -262,7 +262,7 @@ TEST(SessionContextTest, MakeLinkContextCarriesCacheAndEpoch) {
 TEST(SessionReplayTest, SessionStateImprovesOverIsolation) {
   baselines::TenetLinker tenet(
       baselines::BaselineSubstrate{&World().kb(), &World().embeddings,
-                                   &World().gazetteer(), {}});
+                                   &World().gazetteer(), {}, {}});
   datasets::SessionDataset sessions = GenerateSessions();
 
   eval::SessionEvalOptions with_context;
@@ -285,7 +285,7 @@ TEST(SessionReplayTest, SessionStateImprovesOverIsolation) {
 TEST(SessionReplayTest, ReplayIsDeterministic) {
   baselines::TenetLinker tenet(
       baselines::BaselineSubstrate{&World().kb(), &World().embeddings,
-                                   &World().gazetteer(), {}});
+                                   &World().gazetteer(), {}, {}});
   datasets::SessionDataset sessions = GenerateSessions();
   eval::SystemScores a =
       eval::EvaluateSessions(tenet, World().kb(), sessions);

@@ -31,7 +31,7 @@ class ShapeRegressionTest : public ::testing::Test {
 
   static baselines::BaselineSubstrate Substrate() {
     return baselines::BaselineSubstrate{
-        &World().kb(), &World().embeddings, &World().gazetteer(), {}};
+        &World().kb(), &World().embeddings, &World().gazetteer(), {}, {}};
   }
 
   // The evaluation corpora at full size, cached.

@@ -48,16 +48,21 @@
 //       reported afterwards.
 //
 //   tenet_cli kb build [--seed N] [--kb PATH] [--emb PATH]
-//             [--format text|binary]
+//             [--format text|binary] [--shards N]
 //       Like build-world, with an explicit snapshot format: binary writes
 //       the TENETKB2 snapshot (the default everywhere), text the legacy
-//       TENETKB v1 container (for diffing/debugging).
+//       TENETKB v1 container (for diffing/debugging).  With --shards N the
+//       world is hash-partitioned into N shards and --kb names the
+//       TENETKBSHARDS1 manifest of the layout (one snapshot + embedding
+//       pair per shard lands next to it); --emb and --format do not apply.
 //
 //   tenet_cli kb inspect [--kb PATH] [--emb PATH]
 //       Prints the format, logical counts and (for binary snapshots) the
 //       section table of a KB file without materializing it, plus the
 //       embedding header when --emb is given.  Validates the same
-//       header/section invariants as the loader.
+//       header/section invariants as the loader.  On a TENETKBSHARDS1
+//       manifest, prints the global counts plus one row per shard; on a
+//       single shard snapshot, its position in the layout.
 //
 //   tenet_cli kb delta --kb PATH --emb PATH --out PATH [--seed N]
 //             [--add-entities N]
@@ -104,6 +109,7 @@
 #include "eval/harness.h"
 #include "kb/delta.h"
 #include "kb/io.h"
+#include "kb/sharded_kb.h"
 #include "kb/types.h"
 #include "serving/batch_service.h"
 #include "serving/kb_generation.h"
@@ -135,6 +141,7 @@ struct Args {
   int add_entities = 8;
   int kb_update_every = 0;
   std::string scenario = "clean";
+  int shards = 0;  // kb build: 0 = flat snapshot, N > 0 = sharded layout
 };
 
 // Strict integer flag: the whole value must parse (no "4x", no empty), and
@@ -270,6 +277,14 @@ std::optional<Args> Parse(int argc, char** argv) {
         return std::nullopt;
       }
       args.add_entities = static_cast<int>(n);
+    } else if (flag == "--shards") {
+      const char* v = next();
+      if (v == nullptr) return std::nullopt;
+      int64_t n = 0;
+      if (!ParseIntFlag("--shards", v, 1, 4096, &n)) {
+        return std::nullopt;
+      }
+      args.shards = static_cast<int>(n);
     } else if (flag == "--kb-update-every") {
       const char* v = next();
       if (v == nullptr) return std::nullopt;
@@ -315,7 +330,7 @@ void PrintUsage() {
       "[--similarity-cache-mb N] [--metrics-out FILE] "
       "[--kb-update-every N]\n"
       "  tenet_cli kb build [--seed N] [--kb PATH] [--emb PATH] "
-      "[--format text|binary]\n"
+      "[--format text|binary] [--shards N]\n"
       "  tenet_cli kb inspect [--kb PATH] [--emb PATH]\n"
       "  tenet_cli kb delta --kb PATH --emb PATH --out PATH [--seed N] "
       "[--add-entities N]\n"
@@ -393,6 +408,21 @@ int CmdBuildWorld(const Args& args) {
   datasets::WorldOptions options;
   options.seed = args.seed;
   datasets::SyntheticWorld world = datasets::BuildWorld(options);
+  if (args.shards > 0) {
+    kb::ShardedKb sharded = kb::ShardedKb::Partition(
+        world.kb(), world.embeddings, args.shards);
+    Status saved = sharded.Save(args.kb_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "%s\n", saved.ToString().c_str());
+      return 1;
+    }
+    std::printf("wrote %s (%d shards, %d entities, %d predicates, "
+                "%d facts)\n",
+                args.kb_path.c_str(), sharded.num_shards(),
+                world.kb().num_entities(), world.kb().num_predicates(),
+                world.kb().num_facts());
+    return 0;
+  }
   Status kb_status =
       kb::SaveKnowledgeBase(world.kb(), args.kb_path, args.format);
   if (!kb_status.ok()) {
@@ -432,6 +462,21 @@ int CmdKbInspect(const Args& args) {
                 static_cast<unsigned long long>(section.bytes),
                 static_cast<unsigned long long>(section.items));
   }
+  if (info->num_shards > 0 && info->shards.empty()) {
+    // A single shard snapshot inspected directly.
+    std::printf("  shard %d of %d (strided layout)\n", info->shard_index,
+                info->num_shards);
+  }
+  for (size_t s = 0; s < info->shards.size(); ++s) {
+    const kb::KbFileInfo& shard = info->shards[s];
+    std::printf("  shard %-3zu %10llu bytes: entities %lld, "
+                "predicates %lld, aliases %lld, facts %lld\n",
+                s, static_cast<unsigned long long>(shard.file_bytes),
+                static_cast<long long>(shard.entities),
+                static_cast<long long>(shard.predicates),
+                static_cast<long long>(shard.aliases),
+                static_cast<long long>(shard.facts));
+  }
   if (args.emb_path_set) {
     Result<kb::EmbFileInfo> emb = kb::InspectEmbeddingsFile(args.emb_path);
     if (!emb.ok()) {
@@ -456,6 +501,15 @@ int CmdKbDelta(const Args& args) {
   if (!info.ok()) {
     std::fprintf(stderr, "%s: %s\n", args.kb_path.c_str(),
                  info.status().ToString().c_str());
+    return 1;
+  }
+  if (info->num_shards > 0) {
+    Status rejected = Status::InvalidArgument(
+        "kb delta needs a flat TENETKB2 snapshot; " + args.kb_path +
+        " is a sharded layout (" + std::to_string(info->num_shards) +
+        " shards).  Sharded layouts are read-only: rebuild them offline "
+        "instead of applying deltas");
+    std::fprintf(stderr, "%s\n", rejected.ToString().c_str());
     return 1;
   }
   Result<kb::EmbFileInfo> emb = kb::InspectEmbeddingsFile(args.emb_path);
@@ -501,6 +555,16 @@ int CmdKbMerge(const Args& args) {
   if (args.delta_paths.empty()) {
     std::fprintf(stderr, "kb merge needs at least one --delta segment\n");
     return 2;
+  }
+  Result<kb::KbFileInfo> info = kb::InspectKnowledgeBaseFile(args.kb_path);
+  if (info.ok() && info->num_shards > 0) {
+    Status rejected = Status::InvalidArgument(
+        "kb merge needs a flat TENETKB2 snapshot; " + args.kb_path +
+        " is a sharded layout (" + std::to_string(info->num_shards) +
+        " shards).  Sharded layouts are read-only: rebuild them offline "
+        "instead of merging deltas");
+    std::fprintf(stderr, "%s\n", rejected.ToString().c_str());
+    return 1;
   }
   Result<std::shared_ptr<const serving::KbGeneration>> merged =
       serving::KbGeneration::Load(args.kb_path, args.emb_path,
@@ -687,7 +751,7 @@ int main(int argc, char** argv) {
       // the value of session state.
       baselines::TenetLinker tenet(
           baselines::BaselineSubstrate{&world.kb(), &world.embeddings,
-                                       &world.gazetteer(), graph_options},
+                                       &world.gazetteer(), graph_options, {}},
           tenet_options);
       datasets::SessionGenerator session_generator(&world.kb_world);
       datasets::SessionSpec session_spec;
@@ -782,7 +846,7 @@ int main(int argc, char** argv) {
     } else {
       baselines::TenetLinker tenet(
           baselines::BaselineSubstrate{&world.kb(), &world.embeddings,
-                                       &world.gazetteer(), graph_options},
+                                       &world.gazetteer(), graph_options, {}},
           tenet_options);
       eval::EvalOptions eval_options;
       eval_options.num_threads = args->threads;
